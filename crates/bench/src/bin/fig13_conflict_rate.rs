@@ -1,0 +1,63 @@
+//! Fig. 13: DirectRead failure (conflict) rate for the 50:50 YCSB
+//! workload, sweeping Zipf skewness and client counts.
+//!
+//! A DirectRead fails validation when it races a write to the same object
+//! (cacheline versions disagree). The paper observes conflicts growing
+//! with both skew and client count, yet staying below 0.1% of the request
+//! rate even at θ=0.99 with 32 clients.
+
+use corm_bench::report::{f1, f3, write_csv, Table};
+use corm_bench::setup::populate_server;
+use corm_bench::sim::{run_closed_loop, ClosedLoopSpec, ReadPath};
+use corm_core::server::ServerConfig;
+use corm_sim_core::time::SimDuration;
+use corm_sim_rdma::RnicConfig;
+use corm_workloads::ycsb::{KeyDist, Mix, Workload};
+
+const OBJECTS: usize = 256 * 1024;
+const THETAS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.99];
+const CLIENTS: [usize; 3] = [8, 16, 32];
+
+fn main() {
+    let config = ServerConfig {
+        rnic: RnicConfig { cache_entries: 512, ..RnicConfig::default() },
+        ..ServerConfig::default()
+    };
+    let mut store = populate_server(config, OBJECTS, 32);
+    let mut t = Table::new(
+        "Fig. 13: DirectRead failure rate, 50:50 mix",
+        &["theta", "clients", "conflicts_per_sec", "reads_kreqs", "fail_pct"],
+    );
+    for &theta in &THETAS {
+        for &clients in &CLIENTS {
+            let workload =
+                Workload::new(OBJECTS as u64, KeyDist::Zipf(theta), Mix::BALANCED);
+            let spec = ClosedLoopSpec {
+                duration: SimDuration::from_millis(200),
+                warmup: SimDuration::from_millis(50),
+                read_path: ReadPath::Rdma,
+                ..ClosedLoopSpec::new(workload, clients)
+            };
+            let out = run_closed_loop(&store.server, &mut store.ptrs, &spec);
+            let secs = spec.duration.as_secs_f64();
+            let conflicts_per_sec = out.conflicts as f64 / secs;
+            let fail_pct = 100.0 * out.conflicts as f64 / out.reads.max(1) as f64;
+            t.row(&[
+                theta.to_string(),
+                clients.to_string(),
+                f1(conflicts_per_sec),
+                f1(out.reads as f64 / secs / 1e3),
+                f3(fail_pct),
+            ]);
+        }
+    }
+    t.print();
+    let path = write_csv("fig13_conflict_rate", &t).expect("write csv");
+    println!("\ncsv: {}", path.display());
+    println!(
+        "\nShape checks: conflicts grow steeply with skew (two orders of\n\
+         magnitude from th=0.6 to 0.99) and remain a tiny fraction of the\n\
+         read rate, as in the paper. Client scaling at high skew is muted\n\
+         by RPC-write queueing in our model — see EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig. 14: DirectRead throughput under fragmentation, read-only YCSB,
+//! sweeping Zipf skewness at 8 clients.
+//!
+//! Paper setup: the "no fragmentation" store loads 8 M 32-byte objects;
+//! the "high fragmentation" store loads 16 M and randomly frees 50% — the
+//! same live data spread over twice the pages, so the RNIC translation
+//! cache misses more often. Expected shape: unfragmented ≈ 1.25× faster
+//! for moderate skew, converging at θ=0.99 where the hot set fits the
+//! cache either way.
+
+use corm_bench::report::{f1, f2, write_csv, Table};
+use corm_bench::setup::populate_server;
+use corm_bench::sim::{run_closed_loop, ClosedLoopSpec, ReadPath};
+use corm_core::server::ServerConfig;
+use corm_core::GlobalPtr;
+use corm_sim_core::time::SimDuration;
+use corm_sim_rdma::RnicConfig;
+use corm_workloads::ycsb::{KeyDist, Mix, Workload};
+
+const LIVE_OBJECTS: usize = 256 * 1024;
+const THETAS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.99];
+const CLIENTS: usize = 8;
+
+fn run(store_ptrs: &mut [GlobalPtr], server: &std::sync::Arc<corm_core::CormServer>, theta: f64) -> f64 {
+    let workload = Workload::new(
+        store_ptrs.len() as u64,
+        KeyDist::Zipf(theta),
+        Mix::READ_ONLY,
+    );
+    let spec = ClosedLoopSpec {
+        duration: SimDuration::from_millis(200),
+        warmup: SimDuration::from_millis(50),
+        read_path: ReadPath::Rdma,
+        ..ClosedLoopSpec::new(workload, CLIENTS)
+    };
+    run_closed_loop(server, store_ptrs, &spec).kreqs
+}
+
+fn main() {
+    let config = ServerConfig {
+        rnic: RnicConfig { cache_entries: 3072, ..RnicConfig::default() },
+        ..ServerConfig::default()
+    };
+    // No fragmentation: exactly the live population.
+    let nofrag = populate_server(config.clone(), LIVE_OBJECTS, 32);
+
+    // High fragmentation: double population, then free 50% at random.
+    let mut frag = populate_server(config, 2 * LIVE_OBJECTS, 32);
+    let survivors = frag.fragment(0.5, 7);
+    let mut frag_ptrs: Vec<GlobalPtr> = survivors.into_iter().map(|(_, p)| p).collect();
+
+    let mut t = Table::new(
+        "Fig. 14: DirectRead throughput (Kreq/s), 100:0 mix, 8 clients",
+        &["theta", "no_fragmentation", "high_fragmentation", "speedup"],
+    );
+    let mut nofrag_ptrs = nofrag.ptrs.clone();
+    for &theta in &THETAS {
+        let a = run(&mut nofrag_ptrs, &nofrag.server, theta);
+        let b = run(&mut frag_ptrs, &frag.server, theta);
+        t.row(&[theta.to_string(), f1(a), f1(b), f2(a / b)]);
+    }
+    t.print();
+    let path = write_csv("fig14_fragmentation", &t).expect("write csv");
+    println!("\ncsv: {}", path.display());
+    println!(
+        "\nShape checks: the unfragmented store wins for every θ, with the\n\
+         gap largest at moderate skew and closing toward θ = 0.99 (hot keys\n\
+         fit the translation cache either way). The paper reports up to\n\
+         1.25×; our LRU cache model yields a smaller but same-shaped gap —\n\
+         see EXPERIMENTS.md."
+    );
+}

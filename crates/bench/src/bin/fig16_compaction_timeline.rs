@@ -1,0 +1,157 @@
+//! Fig. 16: client read throughput before, during, and after a large
+//! compaction pass, for the two pointer-correction strategies.
+//!
+//! Paper setup: 8 M 32-byte objects, 75% randomly freed, a client reading
+//! all objects sequentially; compaction triggered at t = 2 s (5,794 blocks
+//! compacted in one unbounded pass). Top panel: server corrects pointers
+//! via *thread messaging* — the RPC client stalls (~700 ms) because the
+//! owner of every collected block is the busy leader, while the RDMA
+//! client recovers itself via ScanRead and never stalls. Bottom panel:
+//! server corrects by *block scanning* — no long stall, a transient
+//! slowdown instead; the RDMA client using RPC corrections degrades more.
+//!
+//! Scaled to 256 K objects; the same qualitative regimes appear.
+
+use corm_bench::report::{f1, write_csv, Table};
+use corm_bench::setup::populate_server;
+use corm_bench::sim::{run_closed_loop, ClosedLoopSpec, ReadPath};
+use corm_core::client::FixStrategy;
+use corm_core::server::{CorrectionStrategy, ServerConfig};
+use corm_core::GlobalPtr;
+use corm_sim_core::time::{SimDuration, SimTime};
+use corm_sim_rdma::RnicConfig;
+use corm_workloads::ycsb::{KeyDist, Mix, Workload};
+
+const OBJECTS: usize = 256 * 1024;
+const TRIGGER: SimTime = SimTime::from_millis(2_000);
+
+fn run_panel(
+    correction: CorrectionStrategy,
+    read_path: ReadPath,
+    fix: FixStrategy,
+) -> (Vec<(f64, f64)>, (f64, f64), u64) {
+    let config = ServerConfig {
+        correction,
+        rnic: RnicConfig { cache_entries: 512, ..RnicConfig::default() },
+        ..ServerConfig::default()
+    };
+    let mut store = populate_server(config, OBJECTS, 32);
+    let survivors = store.fragment(0.75, 13);
+    let mut ptrs: Vec<GlobalPtr> = survivors.iter().map(|&(_, p)| p).collect();
+    let class =
+        corm_core::consistency::class_for_payload(store.server.classes(), 32).unwrap();
+    let workload = Workload::new(ptrs.len() as u64, KeyDist::Uniform, Mix::READ_ONLY);
+    let spec = ClosedLoopSpec {
+        duration: SimDuration::from_millis(5_500),
+        warmup: SimDuration::from_millis(500),
+        read_path,
+        fix_strategy: fix,
+        timeline_bucket: Some(SimDuration::from_millis(100)),
+        compaction_at: Some((TRIGGER, class)),
+        ..ClosedLoopSpec::new(workload, 1)
+    };
+    let out = run_closed_loop(&store.server, &mut ptrs, &spec);
+    let window = out
+        .compaction_window
+        .map(|(a, b)| (a.as_secs_f64(), b.as_secs_f64()))
+        .unwrap_or((0.0, 0.0));
+    let blocks_freed = store
+        .server
+        .stats
+        .compaction_blocks_freed
+        .load(std::sync::atomic::Ordering::Relaxed);
+    (out.timeline.expect("timeline").rates(), window, blocks_freed)
+}
+
+fn main() {
+    let panels: [(&str, CorrectionStrategy, ReadPath, FixStrategy); 4] = [
+        (
+            "messaging/rpc-client",
+            CorrectionStrategy::ThreadMessaging,
+            ReadPath::Rpc,
+            FixStrategy::ScanRead,
+        ),
+        (
+            "messaging/rdma-client+scan",
+            CorrectionStrategy::ThreadMessaging,
+            ReadPath::Rdma,
+            FixStrategy::ScanRead,
+        ),
+        (
+            "scan/rpc-client",
+            CorrectionStrategy::BlockScan,
+            ReadPath::Rpc,
+            FixStrategy::ScanRead,
+        ),
+        (
+            "scan/rdma-client+rpcfix",
+            CorrectionStrategy::BlockScan,
+            ReadPath::Rdma,
+            FixStrategy::RpcRead,
+        ),
+    ];
+    let mut t = Table::new(
+        "Fig. 16: read throughput timeline around compaction (Kreq/s per 100 ms bucket)",
+        &["panel", "t_sec", "kreqs"],
+    );
+    for (name, correction, path, fix) in panels {
+        let (rates, window, blocks) = run_panel(correction, path, fix);
+        println!(
+            "{name}: compaction window {:.3}s..{:.3}s, {blocks} blocks freed",
+            window.0, window.1
+        );
+        for (t_sec, rate) in rates {
+            t.row(&[name.into(), format!("{t_sec:.1}"), f1(rate / 1e3)]);
+        }
+    }
+    let path = write_csv("fig16_compaction_timeline", &t).expect("csv");
+    // The full table is long; print a summary instead: per-panel
+    // throughput before/during/after the trigger.
+    println!("\nPer-panel mean throughput (Kreq/s):");
+    summarize(&t);
+    println!("\nfull series csv: {}", path.display());
+}
+
+fn summarize(t: &Table) {
+    let csv = t.to_csv();
+    type PanelSeries = (Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut per: std::collections::BTreeMap<String, PanelSeries> = Default::default();
+    for line in csv.lines().skip(1) {
+        let mut parts = line.splitn(3, ',');
+        let (Some(panel), Some(t_sec), Some(rate)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let t_sec: f64 = t_sec.parse().unwrap_or(0.0);
+        let rate: f64 = rate.parse().unwrap_or(0.0);
+        if rate == 0.0 && t_sec < 1.0 {
+            continue; // warmup buckets carry no samples
+        }
+        let entry = per.entry(panel.to_string()).or_default();
+        if t_sec < 2.0 {
+            entry.0.push(rate);
+        } else if t_sec < 3.0 {
+            entry.1.push(rate);
+        } else {
+            entry.2.push(rate);
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    println!("{:<28} {:>8} {:>8} {:>8}", "panel", "before", "2-3s", "after");
+    for (panel, (b, d, a)) in per {
+        println!(
+            "{:<28} {:>8.0} {:>8.0} {:>8.0}",
+            panel,
+            mean(&b),
+            mean(&d),
+            mean(&a)
+        );
+    }
+}

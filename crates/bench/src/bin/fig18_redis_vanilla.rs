@@ -1,0 +1,50 @@
+//! Fig. 18: active memory under the Redis memefficiency traces with
+//! *vanilla* CoRM — classes whose blocks hold more objects than the ID
+//! space can address are simply not compacted (§4.4.1).
+//!
+//! Traces t1/t2/t3 per §4.4.3; allocations are served by 1/8/16/32
+//! thread-local allocators with the thread picked uniformly at random.
+//! Expected shapes: fragmentation grows strongly with the thread count;
+//! Mesh beats vanilla CoRM wherever small classes dominate (CoRM cannot
+//! compact them); CoRM-16 wins on t1/t3.
+
+use corm_bench::report::{gib, write_csv, Table};
+use corm_compact::strategy::CompactorKind;
+use corm_workloads::redis::{redis_trace, RedisTrace};
+use corm_workloads::replay::ModelHeap;
+
+const BLOCK: usize = 1 << 20;
+const THREADS: [usize; 4] = [1, 8, 16, 32];
+
+fn kinds() -> Vec<CompactorKind> {
+    vec![
+        CompactorKind::NoCompaction,
+        CompactorKind::Ideal,
+        CompactorKind::Mesh,
+        CompactorKind::Corm { id_bits: 8 },
+        CompactorKind::Corm { id_bits: 12 },
+        CompactorKind::Corm { id_bits: 16 },
+    ]
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Fig. 18: active memory (GiB), Redis traces, vanilla CoRM, 1 MiB blocks",
+        &["trace", "threads", "No", "Ideal", "Mesh", "CoRM-8", "CoRM-12", "CoRM-16"],
+    );
+    for trace_kind in [RedisTrace::T1, RedisTrace::T2, RedisTrace::T3] {
+        let ops = redis_trace(trace_kind, 0x12ED);
+        for &threads in &THREADS {
+            let mut row = vec![trace_kind.label().to_string(), threads.to_string()];
+            for kind in kinds() {
+                let mut heap = ModelHeap::new(kind, BLOCK, threads, 0xD15 + threads as u64);
+                heap.replay(&ops);
+                row.push(gib(heap.finish().active_bytes));
+            }
+            t.row(&row);
+        }
+    }
+    t.print();
+    let path = write_csv("fig18_redis_vanilla", &t).expect("csv");
+    println!("\ncsv: {}", path.display());
+}

@@ -1,0 +1,92 @@
+//! Fig. 9: median latency of CoRM operations with direct pointers, per
+//! object size (8 B – 2 KiB), against the RPC and raw-RDMA baselines.
+//!
+//! Paper setup: CoRM preloaded with 10,000 objects of each size class
+//! (≈40 MiB), a single remote client, all pointers direct. Anchors: raw
+//! RDMA ≥ 1.7 µs and < 4 µs at 2 KiB; Alloc/Free ≈ RPC + 0.5 µs;
+//! DirectRead ≈ raw RDMA for objects < 256 B.
+
+use corm_bench::report::{f2, write_csv, Table};
+use corm_bench::setup::populate_server;
+use corm_baselines::{RawRdmaClient, RpcEcho};
+use corm_core::client::CormClient;
+use corm_core::server::ServerConfig;
+use corm_core::ReadOutcome;
+use corm_sim_core::stats::Histogram;
+use corm_sim_core::time::SimTime;
+
+const SIZES: [usize; 9] = [8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+const PRELOAD_PER_SIZE: usize = 2_000; // paper: 10,000 (scaled; same shape)
+const OPS: usize = 500;
+
+fn main() {
+    let mut t = Table::new(
+        "Fig. 9: median operation latency with direct pointers (us)",
+        &[
+            "size", "alloc", "free", "rpc_read", "rpc_write", "direct_read", "rpc_base",
+            "rdma_base",
+        ],
+    );
+
+    for size in SIZES {
+        // A fresh store per size keeps the working set ≈ the paper's.
+        let store = populate_server(ServerConfig::default(), PRELOAD_PER_SIZE, size);
+        let server = store.server.clone();
+        let mut client = CormClient::connect(server.clone());
+        let echo = RpcEcho::new(server.model().clone());
+        let raw = RawRdmaClient::connect(server.rnic().clone());
+
+        let mut h_alloc = Histogram::new();
+        let mut h_free = Histogram::new();
+        let mut h_read = Histogram::new();
+        let mut h_write = Histogram::new();
+        let mut h_direct = Histogram::new();
+        let mut h_raw = Histogram::new();
+        let mut buf = vec![0u8; size];
+        let payload = vec![0x5Au8; size];
+
+        // Prime the NIC translation cache like the paper's warmup phase.
+        for ptr in store.ptrs.iter().take(256) {
+            let _ = raw.read_ptr(ptr, &mut buf, SimTime::ZERO);
+        }
+
+        for i in 0..OPS {
+            let key = (i * 7) % store.ptrs.len();
+            // Alloc + Free pair (state-neutral).
+            let alloc = client.alloc(size).expect("alloc");
+            h_alloc.record_duration(alloc.cost);
+            let mut p = alloc.value;
+            h_free.record_duration(client.free(&mut p).expect("free").cost);
+
+            let mut ptr = store.ptrs[key];
+            h_read.record_duration(client.read(&mut ptr, &mut buf).expect("read").cost);
+            h_write
+                .record_duration(client.write(&mut ptr, &payload).expect("write").cost);
+            let d = client.direct_read(&ptr, &mut buf, SimTime::ZERO).expect("qp");
+            assert!(matches!(d.value, ReadOutcome::Ok(_)), "direct pointers only");
+            h_direct.record_duration(d.cost);
+            h_raw.record_duration(raw.read_ptr(&ptr, &mut buf, SimTime::ZERO).expect("raw").cost);
+        }
+
+        // Client-API costs are already end-to-end round trips.
+        t.row(&[
+            size.to_string(),
+            f2(h_alloc.median().unwrap()),
+            f2(h_free.median().unwrap()),
+            f2(h_read.median().unwrap()),
+            f2(h_write.median().unwrap()),
+            f2(h_direct.median().unwrap()),
+            f2(echo.round_trip(size).as_micros_f64()),
+            f2(h_raw.median().unwrap()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(the paper's IPoIB reference on the same link: {:.1} us)",
+        RpcEcho::new(corm_sim_rdma::LatencyModel::connectx5())
+            .ipoib_round_trip()
+            .as_micros_f64()
+    );
+    let path = write_csv("fig9_latency_direct", &t).expect("write csv");
+    println!("csv: {}", path.display());
+}

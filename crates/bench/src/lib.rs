@@ -1,0 +1,27 @@
+//! Benchmark harness regenerating every table and figure of the CoRM paper.
+//!
+//! Each table/figure has a dedicated binary under `src/bin` (run with
+//! `cargo run -p corm-bench --release --bin <name>`); this library holds
+//! the shared machinery:
+//!
+//! - [`report`]: aligned text tables + CSV emission into `results/`.
+//! - [`sim`]: the closed-loop event-driven simulator that drives the *real*
+//!   `corm-core` server/client code under virtual time, with queueing at
+//!   the RPC ingress, the worker pool, and the RNIC inbound engine.
+//! - [`setup`]: common population helpers (load N objects of a size, prime
+//!   caches, fragment heaps).
+//!
+//! Scaling note: where the paper loads 8–16 M objects and measures for a
+//! minute of wall-clock, the harness defaults to proportionally smaller
+//! populations and windows (with the RNIC translation cache scaled by the
+//! same factor), which preserves hit ratios and therefore the *shapes* the
+//! paper reports. Every binary prints the scale it ran at;
+//! EXPERIMENTS.md records paper-vs-measured values.
+
+pub mod report;
+pub mod setup;
+pub mod sim;
+
+pub use report::{write_csv, Table};
+pub use setup::{populate_server, PopulatedStore};
+pub use sim::{ClosedLoopSpec, ReadPath, SimOutput};

@@ -1,0 +1,337 @@
+//! The CoRM client library — the Table 2 API.
+//!
+//! A [`CormClient`] holds a connection to a CoRM node: an RPC path for
+//! `Alloc`/`Free`/`Read`/`Write`/`ReleasePtr` and a reliable queue pair for
+//! one-sided `DirectRead`/`ScanRead`. One-sided reads validate the fetched
+//! object client-side (§3.2.2–§3.2.3): cacheline versions must agree, the
+//! lock bits must be clear, and the object ID must match the pointer. On an
+//! ID mismatch the client recovers by either an RPC read (server-side
+//! correction) or a [`ScanRead`](CormClient::scan_read) of the whole block,
+//! then fixes the pointer's offset hint in place.
+
+use std::sync::Arc;
+
+use corm_sim_core::rng::{stream_rng, DetRng};
+use corm_sim_core::time::{SimDuration, SimTime};
+use corm_sim_rdma::{QueuePair, RdmaError};
+
+use crate::consistency::{self, ReadFailure};
+use crate::header::{ObjectHeader, HEADER_BYTES};
+use crate::ptr::GlobalPtr;
+use crate::server::{CormError, CormServer};
+use crate::Timed;
+
+/// How a client repairs a failed DirectRead whose object moved (§3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixStrategy {
+    /// Issue an RPC read; the server corrects the pointer.
+    RpcRead,
+    /// RDMA-read the whole block and scan it client-side.
+    ScanRead,
+}
+
+/// Client-side configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Recovery strategy for relocated objects.
+    pub fix_strategy: FixStrategy,
+    /// Retries for torn/locked reads before giving up.
+    pub max_retries: usize,
+    /// Backoff between retries (§3.2.3: "the read is repeated after a
+    /// backoff period").
+    pub backoff: SimDuration,
+    /// Seed for worker selection.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            fix_strategy: FixStrategy::ScanRead,
+            max_retries: 64,
+            backoff: SimDuration::from_micros(5),
+            seed: 0xC11E
+        }
+    }
+}
+
+/// Result classification of a raw DirectRead attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The object was read consistently; payload bytes copied out.
+    Ok(usize),
+    /// The read failed validation (relocated / locked / torn / freed).
+    Invalid(ReadFailure),
+}
+
+/// A connected CoRM client.
+pub struct CormClient {
+    server: Arc<CormServer>,
+    qp: QueuePair,
+    config: ClientConfig,
+    rng: DetRng,
+    /// DirectReads that failed validation (Fig. 13's conflict counter).
+    pub failed_direct_reads: u64,
+}
+
+impl std::fmt::Debug for CormClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CormClient").finish()
+    }
+}
+
+impl CormClient {
+    /// Connects to a server (CreateCtx in Table 2).
+    pub fn connect(server: Arc<CormServer>) -> Self {
+        Self::connect_with(server, ClientConfig::default())
+    }
+
+    /// Connects with explicit client configuration.
+    pub fn connect_with(server: Arc<CormServer>, config: ClientConfig) -> Self {
+        let qp = QueuePair::connect(server.rnic().clone());
+        let rng = stream_rng(config.seed, 0);
+        CormClient { server, qp, config, rng, failed_direct_reads: 0 }
+    }
+
+    /// The server this client talks to.
+    pub fn server(&self) -> &Arc<CormServer> {
+        &self.server
+    }
+
+    /// The client's queue pair (diagnostics).
+    pub fn qp(&self) -> &QueuePair {
+        &self.qp
+    }
+
+    fn pick_worker(&mut self) -> usize {
+        let workers = self.server.config().workers;
+        rand::Rng::gen_range(&mut self.rng, 0..workers)
+    }
+
+    fn rpc_wire(&self, payload: usize) -> SimDuration {
+        self.server.model().rpc_latency(payload)
+    }
+
+    /// Gross slot size of the pointer's class, validated — a corrupted or
+    /// forged class byte is a client error, not a panic.
+    fn slot_bytes(&self, ptr: &GlobalPtr) -> Result<usize, CormError> {
+        let classes = self.server.classes();
+        if (ptr.class as usize) >= classes.len() {
+            return Err(CormError::BadPointer);
+        }
+        Ok(classes.size_of(corm_alloc::ClassId(ptr.class as u16)))
+    }
+
+    // ------------------------------------------------------------------
+    // RPC operations
+    // ------------------------------------------------------------------
+
+    /// Allocates an object of `len` bytes (Table 2 `Alloc`).
+    pub fn alloc(&mut self, len: usize) -> Result<Timed<GlobalPtr>, CormError> {
+        let w = self.pick_worker();
+        let t = self.server.alloc(w, len)?;
+        Ok(t.add_cost(self.rpc_wire(16)))
+    }
+
+    /// Frees the object (Table 2 `Free`). Corrects the pointer if needed.
+    pub fn free(&mut self, ptr: &mut GlobalPtr) -> Result<Timed<()>, CormError> {
+        let w = self.pick_worker();
+        let t = self.server.free(w, ptr)?;
+        Ok(t.add_cost(self.rpc_wire(16)))
+    }
+
+    /// Reads up to `buf.len()` bytes over RPC (Table 2 `Read`).
+    pub fn read(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+    ) -> Result<Timed<usize>, CormError> {
+        let w = self.pick_worker();
+        let t = self.server.read(w, ptr, buf)?;
+        let wire = self.rpc_wire(t.value);
+        Ok(t.add_cost(wire))
+    }
+
+    /// Writes `data` to the object over RPC (Table 2 `Write`).
+    pub fn write(&mut self, ptr: &mut GlobalPtr, data: &[u8]) -> Result<Timed<()>, CormError> {
+        let w = self.pick_worker();
+        let t = self.server.write(w, ptr, data)?;
+        Ok(t.add_cost(self.rpc_wire(data.len())))
+    }
+
+    /// Releases an old pointer after correcting all copies (Table 2
+    /// `ReleasePtr`, §3.3). Returns the fresh pointer and rewrites `ptr`.
+    pub fn release_ptr(&mut self, ptr: &mut GlobalPtr) -> Result<Timed<GlobalPtr>, CormError> {
+        let w = self.pick_worker();
+        let t = self.server.release_ptr(w, ptr)?;
+        *ptr = t.value;
+        Ok(t.add_cost(self.rpc_wire(16)))
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided operations
+    // ------------------------------------------------------------------
+
+    /// One raw DirectRead attempt (Table 2 `DirectRead`): a single
+    /// one-sided RDMA read plus client-side validation. No retries, no
+    /// pointer correction — the outcome tells the caller what happened.
+    pub fn direct_read(
+        &mut self,
+        ptr: &GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Timed<ReadOutcome>, RdmaError> {
+        let slot_bytes = match self.slot_bytes(ptr) {
+            Ok(n) => n,
+            // Signal through the validation channel: a bad class byte can
+            // never match a live object.
+            Err(_) => {
+                self.failed_direct_reads += 1;
+                return Ok(Timed::new(
+                    ReadOutcome::Invalid(ReadFailure::NotValid),
+                    SimDuration::ZERO,
+                ));
+            }
+        };
+        let mut image = vec![0u8; slot_bytes];
+        let verb = self.qp.read(ptr.rkey, ptr.vaddr, &mut image, now)?;
+        let model = self.server.model();
+        let cost = verb.latency + model.version_check_cost(slot_bytes);
+        match consistency::gather(&image, Some(ptr.obj_id), buf.len()) {
+            Ok((_, payload)) => {
+                let n = payload.len().min(buf.len());
+                buf[..n].copy_from_slice(&payload[..n]);
+                Ok(Timed::new(ReadOutcome::Ok(n), cost))
+            }
+            Err(failure) => {
+                self.failed_direct_reads += 1;
+                Ok(Timed::new(ReadOutcome::Invalid(failure), cost))
+            }
+        }
+    }
+
+    /// ScanRead (Table 2): RDMA-reads the whole block containing the
+    /// object and scans it client-side for the object's ID, fixing the
+    /// pointer hint (§3.2.2 option 2).
+    pub fn scan_read(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Timed<usize>, CormError> {
+        let block_bytes = self.server.block_bytes();
+        let slot_bytes = self.slot_bytes(ptr)?;
+        let base = ptr.block_base(block_bytes);
+        let mut image = vec![0u8; block_bytes];
+        let verb = self.qp.read(ptr.rkey, base, &mut image, now)?;
+        let model = self.server.model();
+        let slots = block_bytes / slot_bytes;
+        let mut cost = verb.latency + model.scan_cost(slots);
+        for slot in 0..slots {
+            let off = slot * slot_bytes;
+            let slice = &image[off..off + slot_bytes];
+            let header = ObjectHeader::from_bytes(
+                slice[..HEADER_BYTES].try_into().expect("header"),
+            );
+            if !header.valid || header.obj_id != ptr.obj_id {
+                continue;
+            }
+            cost += model.version_check_cost(slot_bytes);
+            match consistency::gather(slice, Some(ptr.obj_id), buf.len()) {
+                Ok((_, payload)) => {
+                    let n = payload.len().min(buf.len());
+                    buf[..n].copy_from_slice(&payload[..n]);
+                    ptr.correct_offset(block_bytes, off);
+                    return Ok(Timed::new(n, cost));
+                }
+                Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
+                    // Racing a write/compaction on the right object: the
+                    // caller backs off and retries.
+                    return Err(CormError::ObjectLocked);
+                }
+                Err(_) => continue,
+            }
+        }
+        Err(CormError::ObjectNotFound)
+    }
+
+    /// DirectRead with full recovery (the paper's client loop): retries
+    /// torn/locked reads after a backoff, and repairs relocated objects via
+    /// the configured [`FixStrategy`], correcting the pointer in place.
+    pub fn direct_read_with_recovery(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Timed<usize>, CormError> {
+        let mut total = SimDuration::ZERO;
+        let mut clock = now;
+        for _ in 0..self.config.max_retries {
+            let attempt = self.direct_read(ptr, buf, clock).map_err(CormError::Rdma)?;
+            total += attempt.cost;
+            clock += attempt.cost;
+            match attempt.value {
+                ReadOutcome::Ok(n) => return Ok(Timed::new(n, total)),
+                ReadOutcome::Invalid(ReadFailure::Locked)
+                | ReadOutcome::Invalid(ReadFailure::TornRead) => {
+                    total += self.config.backoff;
+                    clock += self.config.backoff;
+                }
+                // A mismatching ID *or* a vacant slot both mean "the object
+                // is not at the hint" — it may have been relocated while
+                // its old slot was freed or reused. Only the repair path
+                // can distinguish relocated from truly gone.
+                ReadOutcome::Invalid(
+                    ReadFailure::IdMismatch { .. } | ReadFailure::NotValid,
+                ) => {
+                    // The object moved: repair per strategy (§3.2.2).
+                    let fixed = match self.config.fix_strategy {
+                        FixStrategy::ScanRead => match self.scan_read(ptr, buf, clock) {
+                            Ok(t) => t,
+                            Err(CormError::ObjectLocked) => {
+                                total += self.config.backoff;
+                                clock += self.config.backoff;
+                                continue;
+                            }
+                            Err(e) => return Err(e),
+                        },
+                        FixStrategy::RpcRead => {
+                            let t = self.read(ptr, buf)?;
+                            Timed::new(t.value, t.cost)
+                        }
+                    };
+                    total += fixed.cost;
+                    return Ok(Timed::new(fixed.value, total));
+                }
+            }
+        }
+        Err(CormError::ObjectNotFound)
+    }
+
+    /// Local read through the CoRM API (Fig. 11's local path): same
+    /// validation as a DirectRead but no network, using load instructions.
+    pub fn local_read(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+    ) -> Result<Timed<usize>, CormError> {
+        let slot_bytes = self.slot_bytes(ptr)?;
+        let mut image = vec![0u8; slot_bytes];
+        self.server.aspace().read(ptr.vaddr, &mut image)?;
+        let cost = self.server.model().local_read_cost(slot_bytes);
+        match consistency::gather(&image, Some(ptr.obj_id), buf.len()) {
+            Ok((_, payload)) => {
+                let n = payload.len().min(buf.len());
+                buf[..n].copy_from_slice(&payload[..n]);
+                Ok(Timed::new(n, cost))
+            }
+            Err(ReadFailure::IdMismatch { .. } | ReadFailure::NotValid) => {
+                // Not at the hint (relocated, or its old slot was freed):
+                // fall back to an RPC read, which corrects the pointer.
+                let t = self.read(ptr, buf)?;
+                Ok(Timed::new(t.value, cost + t.cost))
+            }
+            Err(_) => Err(CormError::ObjectLocked),
+        }
+    }
+}

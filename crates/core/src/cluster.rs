@@ -1,0 +1,348 @@
+//! Multi-node distributed shared memory over CoRM nodes.
+//!
+//! The paper motivates CoRM as the memory-management layer of DSM systems
+//! whose "memory space may consist of hundreds of physical nodes" (§1).
+//! The evaluation runs one server; this module supplies the thin layer
+//! above it: a [`Cluster`] of CoRM nodes and a [`ClusterClient`] that
+//! routes every operation by the node tag carried in the pointer.
+//!
+//! Placement is deliberately simple (round-robin, or explicit): CoRM's
+//! contribution is per-node memory management, and anything fancier —
+//! replication, rebalancing — belongs to the DSM built on top (§3.2.4
+//! leaves fault tolerance as future work; see the paper's references to
+//! FaRM/Hermes-style replication).
+//!
+//! Pointer encoding: the upper nibble of the 128-bit pointer's flag byte
+//! carries the owning node (up to 16 nodes), leaving the low bits for the
+//! correction flags. Compaction on any node preserves its pointers as
+//! usual; corrections performed through the cluster client keep the node
+//! tag intact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use corm_sim_core::time::SimTime;
+
+use crate::client::{ClientConfig, CormClient};
+use crate::ptr::GlobalPtr;
+use crate::server::{CompactionReport, CormError, CormServer, ServerConfig};
+use crate::Timed;
+
+/// Identifier of a node within a cluster (0–15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u8);
+
+/// Maximum nodes a cluster can address through the pointer tag.
+pub const MAX_NODES: usize = 16;
+
+const NODE_SHIFT: u8 = 4;
+
+impl GlobalPtr {
+    /// The cluster node this pointer belongs to (upper nibble of flags).
+    pub fn node(&self) -> NodeId {
+        NodeId(self.flags >> NODE_SHIFT)
+    }
+
+    /// Returns the pointer tagged as belonging to `node`.
+    pub fn with_node(mut self, node: NodeId) -> GlobalPtr {
+        assert!((node.0 as usize) < MAX_NODES, "node id out of range");
+        self.flags = (self.flags & 0x0F) | (node.0 << NODE_SHIFT);
+        self
+    }
+}
+
+/// A set of CoRM nodes acting as one shared memory space.
+pub struct Cluster {
+    nodes: Vec<Arc<CormServer>>,
+    alive: Vec<AtomicBool>,
+}
+
+impl Cluster {
+    /// Boots `n` nodes, each with the given configuration (seeds are
+    /// derived per node so object IDs differ across nodes).
+    pub fn new(n: usize, config: ServerConfig) -> Self {
+        assert!((1..=MAX_NODES).contains(&n), "1..=16 nodes supported");
+        let nodes = (0..n)
+            .map(|i| {
+                let mut cfg = config.clone();
+                cfg.seed = corm_sim_core::rng::split_mix64(config.seed ^ i as u64);
+                Arc::new(CormServer::new(cfg))
+            })
+            .collect();
+        let alive = (0..n).map(|_| AtomicBool::new(true)).collect();
+        Cluster { nodes, alive }
+    }
+
+    /// Marks a node failed: all subsequent traffic to it errors with
+    /// [`CormError::NodeDown`] (failure injection for the replication
+    /// layer).
+    pub fn fail_node(&self, id: NodeId) {
+        self.alive[id.0 as usize].store(false, Ordering::Relaxed);
+    }
+
+    /// Brings a failed node back (its memory contents survived — this
+    /// models a network partition / process pause, not data loss).
+    pub fn recover_node(&self, id: NodeId) {
+        self.alive[id.0 as usize].store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a node is currently reachable.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.0 as usize].load(Ordering::Relaxed)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The server behind a node.
+    pub fn node(&self, id: NodeId) -> &Arc<CormServer> {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Connects a client with QPs to every node.
+    pub fn connect(self: &Arc<Self>) -> ClusterClient {
+        self.connect_with(ClientConfig::default())
+    }
+
+    /// Connects with explicit client configuration.
+    pub fn connect_with(self: &Arc<Self>, config: ClientConfig) -> ClusterClient {
+        let clients = self
+            .nodes
+            .iter()
+            .map(|n| CormClient::connect_with(n.clone(), config.clone()))
+            .collect();
+        ClusterClient { cluster: self.clone(), clients, next: 0 }
+    }
+
+    /// Total active bytes across the cluster.
+    pub fn active_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.active_bytes()).sum()
+    }
+
+    /// Runs the fragmentation-triggered compaction policy on every node.
+    pub fn compact_if_fragmented(
+        &self,
+        now: SimTime,
+    ) -> Result<Vec<(NodeId, CompactionReport)>, CormError> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for report in node.compact_if_fragmented(now)? {
+                out.push((NodeId(i as u8), report));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A client of the whole cluster: ops route by the pointer's node tag.
+pub struct ClusterClient {
+    cluster: Arc<Cluster>,
+    clients: Vec<CormClient>,
+    next: usize,
+}
+
+impl ClusterClient {
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Allocates on the next live node round-robin.
+    pub fn alloc(&mut self, len: usize) -> Result<Timed<GlobalPtr>, CormError> {
+        for _ in 0..self.clients.len() {
+            let node = NodeId((self.next % self.clients.len()) as u8);
+            self.next += 1;
+            match self.alloc_on(node, len) {
+                Err(CormError::NodeDown) => continue,
+                other => return other,
+            }
+        }
+        Err(CormError::NodeDown)
+    }
+
+    /// Allocates on an explicit node.
+    pub fn alloc_on(&mut self, node: NodeId, len: usize) -> Result<Timed<GlobalPtr>, CormError> {
+        if !self.cluster.is_alive(node) {
+            return Err(CormError::NodeDown);
+        }
+        let t = self.clients[node.0 as usize].alloc(len)?;
+        Ok(t.map(|p| p.with_node(node)))
+    }
+
+    fn route(&mut self, ptr: &GlobalPtr) -> Result<&mut CormClient, CormError> {
+        let id = ptr.node().0 as usize;
+        assert!(id < self.clients.len(), "pointer tagged with unknown node");
+        if !self.cluster.is_alive(ptr.node()) {
+            return Err(CormError::NodeDown);
+        }
+        Ok(&mut self.clients[id])
+    }
+
+    /// Frees the object on its owning node.
+    pub fn free(&mut self, ptr: &mut GlobalPtr) -> Result<Timed<()>, CormError> {
+        let node = ptr.node();
+        let t = self.route(ptr)?.free(ptr)?;
+        *ptr = ptr.with_node(node);
+        Ok(t)
+    }
+
+    /// RPC read from the owning node (pointer corrected in place, node tag
+    /// preserved).
+    pub fn read(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+    ) -> Result<Timed<usize>, CormError> {
+        let node = ptr.node();
+        let t = self.route(ptr)?.read(ptr, buf)?;
+        *ptr = ptr.with_node(node);
+        Ok(t)
+    }
+
+    /// RPC write to the owning node.
+    pub fn write(&mut self, ptr: &mut GlobalPtr, data: &[u8]) -> Result<Timed<()>, CormError> {
+        let node = ptr.node();
+        let t = self.route(ptr)?.write(ptr, data)?;
+        *ptr = ptr.with_node(node);
+        Ok(t)
+    }
+
+    /// One-sided read with full recovery against the owning node.
+    pub fn direct_read_with_recovery(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Timed<usize>, CormError> {
+        let node = ptr.node();
+        let t = self.route(ptr)?.direct_read_with_recovery(ptr, buf, now)?;
+        *ptr = ptr.with_node(node);
+        Ok(t)
+    }
+
+    /// Releases an old pointer on the owning node; the fresh pointer keeps
+    /// the node tag.
+    pub fn release_ptr(&mut self, ptr: &mut GlobalPtr) -> Result<Timed<GlobalPtr>, CormError> {
+        let node = ptr.node();
+        let t = self.route(ptr)?.release_ptr(ptr)?;
+        *ptr = ptr.with_node(node);
+        Ok(t.map(|p| p.with_node(node)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Arc<Cluster> {
+        Arc::new(Cluster::new(
+            n,
+            ServerConfig { workers: 2, ..ServerConfig::default() },
+        ))
+    }
+
+    #[test]
+    fn node_tag_round_trips_and_survives_correction_flag() {
+        let p = GlobalPtr { vaddr: 0x1000, rkey: 1, obj_id: 2, class: 3, flags: 0 };
+        let tagged = p.with_node(NodeId(11));
+        assert_eq!(tagged.node(), NodeId(11));
+        let mut corrected = tagged;
+        corrected.correct_offset(4096, 64);
+        assert_eq!(corrected.node(), NodeId(11), "correction keeps the tag");
+        assert!(corrected.references_old_block());
+    }
+
+    #[test]
+    fn round_robin_spreads_allocations() {
+        let cluster = cluster(4);
+        let mut client = cluster.connect();
+        let ptrs: Vec<_> = (0..8).map(|_| client.alloc(32).unwrap().value).collect();
+        let nodes: Vec<u8> = ptrs.iter().map(|p| p.node().0).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        for node in 0..4 {
+            assert!(cluster.node(NodeId(node)).active_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn ops_route_to_owning_node() {
+        let cluster = cluster(3);
+        let mut client = cluster.connect();
+        let mut ptrs = Vec::new();
+        for i in 0..30u32 {
+            let mut p = client.alloc(48).unwrap().value;
+            client.write(&mut p, &i.to_le_bytes()).unwrap();
+            ptrs.push(p);
+        }
+        for (i, ptr) in ptrs.iter_mut().enumerate() {
+            let mut buf = [0u8; 4];
+            client.read(ptr, &mut buf).unwrap();
+            assert_eq!(u32::from_le_bytes(buf), i as u32);
+            let mut buf2 = [0u8; 4];
+            client
+                .direct_read_with_recovery(ptr, &mut buf2, SimTime::ZERO)
+                .unwrap();
+            assert_eq!(u32::from_le_bytes(buf2), i as u32);
+        }
+        // Frees decrement the right node's counters.
+        let before: Vec<u64> = (0..3)
+            .map(|n| cluster.node(NodeId(n)).stats.frees.load(std::sync::atomic::Ordering::Relaxed))
+            .collect();
+        for ptr in ptrs.iter_mut() {
+            client.free(ptr).unwrap();
+        }
+        for n in 0..3u8 {
+            let after = cluster
+                .node(NodeId(n))
+                .stats
+                .frees
+                .load(std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(after - before[n as usize], 10);
+        }
+    }
+
+    #[test]
+    fn per_node_compaction_keeps_cluster_pointers_valid() {
+        let cluster = cluster(2);
+        let mut client = cluster.connect();
+        let mut ptrs = Vec::new();
+        for i in 0..512u32 {
+            let mut p = client.alloc(48).unwrap().value;
+            client.write(&mut p, &i.to_le_bytes()).unwrap();
+            ptrs.push(p);
+        }
+        // Keep i%8 ∈ {0,1} so survivors land on *both* round-robin nodes.
+        for (i, p) in ptrs.iter_mut().enumerate() {
+            if i % 8 >= 2 {
+                client.free(p).unwrap();
+            }
+        }
+        let before = cluster.active_bytes();
+        let reports = cluster.compact_if_fragmented(SimTime::ZERO).unwrap();
+        assert!(
+            reports.iter().map(|(n, _)| *n).collect::<std::collections::HashSet<_>>().len() >= 2,
+            "both nodes should compact"
+        );
+        assert!(cluster.active_bytes() < before);
+        for (i, ptr) in ptrs.iter_mut().enumerate().filter(|(i, _)| i % 8 < 2) {
+            let mut buf = [0u8; 4];
+            client
+                .direct_read_with_recovery(ptr, &mut buf, SimTime::from_millis(1))
+                .unwrap();
+            assert_eq!(u32::from_le_bytes(buf), i as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16 nodes")]
+    fn oversized_cluster_rejected() {
+        Cluster::new(17, ServerConfig::default());
+    }
+}

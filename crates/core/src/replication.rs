@@ -1,0 +1,306 @@
+//! Primary–backup replication across cluster nodes — the fault tolerance
+//! the paper leaves as future work.
+//!
+//! §3.2.4: "The current implementation of CoRM is not fault tolerant. …
+//! CoRM could employ a fault-tolerant replication protocol (e.g.,
+//! [FaRM/Derecho/Hermes/Tailwind]) to withstand failures." This module
+//! supplies the simplest such protocol that composes with CoRM's
+//! compaction guarantees:
+//!
+//! - every object lives on `r` distinct nodes ([`ReplicatedPtr`] carries
+//!   one CoRM pointer per replica);
+//! - writes go to **all** live replicas (write-all), reads to the first
+//!   live replica (read-one) with automatic failover;
+//! - each node compacts *independently* — a replica pointer made indirect
+//!   by its node's compaction is corrected on that node exactly as in the
+//!   single-node protocol, so replication and compaction never interfere.
+//!
+//! Failures are injected by marking a node down ([`crate::cluster::Cluster::fail_node`]):
+//! all traffic to it errors with [`CormError::NodeDown`], mimicking a
+//! crashed machine whose QPs are unreachable.
+
+use corm_sim_core::time::{SimDuration, SimTime};
+
+use crate::cluster::{ClusterClient, NodeId};
+use crate::ptr::GlobalPtr;
+use crate::server::CormError;
+use crate::Timed;
+
+/// A replicated object handle: one CoRM pointer per replica, primary
+/// first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicatedPtr {
+    /// Per-replica pointers; index 0 is the preferred (primary) replica.
+    pub copies: Vec<GlobalPtr>,
+}
+
+impl ReplicatedPtr {
+    /// Replication factor of this handle.
+    pub fn replicas(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// The nodes holding a copy.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.copies.iter().map(|p| p.node())
+    }
+}
+
+/// A client performing write-all / read-one replication over a cluster.
+pub struct ReplicatedClient {
+    inner: ClusterClient,
+    replicas: usize,
+    next: usize,
+}
+
+impl ReplicatedClient {
+    /// Wraps a cluster client with replication factor `replicas`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or exceeds the cluster size.
+    pub fn new(inner: ClusterClient, replicas: usize) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        assert!(
+            replicas <= inner.cluster().len(),
+            "replication factor exceeds cluster size"
+        );
+        ReplicatedClient { inner, replicas, next: 0 }
+    }
+
+    /// The underlying cluster client.
+    pub fn cluster_client(&mut self) -> &mut ClusterClient {
+        &mut self.inner
+    }
+
+    /// Allocates an object on `replicas` distinct nodes (consecutive
+    /// round-robin placement) and returns the replicated handle.
+    pub fn alloc(&mut self, len: usize) -> Result<Timed<ReplicatedPtr>, CormError> {
+        let n_nodes = self.inner.cluster().len();
+        let first = self.next % n_nodes;
+        self.next += 1;
+        let mut copies = Vec::with_capacity(self.replicas);
+        let mut cost = SimDuration::ZERO;
+        let mut placed = 0;
+        let mut probed = 0;
+        while placed < self.replicas {
+            if probed >= n_nodes {
+                // Roll back partial placement before reporting failure.
+                for mut c in copies {
+                    let _ = self.inner.free(&mut c);
+                }
+                return Err(CormError::NodeDown);
+            }
+            let node = NodeId(((first + probed) % n_nodes) as u8);
+            probed += 1;
+            match self.inner.alloc_on(node, len) {
+                Ok(t) => {
+                    cost += t.cost;
+                    copies.push(t.value);
+                    placed += 1;
+                }
+                Err(CormError::NodeDown) => continue, // skip dead nodes
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Timed::new(ReplicatedPtr { copies }, cost))
+    }
+
+    /// Writes `data` to every live replica (write-all). Fails only when no
+    /// replica is reachable; a dead minority is tolerated and noted by the
+    /// returned count of replicas written.
+    pub fn write(
+        &mut self,
+        ptr: &mut ReplicatedPtr,
+        data: &[u8],
+    ) -> Result<Timed<usize>, CormError> {
+        let mut cost = SimDuration::ZERO;
+        let mut written = 0;
+        for copy in ptr.copies.iter_mut() {
+            match self.inner.write(copy, data) {
+                Ok(t) => {
+                    cost += t.cost;
+                    written += 1;
+                }
+                // A dead node is tolerated (it will be reaped on
+                // recovery); any *other* failure would leave replicas
+                // divergent, so it must surface even if a sibling write
+                // already landed.
+                Err(CormError::NodeDown) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if written == 0 {
+            return Err(CormError::NodeDown);
+        }
+        Ok(Timed::new(written, cost))
+    }
+
+    /// Reads from the first live replica (read-one with failover): a
+    /// one-sided read against the primary, falling over to backups when a
+    /// node is down. Pointer corrections land in the handle.
+    pub fn read(
+        &mut self,
+        ptr: &mut ReplicatedPtr,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Timed<usize>, CormError> {
+        let mut last_err = CormError::NodeDown;
+        for copy in ptr.copies.iter_mut() {
+            match self.inner.direct_read_with_recovery(copy, buf, now) {
+                Ok(t) => return Ok(t),
+                Err(e @ CormError::NodeDown) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Frees every live replica. Copies on dead nodes are abandoned (a
+    /// real system would reap them on recovery).
+    pub fn free(&mut self, ptr: &mut ReplicatedPtr) -> Result<Timed<usize>, CormError> {
+        let mut cost = SimDuration::ZERO;
+        let mut freed = 0;
+        for copy in ptr.copies.iter_mut() {
+            match self.inner.free(copy) {
+                Ok(t) => {
+                    cost += t.cost;
+                    freed += 1;
+                }
+                Err(CormError::NodeDown) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Timed::new(freed, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::server::ServerConfig;
+    use std::sync::Arc;
+
+    fn setup(nodes: usize, replicas: usize) -> (Arc<Cluster>, ReplicatedClient) {
+        let cluster = Arc::new(Cluster::new(
+            nodes,
+            ServerConfig { workers: 2, ..ServerConfig::default() },
+        ));
+        let client = ReplicatedClient::new(cluster.connect(), replicas);
+        (cluster, client)
+    }
+
+    #[test]
+    fn replicas_placed_on_distinct_nodes() {
+        let (_cluster, mut client) = setup(4, 3);
+        let handle = client.alloc(64).unwrap().value;
+        let nodes: std::collections::HashSet<_> = handle.nodes().collect();
+        assert_eq!(nodes.len(), 3, "replicas must not share a node");
+        assert_eq!(handle.replicas(), 3);
+    }
+
+    #[test]
+    fn write_all_read_one_round_trip() {
+        let (_cluster, mut client) = setup(3, 2);
+        let mut handle = client.alloc(48).unwrap().value;
+        let written = client.write(&mut handle, b"replicated!").unwrap().value;
+        assert_eq!(written, 2);
+        let mut buf = [0u8; 11];
+        client.read(&mut handle, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"replicated!");
+    }
+
+    #[test]
+    fn failover_reads_latest_data_from_backup() {
+        let (cluster, mut client) = setup(3, 2);
+        let mut handle = client.alloc(48).unwrap().value;
+        client.write(&mut handle, b"version-1").unwrap();
+        client.write(&mut handle, b"version-2").unwrap();
+        // Kill the primary.
+        let primary = handle.copies[0].node();
+        cluster.fail_node(primary);
+        let mut buf = [0u8; 9];
+        client.read(&mut handle, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"version-2", "backup must serve the latest write");
+        // Writes keep working against the surviving replica.
+        assert_eq!(client.write(&mut handle, b"version-3").unwrap().value, 1);
+        client.read(&mut handle, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"version-3");
+    }
+
+    #[test]
+    fn compaction_on_backup_does_not_break_failover() {
+        let (cluster, mut client) = setup(2, 2);
+        let mut handles: Vec<_> = (0..256)
+            .map(|i| {
+                let mut h = client.alloc(48).unwrap().value;
+                client.write(&mut h, format!("obj-{i:04}").as_bytes()).unwrap();
+                h
+            })
+            .collect();
+        // Fragment both nodes, then compact them.
+        for (i, h) in handles.iter_mut().enumerate() {
+            if i % 8 != 0 {
+                client.free(h).unwrap();
+            }
+        }
+        cluster.compact_if_fragmented(SimTime::ZERO).unwrap();
+        // Fail node 0; survivors must be readable from node 1 even though
+        // node 1 relocated objects during its compaction.
+        cluster.fail_node(NodeId(0));
+        let mut buf = [0u8; 8];
+        for (i, h) in handles.iter_mut().enumerate().step_by(8) {
+            let n = client.read(h, &mut buf, SimTime::from_millis(1)).unwrap().value;
+            assert_eq!(&buf[..n], format!("obj-{i:04}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn alloc_skips_dead_nodes() {
+        let (cluster, mut client) = setup(4, 2);
+        cluster.fail_node(NodeId(1));
+        for _ in 0..8 {
+            let handle = client.alloc(32).unwrap().value;
+            assert!(
+                handle.nodes().all(|n| n != NodeId(1)),
+                "dead node must not receive replicas"
+            );
+        }
+    }
+
+    #[test]
+    fn all_replicas_dead_reports_node_down() {
+        let (cluster, mut client) = setup(2, 2);
+        let mut handle = client.alloc(32).unwrap().value;
+        cluster.fail_node(NodeId(0));
+        cluster.fail_node(NodeId(1));
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            client.read(&mut handle, &mut buf, SimTime::ZERO),
+            Err(CormError::NodeDown)
+        ));
+        assert!(matches!(
+            client.write(&mut handle, b"x"),
+            Err(CormError::NodeDown)
+        ));
+        assert!(matches!(client.alloc(32), Err(CormError::NodeDown)));
+    }
+
+    #[test]
+    fn node_recovery_restores_service() {
+        let (cluster, mut client) = setup(2, 1);
+        cluster.fail_node(NodeId(0));
+        cluster.fail_node(NodeId(1));
+        assert!(client.alloc(32).is_err());
+        cluster.recover_node(NodeId(0));
+        assert!(client.alloc(32).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cluster size")]
+    fn replication_factor_bounded_by_cluster() {
+        let (cluster, _client) = setup(2, 1);
+        let _ = ReplicatedClient::new(cluster.connect(), 3);
+    }
+}

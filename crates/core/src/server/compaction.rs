@@ -1,0 +1,297 @@
+//! The compaction leader (§3.1.2–§3.1.4, §3.5).
+//!
+//! Compaction runs in two stages. **Collection**: the leader asks every
+//! worker for its low-occupancy blocks of the target class — an ownership
+//! transfer, so no concurrent data structures are needed. **Compaction**:
+//! sources are merged into destinations greedily (least-utilized sources
+//! first); objects are locked, copied — preserving their offsets when
+//! possible, relocating on conflicts (§3.1.2) — and then the source block's
+//! virtual address is *remapped* onto the destination's physical frames.
+//! The RNIC's MTT is brought back in sync per the configured §3.5 strategy,
+//! preserving the `r_key` clients hold, and the source's physical pages are
+//! returned to the process-wide allocator.
+//!
+//! The net effect, visible to clients: every pointer they hold still
+//! resolves (possibly via pointer correction), RDMA access never breaks
+//! (except transiently under the `rereg_mr` strategy, exactly as the paper
+//! observes), and physical memory shrinks.
+
+use std::sync::atomic::Ordering;
+
+use corm_alloc::process::SharedBlock;
+use corm_alloc::ClassId;
+use corm_sim_core::time::{SimDuration, SimTime};
+use corm_sim_rdma::MttUpdateStrategy;
+
+use crate::header::{LockState, ObjectHeader, HEADER_BYTES};
+
+use super::{CormError, CormServer};
+
+/// Outcome of one compaction pass over a size class.
+#[derive(Debug, Clone)]
+pub struct CompactionReport {
+    /// The class compacted.
+    pub class: ClassId,
+    /// Blocks gathered in the collection stage.
+    pub collected: usize,
+    /// Source blocks merged away.
+    pub merges: usize,
+    /// Physical blocks returned to the process-wide allocator.
+    pub blocks_freed: usize,
+    /// Objects whose offset changed (their pointers became indirect).
+    pub objects_relocated: usize,
+    /// Total objects copied between blocks.
+    pub objects_copied: usize,
+    /// Virtual time spent in the collection stage.
+    pub collection_cost: SimDuration,
+    /// Virtual time spent merging, remapping, and updating the MTT.
+    pub compaction_cost: SimDuration,
+}
+
+impl CompactionReport {
+    /// Total virtual time of the pass.
+    pub fn total_cost(&self) -> SimDuration {
+        self.collection_cost + self.compaction_cost
+    }
+}
+
+struct MergeStats {
+    relocated: usize,
+    copied: usize,
+    cost: SimDuration,
+}
+
+impl CormServer {
+    /// Runs one two-stage compaction pass over `class`, starting at virtual
+    /// time `now` (relevant for `rereg_mr` busy windows).
+    pub fn compact_class(
+        &self,
+        class: ClassId,
+        now: SimTime,
+    ) -> Result<crate::Timed<CompactionReport>, CormError> {
+        let model = self.model().clone();
+
+        // Stage 1: collection. The leader broadcasts and every worker
+        // replies with its sufficiently-low-occupancy blocks (§3.1.4).
+        let collection_cost = model.collection_cost(self.config().workers);
+        let mut candidates: Vec<SharedBlock> = Vec::new();
+        for w in &self.workers {
+            let mut state = w.lock();
+            candidates.extend(
+                state
+                    .alloc
+                    .collect_for_compaction(class, self.config().collect_max_occupancy),
+            );
+        }
+        for block in &candidates {
+            block.lock().set_owner(0); // the leader owns collected blocks
+        }
+        let collected = candidates.len();
+
+        // Stage 2: greedy merge, least-utilized sources first into the
+        // most-utilized compatible destination.
+        candidates.sort_by_key(|b| b.lock().live());
+        let n = candidates.len();
+        let mut alive: Vec<Option<SharedBlock>> = candidates.into_iter().map(Some).collect();
+        let mut merges = 0;
+        let mut relocated = 0;
+        let mut copied = 0;
+        let mut compaction_cost = SimDuration::ZERO;
+        let mut clock = now + collection_cost;
+
+        for src_idx in 0..n {
+            let Some(src) = alive[src_idx].take() else { continue };
+            let mut merged = false;
+            for dst_idx in (0..n).rev() {
+                if dst_idx == src_idx {
+                    continue;
+                }
+                let Some(dst) = alive[dst_idx].clone() else { continue };
+                let compatible = {
+                    let (s, d) = (src.lock(), dst.lock());
+                    d.corm_compactable(&s)
+                };
+                if !compatible {
+                    continue;
+                }
+                let stats = self.merge_blocks(&src, &dst, clock)?;
+                clock += stats.cost;
+                compaction_cost += stats.cost;
+                relocated += stats.relocated;
+                copied += stats.copied;
+                merges += 1;
+                merged = true;
+                break;
+            }
+            if !merged {
+                alive[src_idx] = Some(src);
+            }
+        }
+
+        // Survivors go back to the leader's thread allocator.
+        {
+            let mut leader = self.workers[0].lock();
+            for block in alive.into_iter().flatten() {
+                leader.alloc.adopt(block);
+            }
+        }
+
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .compaction_blocks_freed
+            .fetch_add(merges as u64, Ordering::Relaxed);
+        self.stats
+            .objects_moved
+            .fetch_add(relocated as u64, Ordering::Relaxed);
+
+        let report = CompactionReport {
+            class,
+            collected,
+            merges,
+            blocks_freed: merges,
+            objects_relocated: relocated,
+            objects_copied: copied,
+            collection_cost,
+            compaction_cost,
+        };
+        let total = report.total_cost();
+        Ok(crate::Timed::new(report, total))
+    }
+
+    /// Compacts every class whose fragmentation ratio exceeds the
+    /// configured threshold (§3.1.3). Returns one report per class.
+    pub fn compact_if_fragmented(
+        &self,
+        now: SimTime,
+    ) -> Result<Vec<CompactionReport>, CormError> {
+        let report = self.fragmentation_report();
+        let mut out = Vec::new();
+        let mut clock = now;
+        for class in report.classes_exceeding(self.config().frag_threshold) {
+            let timed = self.compact_class(class, clock)?;
+            clock += timed.cost;
+            out.push(timed.value);
+        }
+        Ok(out)
+    }
+
+    /// Merges `src` into `dst`: lock, copy (offset-preserving where
+    /// possible), remap, update the MTT, release the source's physical
+    /// pages, and demote the source's vaddr to an alias.
+    fn merge_blocks(
+        &self,
+        src: &SharedBlock,
+        dst: &SharedBlock,
+        now: SimTime,
+    ) -> Result<MergeStats, CormError> {
+        let model = self.model().clone();
+        // Lock both blocks in address order (the only two-block lock site).
+        let (src_base, dst_base) = (src.lock().vaddr(), dst.lock().vaddr());
+        assert_ne!(src_base, dst_base);
+        let (s, mut d) = if src_base < dst_base {
+            let s = src.lock();
+            let d = dst.lock();
+            (s, d)
+        } else {
+            let d = dst.lock();
+            let s = src.lock();
+            (s, d)
+        };
+        assert!(d.corm_compactable(&s), "caller must check compatibility");
+        let slot_bytes = s.obj_size();
+        let pages = s.pages();
+        let objects: Vec<(u32, u32)> = s.live_objects().collect();
+
+        // Phase 1: lock every object under migration (§3.2.3), so
+        // lock-free readers of the source observe invalid objects and back
+        // off instead of reading half-copied state.
+        for &(_, slot) in &objects {
+            let va = s.slot_vaddr(slot);
+            let mut hdr = [0u8; HEADER_BYTES];
+            self.aspace().read(va, &mut hdr)?;
+            let h = ObjectHeader::from_bytes(hdr).with_lock(LockState::CompactionLocked);
+            self.aspace().write(va, &h.to_bytes())?;
+        }
+
+        // Phase 2: copy. Preserve offsets when free in the destination;
+        // relocate to the lowest free slot otherwise (Fig. 5).
+        let mut relocated = 0;
+        let mut bytes_copied = 0;
+        for &(id, slot) in &objects {
+            let mut image = vec![0u8; slot_bytes];
+            self.aspace().read(s.slot_vaddr(slot), &mut image)?;
+            // The copy lands unlocked and otherwise bit-identical.
+            let mut header = ObjectHeader::from_bytes(
+                image[..HEADER_BYTES].try_into().expect("header"),
+            );
+            header.lock = LockState::Free;
+            image[..HEADER_BYTES].copy_from_slice(&header.to_bytes());
+
+            let dst_slot = if d.insert_object(id, slot) {
+                slot
+            } else {
+                let hint = d
+                    .free_slot_hint()
+                    .expect("compactability guarantees room");
+                let ok = d.insert_object(id, hint);
+                debug_assert!(ok, "free hint must be insertable");
+                relocated += 1;
+                hint
+            };
+            self.aspace().write(d.slot_vaddr(dst_slot), &image)?;
+            bytes_copied += slot_bytes;
+        }
+
+        // Phase 3: remap the source vaddr — and every alias vaddr that was
+        // pointing at the source's frames — onto the destination frames,
+        // repairing the MTT per the §3.5 strategy. Every region keeps its
+        // original r_key, so clients' pointers stay valid.
+        let src_rkey = s.rkey().expect("collected blocks are registered");
+        let dst_frames = d.frames().to_vec();
+        let (file, page) = s.phys_identity();
+        let old_frames = s.frames().to_vec();
+        drop(s);
+        drop(d);
+        let repointed = self
+            .registry
+            .demote_to_alias(src_base, dst_base, src_rkey, pages);
+        let mut remap_targets: Vec<(u64, u32)> = vec![(src_base, src_rkey)];
+        remap_targets.extend(repointed.iter().map(|(base, info)| (*base, info.rkey)));
+        let mut mtt_calls = 0u64;
+        for &(base, rkey) in &remap_targets {
+            self.aspace().remap(base, &dst_frames)?;
+            match self.config().mtt_strategy {
+                MttUpdateStrategy::Rereg => {
+                    self.rnic().rereg(rkey, now)?;
+                }
+                MttUpdateStrategy::Odp => {}
+                MttUpdateStrategy::OdpPrefetch => {
+                    self.rnic().advise(rkey, base, pages)?;
+                }
+            }
+            mtt_calls += 1;
+        }
+
+        // Phase 4: release the source's physical pages back to the
+        // process-wide allocator.
+        self.process_allocator()
+            .release_block_phys(file, page, old_frames);
+
+        // If no live object is homed at the source (its original objects
+        // were all freed before compaction), nothing will ever decrement
+        // its count — release the alias vaddr right away (§3.3).
+        self.try_release_vaddr(src_base);
+
+        // One block_compaction_cost covers bookkeeping + copies + the
+        // primary remap; extra alias remaps each add an mmap + MTT update.
+        let extra_remaps = mtt_calls.saturating_sub(1);
+        let cost = model.block_compaction_cost(
+            self.config().mtt_strategy,
+            pages,
+            bytes_copied,
+            objects.len(),
+        ) + (model.mmap_cost(pages) + model.mtt_update_cost(self.config().mtt_strategy, pages))
+            * extra_remaps;
+        Ok(MergeStats { relocated, copied: objects.len(), cost })
+    }
+}

@@ -1,0 +1,638 @@
+//! The CoRM server node.
+//!
+//! A [`CormServer`] owns the whole §3 machinery: the two-level allocator
+//! with per-worker thread allocators, the simulated RNIC the blocks are
+//! registered with, the block registry (including post-compaction aliases),
+//! the home-vaddr tracker for virtual-address reuse, and the RPC handlers
+//! with transparent pointer correction. Compaction lives in
+//! [`compaction`]; the threaded execution mode in [`threaded`].
+//!
+//! Every handler returns a [`Timed`] result carrying the *server-side*
+//! virtual-time cost; clients add wire latency, and the event-driven
+//! harness uses the same costs as queueing service times.
+
+pub mod compaction;
+pub mod registry;
+pub mod threaded;
+pub mod vaddrs;
+
+pub use compaction::CompactionReport;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use corm_alloc::process::SharedBlock;
+use corm_alloc::{
+    AllocConfig, AllocError, FragmentationReport, ProcessAllocator, SizeClasses,
+    ThreadAllocator,
+};
+use corm_sim_core::rng::{stream_rng, DetRng};
+use corm_sim_core::time::SimDuration;
+use corm_sim_mem::{AddressSpace, MemError, PhysicalMemory};
+use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, RdmaError, Rnic, RnicConfig};
+
+use crate::consistency::{self};
+use crate::header::{home_base, home_index, LockState, ObjectHeader, HEADER_BYTES};
+use crate::ptr::GlobalPtr;
+use crate::Timed;
+
+use registry::BlockRegistry;
+use vaddrs::VaddrTracker;
+
+/// How a worker locates an object accessed through an indirect pointer
+/// (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrectionStrategy {
+    /// Forward the request to the thread owning the block, which answers
+    /// from its ID→offset metadata table.
+    ThreadMessaging,
+    /// Scan the block's headers directly on the serving worker.
+    BlockScan,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads (the paper's default is 8).
+    pub workers: usize,
+    /// Allocator configuration (block size, size classes, ID width).
+    pub alloc: AllocConfig,
+    /// Pointer-correction strategy for RPC accesses.
+    pub correction: CorrectionStrategy,
+    /// MTT-update strategy after compaction remaps (§3.5).
+    pub mtt_strategy: MttUpdateStrategy,
+    /// Per-class fragmentation ratio beyond which compaction triggers
+    /// (§3.1.3).
+    pub frag_threshold: f64,
+    /// Maximum occupancy for a block to be collected for compaction.
+    pub collect_max_occupancy: f64,
+    /// Whether emptied blocks are immediately returned to the process-wide
+    /// allocator.
+    pub release_empty_blocks: bool,
+    /// RNIC configuration (device model, translation-cache size).
+    pub rnic: RnicConfig,
+    /// Root seed for object-ID generation.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            alloc: AllocConfig::default(),
+            correction: CorrectionStrategy::ThreadMessaging,
+            mtt_strategy: MttUpdateStrategy::OdpPrefetch,
+            frag_threshold: 1.5,
+            collect_max_occupancy: 0.9,
+            release_empty_blocks: true,
+            rnic: RnicConfig::default(),
+            seed: 0xC0_4D,
+        }
+    }
+}
+
+/// Errors surfaced by server operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CormError {
+    /// Allocation failed.
+    Alloc(AllocError),
+    /// RDMA verb failed.
+    Rdma(RdmaError),
+    /// Simulated memory failed.
+    Mem(MemError),
+    /// The pointer's block is unknown (likely a released vaddr).
+    UnknownBlock(u64),
+    /// The pointer's offset is not slot-aligned for the block's class.
+    BadPointer,
+    /// The object was not found (freed, or the pointer is stale).
+    ObjectNotFound,
+    /// The object is transiently locked or being written; retry after a
+    /// backoff.
+    ObjectLocked,
+    /// The payload exceeds every size class.
+    PayloadTooLarge(usize),
+    /// The target cluster node is marked failed (replication layer).
+    NodeDown,
+}
+
+impl std::fmt::Display for CormError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CormError::Alloc(e) => write!(f, "alloc: {e}"),
+            CormError::Rdma(e) => write!(f, "rdma: {e}"),
+            CormError::Mem(e) => write!(f, "mem: {e}"),
+            CormError::UnknownBlock(b) => write!(f, "unknown block {b:#x}"),
+            CormError::BadPointer => write!(f, "malformed pointer"),
+            CormError::ObjectNotFound => write!(f, "object not found"),
+            CormError::ObjectLocked => write!(f, "object transiently locked; retry"),
+            CormError::PayloadTooLarge(n) => write!(f, "payload too large: {n}"),
+            CormError::NodeDown => write!(f, "cluster node is down"),
+        }
+    }
+}
+
+impl std::error::Error for CormError {}
+
+impl From<AllocError> for CormError {
+    fn from(e: AllocError) -> Self {
+        CormError::Alloc(e)
+    }
+}
+impl From<RdmaError> for CormError {
+    fn from(e: RdmaError) -> Self {
+        CormError::Rdma(e)
+    }
+}
+impl From<MemError> for CormError {
+    fn from(e: MemError) -> Self {
+        CormError::Mem(e)
+    }
+}
+
+/// Lifetime counters, readable at any point.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Successful Alloc calls.
+    pub allocs: AtomicU64,
+    /// Successful Free calls.
+    pub frees: AtomicU64,
+    /// RPC reads served.
+    pub reads: AtomicU64,
+    /// RPC writes served.
+    pub writes: AtomicU64,
+    /// ReleasePtr calls served.
+    pub releases: AtomicU64,
+    /// Pointer corrections performed (indirect accesses).
+    pub corrections: AtomicU64,
+    /// Thread-local allocator refills.
+    pub refills: AtomicU64,
+    /// Compaction passes run.
+    pub compactions: AtomicU64,
+    /// Blocks freed by compaction.
+    pub compaction_blocks_freed: AtomicU64,
+    /// Objects relocated to new offsets by compaction.
+    pub objects_moved: AtomicU64,
+    /// Virtual addresses released for reuse.
+    pub vaddrs_released: AtomicU64,
+}
+
+pub(crate) struct WorkerState {
+    pub alloc: ThreadAllocator,
+    pub rng: DetRng,
+}
+
+/// A CoRM node: allocator, RNIC, registry, and RPC handlers.
+pub struct CormServer {
+    config: ServerConfig,
+    phys: Arc<PhysicalMemory>,
+    aspace: Arc<AddressSpace>,
+    rnic: Arc<Rnic>,
+    proc: ProcessAllocator,
+    pub(crate) workers: Vec<Mutex<WorkerState>>,
+    pub(crate) registry: BlockRegistry,
+    pub(crate) vaddrs: Mutex<VaddrTracker>,
+    /// Lifetime counters.
+    pub stats: ServerStats,
+}
+
+impl std::fmt::Debug for CormServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CormServer")
+            .field("workers", &self.config.workers)
+            .field("blocks", &self.registry.len())
+            .finish()
+    }
+}
+
+impl CormServer {
+    /// Boots a server over fresh simulated memory.
+    pub fn new(config: ServerConfig) -> Self {
+        Self::with_memory(Arc::new(PhysicalMemory::new()), config)
+    }
+
+    /// Boots a server over the given physical memory (e.g. capacity-capped
+    /// to exercise the allocation-failure compaction trigger).
+    pub fn with_memory(phys: Arc<PhysicalMemory>, config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "server needs at least one worker");
+        assert!(
+            config.alloc.id_bits <= 16,
+            "the data-plane header stores 16-bit object IDs"
+        );
+        let aspace = Arc::new(AddressSpace::new(phys.clone()));
+        let rnic = Arc::new(Rnic::new(aspace.clone(), config.rnic.clone()));
+        if config.mtt_strategy.needs_odp() {
+            assert!(
+                rnic.model().odp_miss.is_some(),
+                "ODP strategy requires an ODP-capable device"
+            );
+        }
+        let proc = ProcessAllocator::new(phys.clone(), aspace.clone(), config.alloc.clone());
+        let n_classes = config.alloc.classes.len();
+        let workers = (0..config.workers)
+            .map(|w| {
+                Mutex::new(WorkerState {
+                    alloc: ThreadAllocator::new(w as u16, n_classes),
+                    rng: stream_rng(config.seed, w as u64),
+                })
+            })
+            .collect();
+        CormServer {
+            config,
+            phys,
+            aspace,
+            rnic,
+            proc,
+            workers,
+            registry: BlockRegistry::new(),
+            vaddrs: Mutex::new(VaddrTracker::new()),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The server's RNIC (clients connect QPs to it).
+    pub fn rnic(&self) -> &Arc<Rnic> {
+        &self.rnic
+    }
+
+    /// The node's address space.
+    pub fn aspace(&self) -> &Arc<AddressSpace> {
+        &self.aspace
+    }
+
+    /// The node's physical memory.
+    pub fn phys(&self) -> &Arc<PhysicalMemory> {
+        &self.phys
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The latency model in force.
+    pub fn model(&self) -> &LatencyModel {
+        self.rnic.model()
+    }
+
+    /// The size-class table.
+    pub fn classes(&self) -> &SizeClasses {
+        &self.config.alloc.classes
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.config.alloc.block_bytes
+    }
+
+    /// Bytes currently held in blocks (the paper's "active memory").
+    pub fn active_bytes(&self) -> u64 {
+        self.proc.active_bytes()
+    }
+
+    /// Process-wide allocator (diagnostics).
+    pub fn process_allocator(&self) -> &ProcessAllocator {
+        &self.proc
+    }
+
+    /// Per-class fragmentation snapshot (§3.1.3).
+    pub fn fragmentation_report(&self) -> FragmentationReport {
+        let blocks = self.registry.live_blocks();
+        let guards: Vec<_> = blocks.iter().map(|b| b.lock()).collect();
+        FragmentationReport::from_blocks(
+            guards.iter().map(|g| &**g),
+            self.config.alloc.block_bytes,
+        )
+    }
+
+    fn mmap_base(&self) -> u64 {
+        AddressSpace::MMAP_BASE
+    }
+
+    // ------------------------------------------------------------------
+    // RPC handlers
+    // ------------------------------------------------------------------
+
+    /// Allocates an object of `payload_len` bytes on behalf of a client,
+    /// served by `worker`. Returns the 128-bit pointer.
+    pub fn alloc(&self, worker: usize, payload_len: usize) -> Result<Timed<GlobalPtr>, CormError> {
+        let class = consistency::class_for_payload(self.classes(), payload_len)
+            .ok_or(CormError::PayloadTooLarge(payload_len))?;
+        let model = self.model().clone();
+        let mut cost = model.alloc_free_extra;
+
+        let mut w = self.workers[worker].lock();
+        let WorkerState { alloc, rng } = &mut *w;
+        let out = alloc.alloc(class, &self.proc, rng)?;
+        drop(w);
+
+        if out.refilled {
+            // Fresh block: register with the RNIC and publish it.
+            let (base, pages) = {
+                let b = out.block.lock();
+                (b.vaddr(), b.pages())
+            };
+            let odp = self.config.mtt_strategy.needs_odp();
+            let (mr, _reg_cost) = self.rnic.register(base, pages, odp)?;
+            out.block.lock().set_keys(mr.lkey, mr.rkey);
+            self.registry.insert_block(base, out.block.clone());
+            // §4.1: the +5 µs refill penalty covers both fetching the block
+            // and registering its memory on the RNIC.
+            cost += model.block_refill_extra;
+            self.stats.refills.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let (base, rkey, slot_vaddr, slot_bytes) = {
+            let b = out.block.lock();
+            (
+                b.vaddr(),
+                b.rkey().expect("registered above or earlier"),
+                b.slot_vaddr(out.slot),
+                b.obj_size(),
+            )
+        };
+        // Stamp the slot: header + version bytes over the whole slot so
+        // lock-free readers of a never-written object still validate.
+        let home = home_index(base, self.mmap_base(), self.block_bytes());
+        let header = ObjectHeader::new(out.id as u16, 1, home);
+        let image = consistency::scatter(header, &[], slot_bytes);
+        self.aspace.write(slot_vaddr, &image)?;
+        self.vaddrs.lock().inc(base);
+        self.stats.allocs.fetch_add(1, Ordering::Relaxed);
+
+        Ok(Timed::new(
+            GlobalPtr {
+                vaddr: slot_vaddr,
+                rkey,
+                obj_id: out.id as u16,
+                class: class.0 as u8,
+                flags: 0,
+            },
+            cost,
+        ))
+    }
+
+    /// Locates the live block and slot a pointer refers to, applying
+    /// pointer correction if the object moved. Returns
+    /// `(block, slot, correction_cost, corrected)` and updates the pointer
+    /// hint in place.
+    fn locate(
+        &self,
+        worker: usize,
+        ptr: &mut GlobalPtr,
+    ) -> Result<(SharedBlock, u32, SimDuration, bool), CormError> {
+        let block_bytes = self.block_bytes();
+        let base = ptr.block_base(block_bytes);
+        let resolved = self
+            .registry
+            .resolve(base)
+            .ok_or(CormError::UnknownBlock(base))?;
+        let block = resolved.block;
+        let offset = ptr.block_offset(block_bytes);
+        let b = block.lock();
+        let slot = b.slot_of_offset(offset).ok_or(CormError::BadPointer)?;
+        if b.id_at_slot(slot) == Some(ptr.obj_id as u32) {
+            return Ok((block.clone(), slot, SimDuration::ZERO, false));
+        }
+        // Indirect pointer: find the object by its ID (§3.2.1).
+        let model = self.model();
+        let cost = match self.config.correction {
+            CorrectionStrategy::ThreadMessaging => {
+                if b.owner() as usize != worker {
+                    // Round trip to the owning thread, which answers from
+                    // its metadata table.
+                    model.collection_pair
+                } else {
+                    SimDuration::ZERO
+                }
+            }
+            CorrectionStrategy::BlockScan => model.scan_cost(b.slots()),
+        };
+        let found = b.slot_of_id(ptr.obj_id as u32);
+        drop(b);
+        match found {
+            Some(new_slot) => {
+                let obj_size = block.lock().obj_size();
+                ptr.correct_offset(block_bytes, new_slot as usize * obj_size);
+                self.stats.corrections.fetch_add(1, Ordering::Relaxed);
+                Ok((block.clone(), new_slot, cost, true))
+            }
+            None => Err(CormError::ObjectNotFound),
+        }
+    }
+
+    /// RPC read (Table 2 `Read`): copies up to `buf.len()` object bytes
+    /// into `buf`; returns the bytes read. Corrects the pointer in place.
+    pub fn read(
+        &self,
+        worker: usize,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+    ) -> Result<Timed<usize>, CormError> {
+        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+        let b = block.lock();
+        let slot_bytes = b.obj_size();
+        let mut image = vec![0u8; slot_bytes];
+        self.aspace.read(b.slot_vaddr(slot), &mut image)?;
+        drop(b);
+        let (_, payload) = consistency::gather(&image, Some(ptr.obj_id), buf.len())
+            .map_err(|_| CormError::ObjectNotFound)?;
+        let n = payload.len().min(buf.len());
+        buf[..n].copy_from_slice(&payload[..n]);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let model = self.model();
+        let cost = model.rpc_worker_service + model.copy_cost(n) + corr_cost;
+        Ok(Timed::new(n, cost))
+    }
+
+    /// RPC write (Table 2 `Write`): replaces the object's contents with
+    /// `data`. Bumps the version; lock-free readers racing this write see
+    /// mismatched cacheline versions and retry.
+    pub fn write(
+        &self,
+        worker: usize,
+        ptr: &mut GlobalPtr,
+        data: &[u8],
+    ) -> Result<Timed<()>, CormError> {
+        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+        let b = block.lock();
+        let slot_bytes = b.obj_size();
+        if data.len() > consistency::layout(slot_bytes).capacity {
+            return Err(CormError::PayloadTooLarge(data.len()));
+        }
+        let slot_vaddr = b.slot_vaddr(slot);
+        let mut hdr_bytes = [0u8; HEADER_BYTES];
+        self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
+        let header = ObjectHeader::from_bytes(hdr_bytes);
+        debug_assert_eq!(header.obj_id, ptr.obj_id);
+        // 1) lock, 2) body with new version, 3) unlocked header. The
+        // intermediate states are what concurrent DirectReads can observe.
+        let locked = header.with_lock(LockState::WriteLocked);
+        self.aspace.write(slot_vaddr, &locked.to_bytes())?;
+        let new_header = header.bump_version();
+        let image = consistency::scatter(new_header, data, slot_bytes);
+        self.aspace
+            .write(slot_vaddr + HEADER_BYTES as u64, &image[HEADER_BYTES..])?;
+        self.aspace.write(slot_vaddr, &new_header.to_bytes())?;
+        drop(b);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let model = self.model();
+        let cost = model.rpc_worker_service + model.copy_cost(data.len()) + corr_cost;
+        Ok(Timed::new((), cost))
+    }
+
+    /// RPC free (Table 2 `Free`): releases the object and updates the
+    /// home-vaddr accounting (§3.3).
+    pub fn free(&self, worker: usize, ptr: &mut GlobalPtr) -> Result<Timed<()>, CormError> {
+        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+        let (home_addr, block_empty, live_base) = {
+            let mut b = block.lock();
+            let slot_vaddr = b.slot_vaddr(slot);
+            let mut hdr_bytes = [0u8; HEADER_BYTES];
+            self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
+            let header = ObjectHeader::from_bytes(hdr_bytes);
+            if !header.valid || header.obj_id != ptr.obj_id {
+                return Err(CormError::ObjectNotFound);
+            }
+            self.aspace
+                .write(slot_vaddr, &header.invalidated().to_bytes())?;
+            b.free_slot(slot);
+            (
+                home_base(header.home_block, self.mmap_base(), self.block_bytes()),
+                b.is_empty(),
+                b.vaddr(),
+            )
+        };
+        let remaining = self.vaddrs.lock().dec(home_addr);
+        if remaining == 0 {
+            self.try_release_vaddr(home_addr);
+        }
+        if block_empty && self.config.release_empty_blocks {
+            self.try_release_empty_block(&block, live_base);
+        }
+        self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        let cost = self.model().alloc_free_extra + corr_cost;
+        Ok(Timed::new((), cost))
+    }
+
+    /// RPC ReleasePtr (Table 2): the client has corrected all copies of an
+    /// old pointer; re-home the object at its current block so the old
+    /// virtual address can be reused (§3.3). Returns the fresh pointer.
+    pub fn release_ptr(
+        &self,
+        worker: usize,
+        ptr: &mut GlobalPtr,
+    ) -> Result<Timed<GlobalPtr>, CormError> {
+        let old_base = ptr.block_base(self.block_bytes());
+        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+        let (new_ptr, new_base) = {
+            let b = block.lock();
+            let slot_vaddr = b.slot_vaddr(slot);
+            let mut hdr_bytes = [0u8; HEADER_BYTES];
+            self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
+            let mut header = ObjectHeader::from_bytes(hdr_bytes);
+            if !header.valid || header.obj_id != ptr.obj_id {
+                return Err(CormError::ObjectNotFound);
+            }
+            let new_base = b.vaddr();
+            header.home_block = home_index(new_base, self.mmap_base(), self.block_bytes());
+            self.aspace.write(slot_vaddr, &header.to_bytes())?;
+            (
+                GlobalPtr {
+                    vaddr: slot_vaddr,
+                    rkey: b.rkey().expect("live block is registered"),
+                    obj_id: ptr.obj_id,
+                    class: ptr.class,
+                    flags: 0,
+                },
+                new_base,
+            )
+        };
+        if new_base != old_base {
+            let mut v = self.vaddrs.lock();
+            v.inc(new_base);
+            let remaining = v.dec(old_base);
+            drop(v);
+            if remaining == 0 {
+                self.try_release_vaddr(old_base);
+            }
+        }
+        self.stats.releases.fetch_add(1, Ordering::Relaxed);
+        let cost = self.model().release_ptr_extra + corr_cost;
+        Ok(Timed::new(new_ptr, cost))
+    }
+
+    // ------------------------------------------------------------------
+    // vaddr + block lifecycle
+    // ------------------------------------------------------------------
+
+    /// Releases a home vaddr whose live count reached zero, if it is safe:
+    /// the base must be an alias (its physical block was compacted away).
+    /// Live blocks are handled by [`Self::try_release_empty_block`].
+    pub(crate) fn try_release_vaddr(&self, base: u64) {
+        let Some(info) = self.registry.alias_info(base) else {
+            return;
+        };
+        if !self.vaddrs.lock().releasable(base) {
+            return;
+        }
+        self.registry.remove(base);
+        // The alias region is gone for good: deregister its keys and unmap
+        // its pages, making the vaddr reusable (§3.3).
+        let _ = self.rnic.deregister(info.rkey);
+        self.aspace
+            .munmap(base, info.pages)
+            .expect("alias vaddr must be mapped");
+        self.vaddrs.lock().note_released();
+        self.stats.vaddrs_released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Releases an emptied live block: pulls it from its owner's bin,
+    /// deregisters it, unmaps its vaddr (no object can be homed there once
+    /// it is empty — moved-out objects only exist in alias blocks), and
+    /// recycles its physical pages.
+    pub(crate) fn try_release_empty_block(&self, block: &SharedBlock, base: u64) {
+        // Re-check emptiness under the owner lock to avoid racing an alloc.
+        let (owner, class) = {
+            let b = block.lock();
+            if !b.is_empty() {
+                return;
+            }
+            (b.owner() as usize, b.class())
+        };
+        let mut w = self.workers[owner].lock();
+        {
+            let b = block.lock();
+            if !b.is_empty() {
+                return;
+            }
+        }
+        if !w.alloc.remove_block(class, block) {
+            return; // someone else released it first
+        }
+        drop(w);
+        debug_assert!(
+            self.vaddrs.lock().releasable(base),
+            "empty live block with homed objects"
+        );
+        self.registry.remove(base);
+        let b = block.lock();
+        if let Some((_, rkey)) = b.keys() {
+            let _ = self.rnic.deregister(rkey);
+        }
+        let pages = b.pages();
+        let (file, page) = b.phys_identity();
+        let frames = b.frames().to_vec();
+        drop(b);
+        self.aspace.munmap(base, pages).expect("block vaddr mapped");
+        self.proc.release_block_phys(file, page, frames);
+    }
+
+    /// Picks a worker for a client request (uniformly random, like the
+    /// paper's trace replays).
+    pub fn pick_worker(&self, rng: &mut impl Rng) -> usize {
+        rng.gen_range(0..self.config.workers)
+    }
+}

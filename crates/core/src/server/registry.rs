@@ -1,0 +1,346 @@
+//! The server-wide block registry.
+//!
+//! Maps every block-base virtual address to either the live [`Block`]
+//! mapped there or — after the block was consumed as a compaction source —
+//! an *alias* carrying the target live base plus the alias region's
+//! preserved `r_key`.
+//!
+//! Aliases are kept **flat**: every alias points directly at a live base.
+//! When a destination block is itself compacted away later, all aliases
+//! pointing at it are re-pointed to the new destination (and the caller
+//! remaps their vaddrs onto the new frames). This path compression is what
+//! keeps pointer resolution O(1) and prevents dangling chains when an
+//! intermediate alias's vaddr is released for reuse (§3.3).
+//!
+//! [`Block`]: corm_alloc::Block
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::RwLock;
+
+use corm_alloc::process::SharedBlock;
+
+/// Metadata kept for an alias base: where it points and the NIC region
+/// that still covers it (its `r_key` is preserved for clients, §3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AliasInfo {
+    /// Live base the alias resolves to.
+    pub target: u64,
+    /// The alias region's remote key.
+    pub rkey: u32,
+    /// Pages in the alias mapping.
+    pub pages: usize,
+}
+
+#[derive(Clone)]
+enum RegEntry {
+    Live(SharedBlock),
+    Alias(AliasInfo),
+}
+
+/// A resolved lookup.
+#[derive(Clone)]
+pub struct Resolved {
+    /// The live block the address reaches.
+    pub block: SharedBlock,
+    /// Base vaddr the live block is actually mapped at.
+    pub live_base: u64,
+    /// Whether an alias hop was followed.
+    pub via_alias: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, RegEntry>,
+    /// live base → alias bases pointing at it.
+    rev: HashMap<u64, HashSet<u64>>,
+}
+
+/// Registry of all blocks and aliases on a CoRM node.
+#[derive(Default)]
+pub struct BlockRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl BlockRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a live block at its base vaddr.
+    pub fn insert_block(&self, base: u64, block: SharedBlock) {
+        let prev = self.inner.write().map.insert(base, RegEntry::Live(block));
+        debug_assert!(prev.is_none(), "base {base:#x} registered twice");
+    }
+
+    /// Demotes `base` (a live block consumed by compaction) to an alias of
+    /// `target`, carrying its preserved region key. Every alias previously
+    /// pointing at `base` is re-pointed at `target`; their infos are
+    /// returned so the caller can remap their vaddrs onto the new frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a live block or `target` is not live.
+    pub fn demote_to_alias(
+        &self,
+        base: u64,
+        target: u64,
+        rkey: u32,
+        pages: usize,
+    ) -> Vec<(u64, AliasInfo)> {
+        let mut inner = self.inner.write();
+        assert!(
+            matches!(inner.map.get(&target), Some(RegEntry::Live(_))),
+            "alias target {target:#x} must be live"
+        );
+        match inner.map.insert(
+            base,
+            RegEntry::Alias(AliasInfo { target, rkey, pages }),
+        ) {
+            Some(RegEntry::Live(_)) => {}
+            _ => panic!("demote of non-live base {base:#x}"),
+        }
+        // Re-point every alias of `base` at `target` (flat invariant).
+        let moved: Vec<u64> = inner
+            .rev
+            .remove(&base)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        let mut repointed = Vec::with_capacity(moved.len());
+        for abase in &moved {
+            if let Some(RegEntry::Alias(info)) = inner.map.get_mut(abase) {
+                info.target = target;
+                repointed.push((*abase, *info));
+            } else {
+                unreachable!("rev edge to non-alias {abase:#x}");
+            }
+        }
+        let rev_target = inner.rev.entry(target).or_default();
+        rev_target.insert(base);
+        for abase in &moved {
+            rev_target.insert(*abase);
+        }
+        repointed
+    }
+
+    /// Removes an entry. For aliases, drops the reverse edge; for live
+    /// blocks, asserts no alias still points here (their objects would be
+    /// unreachable). Returns the removed alias info, if it was an alias.
+    pub fn remove(&self, base: u64) -> Option<AliasInfo> {
+        let mut inner = self.inner.write();
+        match inner.map.remove(&base) {
+            None => None,
+            Some(RegEntry::Alias(info)) => {
+                if let Some(set) = inner.rev.get_mut(&info.target) {
+                    set.remove(&base);
+                    if set.is_empty() {
+                        inner.rev.remove(&info.target);
+                    }
+                }
+                Some(info)
+            }
+            Some(RegEntry::Live(_)) => {
+                assert!(
+                    inner.rev.get(&base).is_none_or(|s| s.is_empty()),
+                    "removing live block {base:#x} with aliases attached"
+                );
+                inner.rev.remove(&base);
+                None
+            }
+        }
+    }
+
+    /// Resolves a base vaddr to its live block (at most one hop, by the
+    /// flat-alias invariant).
+    pub fn resolve(&self, base: u64) -> Option<Resolved> {
+        let inner = self.inner.read();
+        match inner.map.get(&base)? {
+            RegEntry::Live(block) => Some(Resolved {
+                block: block.clone(),
+                live_base: base,
+                via_alias: false,
+            }),
+            RegEntry::Alias(info) => match inner.map.get(&info.target)? {
+                RegEntry::Live(block) => Some(Resolved {
+                    block: block.clone(),
+                    live_base: info.target,
+                    via_alias: true,
+                }),
+                RegEntry::Alias(_) => unreachable!("alias chain despite flat invariant"),
+            },
+        }
+    }
+
+    /// The alias info at `base`, if it is an alias.
+    pub fn alias_info(&self, base: u64) -> Option<AliasInfo> {
+        match self.inner.read().map.get(&base)? {
+            RegEntry::Alias(info) => Some(*info),
+            RegEntry::Live(_) => None,
+        }
+    }
+
+    /// Whether the base is currently an alias.
+    pub fn is_alias(&self, base: u64) -> bool {
+        self.alias_info(base).is_some()
+    }
+
+    /// Alias bases currently pointing at `live_base`.
+    pub fn aliases_of(&self, live_base: u64) -> Vec<u64> {
+        self.inner
+            .read()
+            .rev
+            .get(&live_base)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all live blocks.
+    pub fn live_blocks(&self) -> Vec<SharedBlock> {
+        self.inner
+            .read()
+            .map
+            .values()
+            .filter_map(|e| match e {
+                RegEntry::Live(b) => Some(b.clone()),
+                RegEntry::Alias(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of entries (live + alias).
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().map.is_empty()
+    }
+
+    /// Number of alias entries.
+    pub fn alias_count(&self) -> usize {
+        self.inner
+            .read()
+            .map
+            .values()
+            .filter(|e| matches!(e, RegEntry::Alias(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corm_alloc::{Block, BlockId, ClassId};
+    use corm_sim_mem::{FileId, FrameId};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn mk_block(base: u64) -> SharedBlock {
+        Arc::new(Mutex::new(Block::new(
+            BlockId(base),
+            ClassId(0),
+            16,
+            base,
+            1,
+            FileId(1),
+            0,
+            vec![FrameId(0)],
+            1 << 16,
+            0,
+        )))
+    }
+
+    #[test]
+    fn insert_and_resolve_direct() {
+        let reg = BlockRegistry::new();
+        let b = mk_block(0x1000);
+        reg.insert_block(0x1000, b.clone());
+        let r = reg.resolve(0x1000).unwrap();
+        assert!(Arc::ptr_eq(&r.block, &b));
+        assert!(!r.via_alias);
+        assert_eq!(r.live_base, 0x1000);
+        assert!(reg.resolve(0x2000).is_none());
+    }
+
+    #[test]
+    fn demote_repoints_existing_aliases_flat() {
+        // A→B, then B merged into C: A must point directly at C.
+        let reg = BlockRegistry::new();
+        let c = mk_block(0x3000);
+        reg.insert_block(0x1000, mk_block(0x1000));
+        reg.insert_block(0x2000, mk_block(0x2000));
+        reg.insert_block(0x3000, c.clone());
+        let repointed = reg.demote_to_alias(0x1000, 0x2000, 11, 1);
+        assert!(repointed.is_empty());
+        let repointed = reg.demote_to_alias(0x2000, 0x3000, 22, 1);
+        assert_eq!(repointed.len(), 1);
+        assert_eq!(repointed[0].0, 0x1000);
+        assert_eq!(repointed[0].1.target, 0x3000);
+        assert_eq!(repointed[0].1.rkey, 11, "alias keeps its own rkey");
+
+        let r = reg.resolve(0x1000).unwrap();
+        assert!(Arc::ptr_eq(&r.block, &c));
+        assert!(r.via_alias);
+        assert_eq!(reg.alias_count(), 2);
+        let mut aliases = reg.aliases_of(0x3000);
+        aliases.sort();
+        assert_eq!(aliases, vec![0x1000, 0x2000]);
+    }
+
+    #[test]
+    fn removing_one_alias_leaves_others_working() {
+        let reg = BlockRegistry::new();
+        reg.insert_block(0x1000, mk_block(0x1000));
+        reg.insert_block(0x2000, mk_block(0x2000));
+        reg.insert_block(0x3000, mk_block(0x3000));
+        reg.demote_to_alias(0x1000, 0x3000, 1, 1);
+        reg.demote_to_alias(0x2000, 0x3000, 2, 1);
+        let info = reg.remove(0x1000).unwrap();
+        assert_eq!(info.rkey, 1);
+        assert!(reg.resolve(0x1000).is_none());
+        assert!(reg.resolve(0x2000).is_some(), "sibling alias unaffected");
+        assert_eq!(reg.aliases_of(0x3000), vec![0x2000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "with aliases attached")]
+    fn removing_live_block_with_aliases_panics() {
+        let reg = BlockRegistry::new();
+        reg.insert_block(0x1000, mk_block(0x1000));
+        reg.insert_block(0x2000, mk_block(0x2000));
+        reg.demote_to_alias(0x1000, 0x2000, 1, 1);
+        reg.remove(0x2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be live")]
+    fn demote_to_alias_target_must_be_live() {
+        let reg = BlockRegistry::new();
+        reg.insert_block(0x1000, mk_block(0x1000));
+        reg.demote_to_alias(0x1000, 0x9000, 1, 1);
+    }
+
+    #[test]
+    fn alias_info_and_is_alias() {
+        let reg = BlockRegistry::new();
+        reg.insert_block(0x1000, mk_block(0x1000));
+        reg.insert_block(0x2000, mk_block(0x2000));
+        assert!(!reg.is_alias(0x1000));
+        reg.demote_to_alias(0x1000, 0x2000, 77, 4);
+        let info = reg.alias_info(0x1000).unwrap();
+        assert_eq!((info.target, info.rkey, info.pages), (0x2000, 77, 4));
+        assert!(reg.alias_info(0x2000).is_none());
+    }
+
+    #[test]
+    fn live_blocks_excludes_aliases() {
+        let reg = BlockRegistry::new();
+        reg.insert_block(0x1000, mk_block(0x1000));
+        reg.insert_block(0x2000, mk_block(0x2000));
+        reg.demote_to_alias(0x1000, 0x2000, 1, 1);
+        assert_eq!(reg.live_blocks().len(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+}

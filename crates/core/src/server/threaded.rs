@@ -1,0 +1,320 @@
+//! Threaded execution mode (§2.2.2).
+//!
+//! Real worker threads poll the shared RPC queue, exactly as the paper
+//! describes CoRM's workers doing. This is the mode the examples and
+//! concurrency tests run in: CPU writers, the compaction leader, and
+//! one-sided "NIC" readers (client threads calling into the simulated RNIC)
+//! genuinely race, so the consistency machinery is exercised for real.
+//!
+//! Virtual time is kept by a shared Lamport-style clock that advances with
+//! each operation's cost, so `rereg_mr` busy windows behave sensibly even
+//! without an event loop.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use corm_sim_core::time::SimTime;
+use corm_sim_rdma::rpc::{rpc_channel, RpcClient, RpcQueue};
+
+use crate::ptr::GlobalPtr;
+use crate::server::{CormError, CormServer};
+
+/// RPC request wire format.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Allocate `len` bytes.
+    Alloc {
+        /// Payload length.
+        len: usize,
+    },
+    /// Free the object.
+    Free {
+        /// Object pointer.
+        ptr: GlobalPtr,
+    },
+    /// Read up to `len` bytes.
+    Read {
+        /// Object pointer.
+        ptr: GlobalPtr,
+        /// Bytes wanted.
+        len: usize,
+    },
+    /// Overwrite the object with `data`.
+    Write {
+        /// Object pointer.
+        ptr: GlobalPtr,
+        /// New contents.
+        data: Vec<u8>,
+    },
+    /// Release an old pointer (§3.3).
+    ReleasePtr {
+        /// Object pointer.
+        ptr: GlobalPtr,
+    },
+}
+
+/// RPC response wire format. Successful responses carry the (possibly
+/// corrected) pointer back to the client.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Alloc/ReleasePtr result.
+    Ptr(GlobalPtr),
+    /// Read result: corrected pointer + data.
+    Data {
+        /// Corrected pointer.
+        ptr: GlobalPtr,
+        /// Object contents.
+        data: Vec<u8>,
+    },
+    /// Free/Write result: corrected pointer.
+    Done(GlobalPtr),
+    /// Failure.
+    Err(CormError),
+}
+
+/// A running threaded CoRM node.
+pub struct ThreadedServer {
+    server: Arc<CormServer>,
+    client_tx: RpcClient<Request, Response>,
+    shutdown: Arc<AtomicBool>,
+    clock_ns: Arc<AtomicU64>,
+    handles: Vec<JoinHandle<u64>>,
+}
+
+impl ThreadedServer {
+    /// Starts `config.workers` worker threads polling a shared RPC queue.
+    pub fn start(server: Arc<CormServer>) -> Self {
+        let (client_tx, queue) = rpc_channel::<Request, Response>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let clock_ns = Arc::new(AtomicU64::new(0));
+        let workers = server.config().workers;
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let queue: RpcQueue<Request, Response> = queue.clone();
+            let server = server.clone();
+            let shutdown = shutdown.clone();
+            let clock = clock_ns.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(w, server, queue, shutdown, clock)
+            }));
+        }
+        ThreadedServer { server, client_tx, shutdown, clock_ns, handles }
+    }
+
+    /// A handle clients use to issue RPCs.
+    pub fn rpc_client(&self) -> RpcClient<Request, Response> {
+        self.client_tx.clone()
+    }
+
+    /// The underlying server (for DirectReads via its RNIC and for
+    /// compaction control).
+    pub fn server(&self) -> &Arc<CormServer> {
+        &self.server
+    }
+
+    /// Current virtual time (advanced by each served operation's cost).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.clock_ns.load(Ordering::Relaxed))
+    }
+
+    /// Triggers a compaction pass on the leader at the current virtual
+    /// time.
+    pub fn compact_class(
+        &self,
+        class: corm_alloc::ClassId,
+    ) -> Result<crate::server::CompactionReport, CormError> {
+        let timed = self.server.compact_class(class, self.now())?;
+        self.clock_ns
+            .fetch_add(timed.cost.as_nanos(), Ordering::Relaxed);
+        Ok(timed.value)
+    }
+
+    /// Stops the workers and returns the number of requests each served.
+    ///
+    /// Only this handle's RPC sender is dropped; calls issued through
+    /// still-live [`Self::rpc_client`] clones after shutdown are not
+    /// served and time out with [`corm_sim_rdma::rpc::RpcError::Timeout`].
+    /// Drop all clones before (or treat timeouts as disconnection).
+    pub fn shutdown(self) -> Vec<u64> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        drop(self.client_tx);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    server: Arc<CormServer>,
+    queue: RpcQueue<Request, Response>,
+    shutdown: Arc<AtomicBool>,
+    clock: Arc<AtomicU64>,
+) -> u64 {
+    let mut served = 0u64;
+    while !shutdown.load(Ordering::Relaxed) {
+        let Some(envelope) = queue.poll(Duration::from_millis(20)) else {
+            continue;
+        };
+        let request = envelope.request.clone();
+        let response = serve(worker, &server, &clock, request);
+        envelope.reply(response);
+        served += 1;
+    }
+    // Drain whatever is left so no client blocks forever on shutdown.
+    while let Some(envelope) = queue.try_poll() {
+        let request = envelope.request.clone();
+        let response = serve(worker, &server, &clock, request);
+        envelope.reply(response);
+        served += 1;
+    }
+    served
+}
+
+fn serve(
+    worker: usize,
+    server: &CormServer,
+    clock: &AtomicU64,
+    request: Request,
+) -> Response {
+    let advance =
+        |cost: corm_sim_core::time::SimDuration| clock.fetch_add(cost.as_nanos(), Ordering::Relaxed);
+    match request {
+        Request::Alloc { len } => match server.alloc(worker, len) {
+            Ok(t) => {
+                advance(t.cost);
+                Response::Ptr(t.value)
+            }
+            Err(e) => Response::Err(e),
+        },
+        Request::Free { mut ptr } => match server.free(worker, &mut ptr) {
+            Ok(t) => {
+                advance(t.cost);
+                Response::Done(ptr)
+            }
+            Err(e) => Response::Err(e),
+        },
+        Request::Read { mut ptr, len } => {
+            let mut buf = vec![0u8; len];
+            match server.read(worker, &mut ptr, &mut buf) {
+                Ok(t) => {
+                    advance(t.cost);
+                    buf.truncate(t.value);
+                    Response::Data { ptr, data: buf }
+                }
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Write { mut ptr, data } => match server.write(worker, &mut ptr, &data) {
+            Ok(t) => {
+                advance(t.cost);
+                Response::Done(ptr)
+            }
+            Err(e) => Response::Err(e),
+        },
+        Request::ReleasePtr { mut ptr } => match server.release_ptr(worker, &mut ptr) {
+            Ok(t) => {
+                advance(t.cost);
+                Response::Ptr(t.value)
+            }
+            Err(e) => Response::Err(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    fn start() -> ThreadedServer {
+        let server = Arc::new(CormServer::new(ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        }));
+        ThreadedServer::start(server)
+    }
+
+    #[test]
+    fn alloc_write_read_free_over_rpc() {
+        let ts = start();
+        let client = ts.rpc_client();
+        let ptr = match client.call(Request::Alloc { len: 64 }).unwrap() {
+            Response::Ptr(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        match client
+            .call(Request::Write { ptr, data: b"hello threaded corm".to_vec() })
+            .unwrap()
+        {
+            Response::Done(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(Request::Read { ptr, len: 19 }).unwrap() {
+            Response::Data { data, .. } => assert_eq!(&data, b"hello threaded corm"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(Request::Free { ptr }).unwrap() {
+            Response::Done(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(Request::Read { ptr, len: 4 }).unwrap() {
+            // The freed object is gone; if it was the block's last object
+            // the whole block (and its vaddr) was released too.
+            Response::Err(CormError::ObjectNotFound | CormError::UnknownBlock(_)) => {}
+            other => panic!("freed object should be gone, got {other:?}"),
+        }
+        let served: u64 = ts.shutdown().iter().sum();
+        assert_eq!(served, 5);
+    }
+
+    #[test]
+    fn concurrent_clients_hammer_the_queue() {
+        let ts = start();
+        let mut threads = Vec::new();
+        for t in 0..8 {
+            let client = ts.rpc_client();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let ptr = match client.call(Request::Alloc { len: 32 }).unwrap() {
+                        Response::Ptr(p) => p,
+                        other => panic!("{other:?}"),
+                    };
+                    let data = format!("t{t}i{i}").into_bytes();
+                    match client.call(Request::Write { ptr, data: data.clone() }).unwrap() {
+                        Response::Done(_) => {}
+                        other => panic!("{other:?}"),
+                    }
+                    match client.call(Request::Read { ptr, len: data.len() }).unwrap() {
+                        Response::Data { data: got, .. } => assert_eq!(got, data),
+                        other => panic!("{other:?}"),
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let server = ts.server().clone();
+        ts.shutdown();
+        assert_eq!(server.stats.allocs.load(Ordering::Relaxed), 400);
+        assert!(ts_now_positive(&server));
+    }
+
+    fn ts_now_positive(_server: &CormServer) -> bool {
+        true
+    }
+
+    #[test]
+    fn virtual_clock_advances() {
+        let ts = start();
+        let client = ts.rpc_client();
+        let before = ts.now();
+        client.call(Request::Alloc { len: 8 }).unwrap();
+        assert!(ts.now() > before);
+        ts.shutdown();
+    }
+}

@@ -1,0 +1,208 @@
+#![allow(clippy::excessive_precision)] // Lanczos coefficients are canonical verbatim
+//! Closed-form compaction probability (§3.4, Fig. 7).
+//!
+//! Two blocks with `b1` and `b2` objects over an identifier space of size
+//! `n` are compactable iff their identifier sets are disjoint and
+//! `b1 + b2 ≤ s`. With IDs drawn uniformly without replacement,
+//!
+//! ```text
+//! p(B1,B2) = C(n - b1, b2) / C(n, b2)   if b1 + b2 ≤ s, else 0
+//! ```
+//!
+//! For Mesh, the "identifier" of an object is its offset, so `n = s`. For
+//! CoRM-x, `n = 2^x`. Probabilities are computed in log space to stay exact
+//! for the 2^16-sized spaces of the paper.
+
+/// `ln Γ(x)` via the Lanczos approximation (g=7, n=9), accurate to well
+/// beyond the 1e-10 needed here.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma domain: {x}");
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.99999999999980993;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        a += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "C({n},{k}) undefined");
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Probability that two blocks with `b1` and `b2` live objects over an
+/// identifier space of `n` are conflict-free, given `s` slots per block.
+///
+/// Returns 0 when `b1 + b2 > s` (the merged block would not fit) or when
+/// the identifier space cannot avoid collisions.
+pub fn compaction_probability(n: u64, s: u64, b1: u64, b2: u64) -> f64 {
+    if b1 + b2 > s {
+        return 0.0;
+    }
+    if b1 + b2 > n {
+        return 0.0;
+    }
+    if b1 == 0 || b2 == 0 {
+        return 1.0;
+    }
+    (ln_choose(n - b1, b2) - ln_choose(n, b2)).exp()
+}
+
+/// Mesh's compaction probability: identifiers are offsets, so `n = s`.
+pub fn mesh_probability(s: u64, b1: u64, b2: u64) -> f64 {
+    compaction_probability(s, s, b1, b2)
+}
+
+/// CoRM-x's compaction probability with `x`-bit identifiers.
+pub fn corm_probability(id_bits: u32, s: u64, b1: u64, b2: u64) -> f64 {
+    compaction_probability(1u64 << id_bits, s, b1, b2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..20 {
+            let exact: f64 = (1..n).map(|k| (k as f64).ln()).sum();
+            assert!((ln_gamma(n as f64) - exact).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 0).exp() - 1.0).abs() < 1e-9);
+        assert!((ln_choose(52, 5).exp() - 2_598_960.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn boundary_cases() {
+        // Overfull merge impossible.
+        assert_eq!(compaction_probability(1 << 16, 256, 200, 100), 0.0);
+        // Empty block always compactable.
+        assert_eq!(compaction_probability(1 << 16, 256, 0, 10), 1.0);
+        assert_eq!(compaction_probability(1 << 16, 256, 10, 0), 1.0);
+        // Identifier space exactly consumed: only one labelling avoids
+        // conflicts out of many — nonzero but tiny; n < b1+b2 is zero.
+        assert_eq!(compaction_probability(8, 256, 5, 4), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_b1_b2() {
+        for (b1, b2) in [(10, 20), (31, 7), (64, 64)] {
+            let p12 = compaction_probability(1 << 12, 256, b1, b2);
+            let p21 = compaction_probability(1 << 12, 256, b2, b1);
+            assert!((p12 - p21).abs() < 1e-12, "asym at ({b1},{b2})");
+        }
+    }
+
+    #[test]
+    fn corm_beats_mesh_at_same_occupancy() {
+        // Fig. 7's headline: with 16-bit IDs CoRM dominates Mesh everywhere.
+        // 4 KiB block, 128-byte objects → 32 slots; 50% occupancy.
+        let s = 32;
+        let b = 16;
+        let mesh = mesh_probability(s, b, b);
+        let corm8 = corm_probability(8, s, b, b);
+        let corm16 = corm_probability(16, s, b, b);
+        assert!(corm16 > corm8, "{corm16} vs {corm8}");
+        assert!(corm8 > mesh, "{corm8} vs {mesh}");
+        assert!(corm16 > 0.9, "16-bit IDs nearly conflict-free: {corm16}");
+        assert!(mesh < 0.01, "Mesh near zero at 50% occupancy: {mesh}");
+    }
+
+    #[test]
+    fn corm8_equals_mesh_for_16b_objects_in_4k_blocks() {
+        // §3.4: "for 16 byte objects, a 4 KiB block can store 256 objects"
+        // — with 8-bit IDs (n = 256 = s) CoRM-8 has exactly Mesh's
+        // probability.
+        let s = 256;
+        for b in [16, 32, 64] {
+            let mesh = mesh_probability(s, b, b);
+            let corm8 = corm_probability(8, s, b, b);
+            assert!((mesh - corm8).abs() < 1e-12, "b={b}");
+        }
+    }
+
+    #[test]
+    fn probability_decreases_with_occupancy() {
+        let s = 256;
+        let mut last = 1.1;
+        for occ in [16, 32, 64, 96, 128] {
+            let p = corm_probability(16, s, occ, occ);
+            assert!(p < last, "p must fall with occupancy");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        // Draw b1 and b2 IDs uniformly without replacement from n and count
+        // disjoint draws.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (n, s, b1, b2) = (256u64, 128u64, 30u64, 25u64);
+        let trials = 20_000;
+        let mut ok = 0;
+        for _ in 0..trials {
+            let mut set = vec![false; n as usize];
+            let mut draw = |set: &mut Vec<bool>, k: u64| -> bool {
+                // true if all k fresh draws avoid `set` (sampling without
+                // replacement within the block).
+                let mut mine = vec![false; n as usize];
+                let mut placed = 0;
+                let mut clash = false;
+                while placed < k {
+                    let id = rng.gen_range(0..n) as usize;
+                    if mine[id] {
+                        continue; // redraw within own block
+                    }
+                    mine[id] = true;
+                    placed += 1;
+                    if set[id] {
+                        clash = true;
+                    }
+                }
+                for (i, m) in mine.iter().enumerate() {
+                    if *m {
+                        set[i] = true;
+                    }
+                }
+                !clash
+            };
+            let mut set_v = set.clone();
+            draw(&mut set_v, b1);
+            if draw(&mut set_v, b2) {
+                ok += 1;
+            }
+            set.clear();
+        }
+        let empirical = ok as f64 / trials as f64;
+        let closed = compaction_probability(n, s, b1, b2);
+        assert!(
+            (empirical - closed).abs() < 0.02,
+            "empirical={empirical} closed={closed}"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Measurement collection for the benchmark harness.
+//!
+//! Three collectors cover everything the paper reports:
+//! - [`OnlineStats`]: count/mean/min/max without storing samples.
+//! - [`Histogram`]: stored-sample percentile estimation (the paper reports
+//!   *median* latencies).
+//! - [`TimeSeries`]: fixed-width time buckets for throughput timelines
+//!   (Fig. 16 plots throughput before/during/after compaction).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming count/mean/min/max accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of the samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Stored-sample distribution for percentile queries.
+///
+/// Keeps samples in insertion order and sorts lazily on query. Suitable for
+/// the at-most-millions of latency samples the figure harness produces.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Records a duration sample in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted samples;
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Median sample; `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Mean of the samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+/// Fixed-width time-bucketed event counter for throughput timelines.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(bucket > SimDuration::ZERO, "bucket width must be positive");
+        TimeSeries {
+            bucket,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records one event at instant `t`.
+    pub fn record(&mut self, t: SimTime) {
+        let idx = (t.as_nanos() / self.bucket.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Raw per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bucket rates in events/second, with bucket start times in seconds.
+    pub fn rates(&self) -> Vec<(f64, f64)> {
+        let w = self.bucket.as_secs_f64();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 * w, c as f64 / w))
+            .collect()
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [3.0, 1.0, 2.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.sum(), 6.0);
+    }
+
+    #[test]
+    fn histogram_median_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.median(), None);
+        for x in 1..=101 {
+            h.record(x as f64);
+        }
+        assert_eq!(h.median(), Some(51.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(101.0));
+        assert_eq!(h.len(), 101);
+        assert!((h.mean() - 51.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_duration_samples() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_micros(3));
+        assert_eq!(h.median(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_range_checked() {
+        Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn time_series_buckets_and_rates() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
+        ts.record(SimTime::from_millis(10)); // bucket 0
+        ts.record(SimTime::from_millis(99)); // bucket 0
+        ts.record(SimTime::from_millis(100)); // bucket 1
+        ts.record(SimTime::from_millis(350)); // bucket 3
+        assert_eq!(ts.counts(), &[2, 1, 0, 1]);
+        assert_eq!(ts.total(), 4);
+        let rates = ts.rates();
+        assert_eq!(rates.len(), 4);
+        assert!((rates[0].1 - 20.0).abs() < 1e-9); // 2 events / 0.1s
+        assert!((rates[3].0 - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,398 @@
+//! Physical frame table.
+//!
+//! Frames are 4 KiB, reference counted (a frame can back several virtual
+//! pages after compaction aliases block addresses), and poisoned on free so
+//! that reads through stale translations return recognizable garbage instead
+//! of silently looking valid.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+/// Size of a physical frame / virtual page, matching the paper's 4 KiB
+/// normal-sized pages.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Byte pattern written over freed frames. Reads through stale translations
+/// surface this pattern, making use-after-remap bugs observable in tests.
+pub const POISON_BYTE: u8 = 0xDF;
+
+/// Index of a physical frame in the frame table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// Errors from the simulated memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The physical memory capacity limit was reached.
+    OutOfMemory,
+    /// The frame id does not refer to a live frame.
+    DeadFrame(FrameId),
+    /// An access crossed the end of a frame.
+    FrameBounds {
+        /// Offset of the access within the frame.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+    },
+    /// The virtual address is not mapped.
+    Unmapped(u64),
+    /// The virtual address is already mapped.
+    AlreadyMapped(u64),
+    /// A virtual address that is not page aligned was supplied.
+    Unaligned(u64),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory => write!(f, "simulated physical memory exhausted"),
+            MemError::DeadFrame(id) => write!(f, "access to dead {id}"),
+            MemError::FrameBounds { offset, len } => {
+                write!(f, "frame access out of bounds: offset={offset} len={len}")
+            }
+            MemError::Unmapped(va) => write!(f, "unmapped virtual address {va:#x}"),
+            MemError::AlreadyMapped(va) => write!(f, "virtual address already mapped {va:#x}"),
+            MemError::Unaligned(va) => write!(f, "virtual address not page aligned {va:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+struct Frame {
+    data: Box<[AtomicU8]>,
+    /// Number of virtual pages (or other owners, e.g. a memfd file) holding
+    /// this frame. Zero means the frame is on the free list.
+    refs: u32,
+}
+
+impl Frame {
+    fn new() -> Self {
+        let data = (0..PAGE_SIZE).map(|_| AtomicU8::new(0)).collect();
+        Frame { data, refs: 1 }
+    }
+}
+
+/// The machine's physical memory: a growable, optionally capped frame table.
+///
+/// All bookkeeping (refcounts, free list) is behind locks; the data plane
+/// (reads/writes of frame bytes) is lock-free relaxed atomics so that the
+/// simulated RNIC can race with CPU writers exactly like real DMA does.
+pub struct PhysicalMemory {
+    frames: RwLock<Vec<Frame>>,
+    free_list: Mutex<Vec<u32>>,
+    capacity: Option<usize>,
+    live: AtomicU64,
+    peak: AtomicU64,
+    total_allocs: AtomicU64,
+}
+
+impl fmt::Debug for PhysicalMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalMemory")
+            .field("live_frames", &self.live_frames())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl Default for PhysicalMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysicalMemory {
+    /// Creates an unbounded physical memory.
+    pub fn new() -> Self {
+        PhysicalMemory {
+            frames: RwLock::new(Vec::new()),
+            free_list: Mutex::new(Vec::new()),
+            capacity: None,
+            live: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            total_allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a physical memory capped at `frames` live frames. Allocation
+    /// beyond the cap fails with [`MemError::OutOfMemory`] — the trigger for
+    /// CoRM's allocation-failure compaction policy.
+    pub fn with_capacity(frames: usize) -> Self {
+        PhysicalMemory {
+            capacity: Some(frames),
+            ..Self::new()
+        }
+    }
+
+    /// Allocates a zeroed frame.
+    pub fn alloc(&self) -> Result<FrameId, MemError> {
+        if let Some(cap) = self.capacity {
+            if self.live.load(Ordering::Relaxed) as usize >= cap {
+                return Err(MemError::OutOfMemory);
+            }
+        }
+        let id = if let Some(idx) = self.free_list.lock().pop() {
+            let frames = self.frames.read();
+            let frame = &frames[idx as usize];
+            debug_assert_eq!(frame.refs, 0);
+            for b in frame.data.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+            drop(frames);
+            self.frames.write()[idx as usize].refs = 1;
+            FrameId(idx)
+        } else {
+            let mut frames = self.frames.write();
+            frames.push(Frame::new());
+            FrameId((frames.len() - 1) as u32)
+        };
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+        self.total_allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Allocates `n` zeroed frames, rolling back on failure.
+    pub fn alloc_n(&self, n: usize) -> Result<Vec<FrameId>, MemError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.alloc() {
+                Ok(f) => out.push(f),
+                Err(e) => {
+                    for f in out {
+                        self.release(f);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds a reference to a live frame (a new virtual page now aliases it).
+    pub fn add_ref(&self, id: FrameId) -> Result<(), MemError> {
+        let mut frames = self.frames.write();
+        let frame = frames.get_mut(id.0 as usize).ok_or(MemError::DeadFrame(id))?;
+        if frame.refs == 0 {
+            return Err(MemError::DeadFrame(id));
+        }
+        frame.refs += 1;
+        Ok(())
+    }
+
+    /// Drops a reference; when the last reference goes the frame is poisoned
+    /// and recycled. Returns `true` if the frame was freed.
+    pub fn release(&self, id: FrameId) -> bool {
+        let mut frames = self.frames.write();
+        let frame = match frames.get_mut(id.0 as usize) {
+            Some(f) if f.refs > 0 => f,
+            _ => panic!("release of dead {id}"),
+        };
+        frame.refs -= 1;
+        if frame.refs == 0 {
+            for b in frame.data.iter() {
+                b.store(POISON_BYTE, Ordering::Relaxed);
+            }
+            drop(frames);
+            self.free_list.lock().push(id.0);
+            self.live.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current reference count of a frame (0 if freed).
+    pub fn ref_count(&self, id: FrameId) -> u32 {
+        self.frames
+            .read()
+            .get(id.0 as usize)
+            .map(|f| f.refs)
+            .unwrap_or(0)
+    }
+
+    /// Reads `buf.len()` bytes at `offset` within the frame.
+    ///
+    /// Deliberately permitted on freed frames: a stale RNIC translation
+    /// *does* read recycled memory on real hardware. Freed-but-not-reused
+    /// frames return [`POISON_BYTE`]s.
+    pub fn read(&self, id: FrameId, offset: usize, buf: &mut [u8]) -> Result<(), MemError> {
+        let frames = self.frames.read();
+        let frame = frames.get(id.0 as usize).ok_or(MemError::DeadFrame(id))?;
+        let end = offset
+            .checked_add(buf.len())
+            .ok_or(MemError::FrameBounds { offset, len: buf.len() })?;
+        if end > PAGE_SIZE {
+            return Err(MemError::FrameBounds { offset, len: buf.len() });
+        }
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = frame.data[offset + i].load(Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` at `offset` within the frame.
+    pub fn write(&self, id: FrameId, offset: usize, buf: &[u8]) -> Result<(), MemError> {
+        let frames = self.frames.read();
+        let frame = frames.get(id.0 as usize).ok_or(MemError::DeadFrame(id))?;
+        if frame.refs == 0 {
+            return Err(MemError::DeadFrame(id));
+        }
+        let end = offset
+            .checked_add(buf.len())
+            .ok_or(MemError::FrameBounds { offset, len: buf.len() })?;
+        if end > PAGE_SIZE {
+            return Err(MemError::FrameBounds { offset, len: buf.len() });
+        }
+        for (i, &b) in buf.iter().enumerate() {
+            frame.data[offset + i].store(b, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Copies a whole frame's contents onto another frame.
+    pub fn copy_frame(&self, src: FrameId, dst: FrameId) -> Result<(), MemError> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.read(src, 0, &mut buf)?;
+        self.write(dst, 0, &buf)
+    }
+
+    /// Number of live (referenced) frames.
+    pub fn live_frames(&self) -> usize {
+        self.live.load(Ordering::Relaxed) as usize
+    }
+
+    /// Live frames expressed in bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.live_frames() * PAGE_SIZE
+    }
+
+    /// High-water mark of live frames.
+    pub fn peak_frames(&self) -> usize {
+        self.peak.load(Ordering::Relaxed) as usize
+    }
+
+    /// Total allocations performed over the lifetime.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroes_and_rw_round_trips() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        let mut buf = [1u8; 16];
+        pm.read(f, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        pm.write(f, 100, b"hello").unwrap();
+        let mut out = [0u8; 5];
+        pm.read(f, 100, &mut out).unwrap();
+        assert_eq!(&out, b"hello");
+    }
+
+    #[test]
+    fn free_poisons_and_reuse_zeroes() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        pm.write(f, 0, b"data").unwrap();
+        assert!(pm.release(f));
+        // Stale read of the freed frame sees poison.
+        let mut buf = [0u8; 4];
+        pm.read(f, 0, &mut buf).unwrap();
+        assert_eq!(buf, [POISON_BYTE; 4]);
+        // Reuse returns the same slot zeroed.
+        let g = pm.alloc().unwrap();
+        assert_eq!(g, f);
+        pm.read(g, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn refcounting_keeps_frame_alive() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        pm.add_ref(f).unwrap();
+        assert_eq!(pm.ref_count(f), 2);
+        assert!(!pm.release(f));
+        assert_eq!(pm.live_frames(), 1);
+        assert!(pm.release(f));
+        assert_eq!(pm.live_frames(), 0);
+        assert!(pm.add_ref(f).is_err());
+    }
+
+    #[test]
+    fn capacity_cap_enforced_and_rolls_back() {
+        let pm = PhysicalMemory::with_capacity(2);
+        let a = pm.alloc().unwrap();
+        let _b = pm.alloc().unwrap();
+        assert_eq!(pm.alloc(), Err(MemError::OutOfMemory));
+        pm.release(a);
+        assert!(pm.alloc().is_ok());
+        // alloc_n larger than remaining capacity must not leak frames.
+        let before = pm.live_frames();
+        assert_eq!(pm.alloc_n(5), Err(MemError::OutOfMemory));
+        assert_eq!(pm.live_frames(), before);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            pm.read(f, PAGE_SIZE - 4, &mut buf),
+            Err(MemError::FrameBounds { .. })
+        ));
+        assert!(matches!(
+            pm.write(f, PAGE_SIZE, b"x"),
+            Err(MemError::FrameBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_frame_copies_all_bytes() {
+        let pm = PhysicalMemory::new();
+        let a = pm.alloc().unwrap();
+        let b = pm.alloc().unwrap();
+        let pattern: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        pm.write(a, 0, &pattern).unwrap();
+        pm.copy_frame(a, b).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        pm.read(b, 0, &mut out).unwrap();
+        assert_eq!(out, pattern);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let pm = PhysicalMemory::new();
+        let frames = pm.alloc_n(5).unwrap();
+        for f in &frames {
+            pm.release(*f);
+        }
+        assert_eq!(pm.live_frames(), 0);
+        assert_eq!(pm.peak_frames(), 5);
+        assert_eq!(pm.total_allocs(), 5);
+    }
+
+    #[test]
+    fn writes_to_freed_frame_rejected() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        pm.release(f);
+        assert_eq!(pm.write(f, 0, b"x"), Err(MemError::DeadFrame(f)));
+    }
+}

@@ -1,0 +1,379 @@
+//! Per-process virtual address space.
+//!
+//! The page table here is the OS-side source of truth for virtual-to-
+//! physical translations. The simulated RNIC keeps its *own* Memory
+//! Translation Table that is only synchronized at registration time (or
+//! lazily, via ODP) — the divergence between the two after a [`remap`]
+//! is precisely the hazard CoRM's §3.5 strategies manage.
+//!
+//! Per-page epochs increment on every translation change; the RNIC's ODP
+//! logic compares epochs to detect stale entries.
+//!
+//! [`remap`]: AddressSpace::remap
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::phys::{FrameId, MemError, PhysicalMemory, PAGE_SIZE};
+
+/// A resolved translation of one virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The backing physical frame.
+    pub frame: FrameId,
+    /// Epoch of this page's mapping; bumped on every remap.
+    pub epoch: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pte {
+    frame: FrameId,
+    epoch: u64,
+}
+
+/// A per-process virtual address space with mmap/munmap/remap.
+///
+/// Virtual addresses are handed out by a bump allocator starting well above
+/// zero; addresses released with [`AddressSpace::munmap`] can be re-bound
+/// with [`AddressSpace::mmap_fixed`], which is how CoRM reuses virtual
+/// addresses after a `ReleasePtr` (§3.3).
+pub struct AddressSpace {
+    phys: Arc<PhysicalMemory>,
+    table: RwLock<BTreeMap<u64, Pte>>,
+    next_va: AtomicU64,
+    epoch_counter: AtomicU64,
+    remaps: AtomicU64,
+}
+
+impl std::fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("mapped_pages", &self.mapped_pages())
+            .field("remaps", &self.remaps())
+            .finish()
+    }
+}
+
+impl AddressSpace {
+    /// Base of the mmap arena. Chosen so the low address space is obviously
+    /// invalid, like a real process layout.
+    pub const MMAP_BASE: u64 = 0x0000_1000_0000_0000;
+
+    /// Creates an address space over the given physical memory.
+    pub fn new(phys: Arc<PhysicalMemory>) -> Self {
+        AddressSpace {
+            phys,
+            table: RwLock::new(BTreeMap::new()),
+            next_va: AtomicU64::new(Self::MMAP_BASE),
+            epoch_counter: AtomicU64::new(1),
+            remaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The physical memory this address space maps.
+    pub fn phys(&self) -> &Arc<PhysicalMemory> {
+        &self.phys
+    }
+
+    fn page_of(va: u64) -> u64 {
+        va / PAGE_SIZE as u64
+    }
+
+    /// Maps `frames` at a fresh, page-aligned virtual address (like `mmap`
+    /// of a memfd file region). Each frame gains a reference.
+    pub fn mmap(&self, frames: &[FrameId]) -> Result<u64, MemError> {
+        let len = (frames.len() * PAGE_SIZE) as u64;
+        let va = self.next_va.fetch_add(len.max(PAGE_SIZE as u64), Ordering::Relaxed);
+        self.mmap_fixed(va, frames)?;
+        Ok(va)
+    }
+
+    /// Maps `frames` at the given virtual address (like `MAP_FIXED`). Used
+    /// to reuse released virtual addresses.
+    pub fn mmap_fixed(&self, va: u64, frames: &[FrameId]) -> Result<(), MemError> {
+        if !va.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(MemError::Unaligned(va));
+        }
+        let base = Self::page_of(va);
+        let mut table = self.table.write();
+        for i in 0..frames.len() as u64 {
+            if table.contains_key(&(base + i)) {
+                return Err(MemError::AlreadyMapped(va + i * PAGE_SIZE as u64));
+            }
+        }
+        for (i, &frame) in frames.iter().enumerate() {
+            self.phys.add_ref(frame)?;
+            let epoch = self.epoch_counter.fetch_add(1, Ordering::Relaxed);
+            table.insert(base + i as u64, Pte { frame, epoch });
+        }
+        Ok(())
+    }
+
+    /// Unmaps `pages` pages starting at `va`, dropping frame references.
+    pub fn munmap(&self, va: u64, pages: usize) -> Result<(), MemError> {
+        if !va.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(MemError::Unaligned(va));
+        }
+        let base = Self::page_of(va);
+        let mut table = self.table.write();
+        // Validate first so the operation is atomic.
+        for i in 0..pages as u64 {
+            if !table.contains_key(&(base + i)) {
+                return Err(MemError::Unmapped(va + i * PAGE_SIZE as u64));
+            }
+        }
+        for i in 0..pages as u64 {
+            let pte = table.remove(&(base + i)).expect("validated above");
+            self.phys.release(pte.frame);
+        }
+        Ok(())
+    }
+
+    /// Rebinds `pages` pages at `va` to `new_frames`, releasing the old
+    /// frames and bumping epochs. This is the compaction step: after it, the
+    /// source block's virtual address aliases the destination block's
+    /// physical frames, while any RNIC MTT snapshot still points at the old
+    /// (now possibly freed) frames until explicitly updated.
+    pub fn remap(&self, va: u64, new_frames: &[FrameId]) -> Result<(), MemError> {
+        if !va.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(MemError::Unaligned(va));
+        }
+        let base = Self::page_of(va);
+        let mut table = self.table.write();
+        for i in 0..new_frames.len() as u64 {
+            if !table.contains_key(&(base + i)) {
+                return Err(MemError::Unmapped(va + i * PAGE_SIZE as u64));
+            }
+        }
+        for (i, &frame) in new_frames.iter().enumerate() {
+            self.phys.add_ref(frame)?;
+            let epoch = self.epoch_counter.fetch_add(1, Ordering::Relaxed);
+            let old = table
+                .insert(base + i as u64, Pte { frame, epoch })
+                .expect("validated above");
+            self.phys.release(old.frame);
+        }
+        self.remaps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Resolves the translation of the page containing `va`.
+    pub fn translate(&self, va: u64) -> Result<Translation, MemError> {
+        let table = self.table.read();
+        let pte = table.get(&Self::page_of(va)).ok_or(MemError::Unmapped(va))?;
+        Ok(Translation {
+            frame: pte.frame,
+            epoch: pte.epoch,
+        })
+    }
+
+    /// Whether the page containing `va` is mapped.
+    pub fn is_mapped(&self, va: u64) -> bool {
+        self.table.read().contains_key(&Self::page_of(va))
+    }
+
+    /// CPU read through the MMU; may cross page boundaries.
+    pub fn read(&self, va: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        self.walk(va, buf.len(), |frame, off, range, buf_off| {
+            // Reads borrow buf mutably through the closure below.
+            let _ = (frame, off, range, buf_off);
+        })?;
+        // Do the actual copy in a second pass to keep the closure simple.
+        let mut done = 0;
+        let mut addr = va;
+        while done < buf.len() {
+            let t = self.translate(addr)?;
+            let off = (addr % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            self.phys.read(t.frame, off, &mut buf[done..done + n])?;
+            done += n;
+            addr += n as u64;
+        }
+        Ok(())
+    }
+
+    /// CPU write through the MMU; may cross page boundaries.
+    pub fn write(&self, va: u64, buf: &[u8]) -> Result<(), MemError> {
+        // Validate the whole range first so partial writes don't happen.
+        self.walk(va, buf.len(), |_, _, _, _| {})?;
+        let mut done = 0;
+        let mut addr = va;
+        while done < buf.len() {
+            let t = self.translate(addr)?;
+            let off = (addr % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            self.phys.write(t.frame, off, &buf[done..done + n])?;
+            done += n;
+            addr += n as u64;
+        }
+        Ok(())
+    }
+
+    fn walk(
+        &self,
+        va: u64,
+        len: usize,
+        mut f: impl FnMut(FrameId, usize, usize, usize),
+    ) -> Result<(), MemError> {
+        let mut done = 0;
+        let mut addr = va;
+        while done < len {
+            let t = self.translate(addr)?;
+            let off = (addr % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(len - done);
+            f(t.frame, off, n, done);
+            done += n;
+            addr += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// Number of remap operations performed.
+    pub fn remaps(&self) -> u64 {
+        self.remaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pages: usize) -> (Arc<PhysicalMemory>, AddressSpace, Vec<FrameId>) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(pages).unwrap();
+        let aspace = AddressSpace::new(pm.clone());
+        (pm, aspace, frames)
+    }
+
+    #[test]
+    fn mmap_translate_read_write() {
+        let (_pm, aspace, frames) = setup(2);
+        let va = aspace.mmap(&frames).unwrap();
+        assert_eq!(va % PAGE_SIZE as u64, 0);
+        assert_eq!(aspace.translate(va).unwrap().frame, frames[0]);
+        assert_eq!(
+            aspace.translate(va + PAGE_SIZE as u64).unwrap().frame,
+            frames[1]
+        );
+        aspace.write(va + 10, b"corm").unwrap();
+        let mut buf = [0u8; 4];
+        aspace.read(va + 10, &mut buf).unwrap();
+        assert_eq!(&buf, b"corm");
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let (_pm, aspace, frames) = setup(2);
+        let va = aspace.mmap(&frames).unwrap();
+        let data: Vec<u8> = (0..100).collect();
+        let addr = va + PAGE_SIZE as u64 - 50;
+        aspace.write(addr, &data).unwrap();
+        let mut buf = vec![0u8; 100];
+        aspace.read(addr, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn munmap_releases_and_rejects_access() {
+        let (pm, aspace, frames) = setup(1);
+        let va = aspace.mmap(&frames).unwrap();
+        assert_eq!(pm.ref_count(frames[0]), 2);
+        aspace.munmap(va, 1).unwrap();
+        assert_eq!(pm.ref_count(frames[0]), 1);
+        assert!(matches!(aspace.translate(va), Err(MemError::Unmapped(_))));
+        let mut buf = [0u8; 1];
+        assert!(aspace.read(va, &mut buf).is_err());
+    }
+
+    #[test]
+    fn remap_aliases_two_vaddrs_to_one_frame() {
+        // The compaction scenario: block1's vaddr gets remapped onto
+        // block2's frame; both vaddrs then read the same bytes.
+        let (pm, aspace, frames) = setup(2);
+        let va1 = aspace.mmap(&frames[..1]).unwrap();
+        let va2 = aspace.mmap(&frames[1..]).unwrap();
+        aspace.write(va2, b"dest").unwrap();
+        let epoch_before = aspace.translate(va1).unwrap().epoch;
+
+        aspace.remap(va1, &frames[1..]).unwrap();
+
+        assert_eq!(aspace.translate(va1).unwrap().frame, frames[1]);
+        assert!(aspace.translate(va1).unwrap().epoch > epoch_before);
+        let mut buf = [0u8; 4];
+        aspace.read(va1, &mut buf).unwrap();
+        assert_eq!(&buf, b"dest");
+        // Old frame lost the page-table ref; only the allocator ref remains.
+        assert_eq!(pm.ref_count(frames[0]), 1);
+        // Dest frame now referenced by allocator + two mappings.
+        assert_eq!(pm.ref_count(frames[1]), 3);
+        assert_eq!(aspace.remaps(), 1);
+    }
+
+    #[test]
+    fn mmap_fixed_reuses_released_vaddr() {
+        let (_pm, aspace, frames) = setup(2);
+        let va = aspace.mmap(&frames[..1]).unwrap();
+        aspace.munmap(va, 1).unwrap();
+        aspace.mmap_fixed(va, &frames[1..]).unwrap();
+        assert_eq!(aspace.translate(va).unwrap().frame, frames[1]);
+    }
+
+    #[test]
+    fn mmap_fixed_rejects_overlap_and_misalignment() {
+        let (_pm, aspace, frames) = setup(2);
+        let va = aspace.mmap(&frames[..1]).unwrap();
+        assert!(matches!(
+            aspace.mmap_fixed(va, &frames[1..]),
+            Err(MemError::AlreadyMapped(_))
+        ));
+        assert!(matches!(
+            aspace.mmap_fixed(va + 1, &frames[1..]),
+            Err(MemError::Unaligned(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_mmaps_get_disjoint_ranges() {
+        let (_pm, aspace, frames) = setup(2);
+        let va1 = aspace.mmap(&frames[..1]).unwrap();
+        let va2 = aspace.mmap(&frames[1..]).unwrap();
+        assert!(va2 >= va1 + PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn remap_of_unmapped_page_fails() {
+        let (_pm, aspace, frames) = setup(1);
+        assert!(matches!(
+            aspace.remap(AddressSpace::MMAP_BASE, &frames),
+            Err(MemError::Unmapped(_))
+        ));
+    }
+
+    #[test]
+    fn stale_frame_read_after_remap_sees_poison() {
+        // A reader holding the *frame id* (like a stale MTT entry) reads
+        // poison after the frame is fully released.
+        let pm = Arc::new(PhysicalMemory::new());
+        let aspace = AddressSpace::new(pm.clone());
+        let f1 = pm.alloc().unwrap();
+        let f2 = pm.alloc().unwrap();
+        let va = aspace.mmap(&[f1]).unwrap();
+        aspace.write(va, b"live").unwrap();
+        let stale = aspace.translate(va).unwrap().frame;
+        aspace.remap(va, &[f2]).unwrap();
+        pm.release(f1); // allocator drops its ref; frame now dead
+        let mut buf = [0u8; 4];
+        pm.read(stale, 0, &mut buf).unwrap();
+        assert_eq!(buf, [POISON_BYTE; 4]);
+    }
+
+    use crate::phys::POISON_BYTE;
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the simulated memory subsystem.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use corm_sim_mem::{AddressSpace, MemError, PhysicalMemory, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CPU reads always return the last CPU write, for arbitrary offsets
+    /// and lengths, including page-crossing accesses.
+    #[test]
+    fn read_your_writes(
+        pages in 1usize..4,
+        offset in 0usize..8192,
+        data in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(pages).unwrap();
+        let aspace = AddressSpace::new(pm);
+        let va = aspace.mmap(&frames).unwrap();
+        let span = pages * PAGE_SIZE;
+        let offset = offset % span;
+        if offset + data.len() > span {
+            // Out-of-mapping access must fail without partial effects.
+            prop_assert!(aspace.write(va + offset as u64, &data).is_err());
+            return Ok(());
+        }
+        aspace.write(va + offset as u64, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        aspace.read(va + offset as u64, &mut buf).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Remapping sequences keep refcounts exact: after unmapping
+    /// everything, only allocator references remain.
+    #[test]
+    fn refcounts_balance(ops in prop::collection::vec(0usize..3, 1..30)) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let f1 = pm.alloc().unwrap();
+        let f2 = pm.alloc().unwrap();
+        let aspace = AddressSpace::new(pm.clone());
+        let va = aspace.mmap(&[f1]).unwrap();
+        for op in ops {
+            match op {
+                0 => aspace.remap(va, &[f2]).unwrap(),
+                1 => aspace.remap(va, &[f1]).unwrap(),
+                _ => {
+                    let t = aspace.translate(va).unwrap();
+                    let mut b = [0u8; 1];
+                    pm.read(t.frame, 0, &mut b).unwrap();
+                }
+            }
+        }
+        aspace.munmap(va, 1).unwrap();
+        prop_assert_eq!(pm.ref_count(f1), 1);
+        prop_assert_eq!(pm.ref_count(f2), 1);
+        prop_assert!(aspace.translate(va).is_err());
+    }
+
+    /// Epochs strictly increase across remaps of the same page.
+    #[test]
+    fn epochs_monotonic(n in 1usize..20) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let f1 = pm.alloc().unwrap();
+        let f2 = pm.alloc().unwrap();
+        let aspace = AddressSpace::new(pm);
+        let va = aspace.mmap(&[f1]).unwrap();
+        let mut last = aspace.translate(va).unwrap().epoch;
+        for i in 0..n {
+            let target = if i % 2 == 0 { f2 } else { f1 };
+            aspace.remap(va, &[target]).unwrap();
+            let e = aspace.translate(va).unwrap().epoch;
+            prop_assert!(e > last);
+            last = e;
+        }
+    }
+
+    /// Frame bounds are enforced exactly.
+    #[test]
+    fn frame_bounds(offset in 0usize..5000, len in 0usize..5000) {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        let mut buf = vec![0u8; len];
+        let result = pm.read(f, offset, &mut buf);
+        if offset + len <= PAGE_SIZE {
+            prop_assert!(result.is_ok());
+        } else {
+            let bounds = matches!(result, Err(MemError::FrameBounds { .. }));
+            prop_assert!(bounds);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! A fixed-capacity LRU cache.
+//!
+//! Models the RNIC's on-chip cache of MTT entries. The paper attributes the
+//! Zipf-vs-uniform throughput gap (Fig. 12) and the fragmentation slowdown
+//! (Fig. 14) to this cache: "RNICs have limited cache for address
+//! translation entries, and once the cache is full the MTT will swap and
+//! incur in more misses."
+//!
+//! Implemented as a slab-backed intrusive doubly-linked list plus a hash
+//! index, giving O(1) touch/insert/evict.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used cache.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks `key` up, promoting it to most-recently-used on a hit.
+    /// Hit/miss counters feed the latency model.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without promoting or counting.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts or updates `key`, promoting it. Evicts the LRU entry when at
+    /// capacity; the evicted key is returned.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            let old_key = self.slab[lru].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(lru);
+            evicted = Some(old_key);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Removes `key` if present.
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.free.push(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_counting() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "a");
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(&1); // promote 1; 2 is now LRU
+        assert_eq!(c.insert(3, 30), Some(2));
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+    }
+
+    #[test]
+    fn update_promotes_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None); // update, promote
+        assert_eq!(c.insert(3, 30), Some(2)); // 2 was LRU
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.len(), 1);
+        c.insert(3, 30);
+        c.insert(4, 40); // evicts 2
+        assert!(!c.contains(&2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        c.insert(1, 10);
+        assert_eq!(c.insert(2, 20), Some(1));
+        assert_eq!(c.get(&2), Some(&20));
+        assert!(c.get(&1).is_none());
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let mut c = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(9, 9);
+        assert_eq!(c.get(&9), Some(&9));
+    }
+
+    #[test]
+    fn long_sequence_consistency() {
+        // Compare against a naive model to validate the intrusive list.
+        let mut c = LruCache::new(8);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        for step in 0u64..10_000 {
+            let key = step * 2654435761 % 32;
+            let hit_model = model.iter().position(|&k| k == key);
+            match hit_model {
+                Some(pos) => {
+                    model.remove(pos);
+                    model.insert(0, key);
+                    assert!(c.get(&key).is_some(), "step {step}");
+                }
+                None => {
+                    assert!(c.get(&key).is_none(), "step {step}");
+                    if model.len() == 8 {
+                        model.pop();
+                    }
+                    model.insert(0, key);
+                    c.insert(key, key);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Simulated RDMA NIC and fabric for the CoRM reproduction.
+//!
+//! The defining property of RDMA that CoRM (§3.5) engineers around is that
+//! the NIC translates virtual addresses with its **own** Memory Translation
+//! Table (MTT), populated when memory is registered — *not* with the OS page
+//! table. After compaction remaps a virtual page, the two disagree until the
+//! MTT is explicitly updated, and one-sided reads silently hit the wrong
+//! physical frame. This crate reproduces that hazard and the three repair
+//! strategies the paper evaluates:
+//!
+//! 1. **`ibv_rereg_mr`** — re-snapshot the MTT, preserving keys, but any
+//!    access during the re-registration window breaks the queue pair
+//!    (observed by the authors on ConnectX-3/5, per the InfiniBand spec).
+//! 2. **ODP** — the NIC lazily refetches stale translations from the OS at a
+//!    large first-access cost (~63 µs on ConnectX-5).
+//! 3. **ODP + `ibv_advise_mr` prefetch** — translations are pushed ahead of
+//!    time (~4.5 µs), avoiding the miss. CoRM's default.
+//!
+//! Components:
+//! - [`LatencyModel`]: per-device/per-CPU virtual-time costs calibrated to
+//!   the paper's microbenchmarks (Figs. 8, 9, 15).
+//! - [`Rnic`]: memory regions with `l_key`/`r_key`, the MTT, ODP regions,
+//!   an LRU translation cache (the Zipf-locality effect of Fig. 12), and
+//!   one-sided READ/WRITE verbs executed against physical frames.
+//! - [`QueuePair`]: reliable connection semantics — invalid accesses move
+//!   the QP to the error state and reconnecting costs milliseconds.
+//! - [`rpc`]: a two-sided SEND/RECV fabric (crossbeam channels) used by the
+//!   threaded CoRM server.
+
+pub mod cache;
+pub mod latency;
+pub mod qp;
+pub mod rnic;
+pub mod rpc;
+
+pub use cache::LruCache;
+pub use latency::{CpuKind, DeviceKind, LatencyModel, MttUpdateStrategy};
+pub use qp::{QpState, QueuePair};
+pub use rnic::{MemoryRegion, RdmaError, Rnic, RnicConfig};

@@ -1,0 +1,197 @@
+//! Reliable queue pairs.
+//!
+//! CoRM only uses reliable QPs (the only kind supporting one-sided reads).
+//! The property that matters for the paper is failure semantics: an access
+//! with an invalid `r_key` — e.g. during a `rereg_mr` window — moves the QP
+//! to the error state, and recovering the connection costs milliseconds
+//! (§3.5). CoRM's whole remapping design exists to never trigger this.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use corm_sim_core::time::{SimDuration, SimTime};
+
+use crate::rnic::{RdmaError, Rnic, VerbOutcome};
+
+/// Connection state of a queue pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpState {
+    /// Ready to send/receive.
+    Connected,
+    /// A failed access moved the QP to the error state; it must be
+    /// reconnected before further use.
+    Error,
+}
+
+/// A reliable connected queue pair bound to a remote NIC.
+pub struct QueuePair {
+    rnic: Arc<Rnic>,
+    state: Mutex<QpState>,
+    reconnects: AtomicU64,
+    breaks: AtomicU64,
+}
+
+impl std::fmt::Debug for QueuePair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueuePair")
+            .field("state", &*self.state.lock())
+            .finish()
+    }
+}
+
+impl QueuePair {
+    /// Creates a connected QP targeting `rnic`.
+    pub fn connect(rnic: Arc<Rnic>) -> Self {
+        QueuePair {
+            rnic,
+            state: Mutex::new(QpState::Connected),
+            reconnects: AtomicU64::new(0),
+            breaks: AtomicU64::new(0),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QpState {
+        *self.state.lock()
+    }
+
+    /// The remote NIC this QP targets.
+    pub fn rnic(&self) -> &Arc<Rnic> {
+        &self.rnic
+    }
+
+    /// One-sided READ through this QP. On any access error the QP breaks.
+    pub fn read(
+        &self,
+        rkey: u32,
+        va: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<VerbOutcome, RdmaError> {
+        self.guarded(|| self.rnic.read(rkey, va, buf, now))
+    }
+
+    /// One-sided WRITE through this QP. On any access error the QP breaks.
+    pub fn write(
+        &self,
+        rkey: u32,
+        va: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<VerbOutcome, RdmaError> {
+        self.guarded(|| self.rnic.write(rkey, va, data, now))
+    }
+
+    fn guarded<T>(
+        &self,
+        f: impl FnOnce() -> Result<T, RdmaError>,
+    ) -> Result<T, RdmaError> {
+        {
+            let state = self.state.lock();
+            if *state == QpState::Error {
+                return Err(RdmaError::QpBroken);
+            }
+        }
+        match f() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // Access faults break the connection; memory-bounds errors
+                // from the simulated DMA do too (they model PCIe faults).
+                *self.state.lock() = QpState::Error;
+                self.breaks.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-establishes a broken connection. Returns the recovery cost
+    /// ("a few milliseconds", §3.5).
+    pub fn reconnect(&self) -> SimDuration {
+        let mut state = self.state.lock();
+        *state = QpState::Connected;
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+        self.rnic.model().qp_reconnect
+    }
+
+    /// Number of reconnects performed.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Number of times the QP broke.
+    pub fn breaks(&self) -> u64 {
+        self.breaks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnic::RnicConfig;
+    use corm_sim_mem::{AddressSpace, PhysicalMemory};
+
+    fn setup() -> (Arc<AddressSpace>, Arc<Rnic>, u64) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let rnic = Arc::new(Rnic::new(aspace.clone(), RnicConfig::default()));
+        (aspace, rnic, va)
+    }
+
+    #[test]
+    fn read_write_through_connected_qp() {
+        let (_aspace, rnic, va) = setup();
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let qp = QueuePair::connect(rnic);
+        qp.write(mr.rkey, va, b"ping", SimTime::ZERO).unwrap();
+        let mut buf = [0u8; 4];
+        qp.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert_eq!(qp.state(), QpState::Connected);
+        assert_eq!(qp.breaks(), 0);
+    }
+
+    #[test]
+    fn invalid_rkey_breaks_qp_until_reconnect() {
+        let (_aspace, rnic, va) = setup();
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let qp = QueuePair::connect(rnic);
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            qp.read(0xbad, va, &mut buf, SimTime::ZERO),
+            Err(RdmaError::InvalidKey(_))
+        ));
+        assert_eq!(qp.state(), QpState::Error);
+        // Further ops — even valid ones — fail until reconnect.
+        assert_eq!(
+            qp.read(mr.rkey, va, &mut buf, SimTime::ZERO),
+            Err(RdmaError::QpBroken)
+        );
+        let cost = qp.reconnect();
+        assert!(cost.as_secs_f64() >= 0.001, "reconnect should cost ms");
+        qp.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(qp.reconnects(), 1);
+        assert_eq!(qp.breaks(), 1);
+    }
+
+    #[test]
+    fn access_during_rereg_window_breaks_qp() {
+        let (aspace, rnic, va) = setup();
+        let pm = aspace.phys().clone();
+        let f_new = pm.alloc().unwrap();
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        aspace.remap(va, &[f_new]).unwrap();
+        let qp = QueuePair::connect(rnic.clone());
+        let t0 = SimTime::from_micros(10);
+        rnic.rereg(mr.rkey, t0).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            qp.read(mr.rkey, va, &mut buf, t0),
+            Err(RdmaError::RegionBusy(_))
+        ));
+        assert_eq!(qp.state(), QpState::Error);
+    }
+}

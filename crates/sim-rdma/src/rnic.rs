@@ -1,0 +1,639 @@
+//! The simulated RDMA NIC.
+//!
+//! An [`Rnic`] sits between remote peers and a host [`AddressSpace`]. It
+//! owns a Memory Translation Table (MTT) that is synchronized with the OS
+//! page table only at registration time (or lazily through ODP), plus an LRU
+//! cache of hot MTT entries. One-sided READ/WRITE verbs translate through
+//! the MTT — never through the page table directly — so a compaction remap
+//! that is not propagated to the NIC makes reads hit stale physical frames.
+//! That is the central hazard of the paper, and it is fully observable here.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use corm_sim_core::time::{SimDuration, SimTime};
+use corm_sim_mem::{AddressSpace, FrameId, MemError, PAGE_SIZE};
+
+use crate::cache::LruCache;
+use crate::latency::LatencyModel;
+
+/// Errors surfaced by RNIC verbs. Any error on a one-sided access breaks
+/// the issuing queue pair, per reliable-connection semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdmaError {
+    /// No region with this key (or the key was invalidated).
+    InvalidKey(u32),
+    /// The access falls outside the registered region.
+    OutOfRange {
+        /// Region key used.
+        rkey: u32,
+        /// Target virtual address.
+        va: u64,
+        /// Access length.
+        len: usize,
+    },
+    /// The region is being re-registered; accesses during the window break
+    /// the QP (InfiniBand spec behaviour observed by the authors).
+    RegionBusy(u32),
+    /// ODP was requested on a device without ODP support.
+    OdpUnsupported,
+    /// An ODP fetch found the page unmapped in the OS page table.
+    OdpFault(u64),
+    /// Underlying memory error.
+    Mem(MemError),
+    /// The queue pair is in the error state and must be reconnected.
+    QpBroken,
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::InvalidKey(k) => write!(f, "invalid rkey {k:#x}"),
+            RdmaError::OutOfRange { rkey, va, len } => {
+                write!(f, "access out of range: rkey={rkey:#x} va={va:#x} len={len}")
+            }
+            RdmaError::RegionBusy(k) => write!(f, "region {k:#x} busy re-registering"),
+            RdmaError::OdpUnsupported => write!(f, "device has no ODP support"),
+            RdmaError::OdpFault(va) => write!(f, "ODP fault: va {va:#x} unmapped"),
+            RdmaError::Mem(e) => write!(f, "memory error: {e}"),
+            RdmaError::QpBroken => write!(f, "queue pair in error state"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+impl From<MemError> for RdmaError {
+    fn from(e: MemError) -> Self {
+        RdmaError::Mem(e)
+    }
+}
+
+/// A registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegion {
+    /// Key for local access.
+    pub lkey: u32,
+    /// Key handed to remote peers.
+    pub rkey: u32,
+    /// Base virtual address (page aligned).
+    pub base: u64,
+    /// Length in pages.
+    pub pages: usize,
+    /// Whether the region uses On-Demand Paging.
+    pub odp: bool,
+}
+
+impl MemoryRegion {
+    /// Whether `[va, va+len)` lies inside the region.
+    pub fn covers(&self, va: u64, len: usize) -> bool {
+        let end = self.base + (self.pages * PAGE_SIZE) as u64;
+        va >= self.base && va.checked_add(len as u64).is_some_and(|e| e <= end)
+    }
+}
+
+/// RNIC configuration.
+#[derive(Debug, Clone)]
+pub struct RnicConfig {
+    /// The device/CPU latency model.
+    pub model: LatencyModel,
+    /// Capacity of the on-chip MTT translation cache, in page entries.
+    pub cache_entries: usize,
+}
+
+impl Default for RnicConfig {
+    fn default() -> Self {
+        RnicConfig {
+            model: LatencyModel::default(),
+            cache_entries: 16 * 1024,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MttEntry {
+    frame: FrameId,
+    epoch: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    mtt: HashMap<u64, MttEntry>,
+    regions: HashMap<u32, MemoryRegion>,
+    /// Pages whose region is mid-`rereg_mr`: vpn → end of the busy window.
+    busy_until: HashMap<u32, SimTime>,
+    cache: LruCache<u64, ()>,
+    next_key: u32,
+}
+
+/// The outcome of a one-sided verb: end-to-end latency plus diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerbOutcome {
+    /// End-to-end latency charged to the issuing client.
+    pub latency: SimDuration,
+    /// Whether every page translation hit the RNIC cache.
+    pub cache_hit: bool,
+    /// Number of ODP misses taken.
+    pub odp_misses: u32,
+}
+
+/// Counters exposed for the benchmark harness.
+#[derive(Debug, Default)]
+pub struct RnicStats {
+    /// One-sided reads served.
+    pub reads: AtomicU64,
+    /// One-sided writes served.
+    pub writes: AtomicU64,
+    /// Payload bytes read.
+    pub bytes_read: AtomicU64,
+    /// ODP misses taken.
+    pub odp_misses: AtomicU64,
+    /// `rereg_mr` calls.
+    pub reregs: AtomicU64,
+    /// `advise_mr` calls.
+    pub advises: AtomicU64,
+}
+
+/// The simulated RDMA-capable NIC.
+pub struct Rnic {
+    aspace: Arc<AddressSpace>,
+    inner: Mutex<Inner>,
+    config: RnicConfig,
+    /// Public counters.
+    pub stats: RnicStats,
+}
+
+impl fmt::Debug for Rnic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rnic")
+            .field("device", &self.config.model.device)
+            .finish()
+    }
+}
+
+impl Rnic {
+    /// Creates a NIC attached to `aspace`.
+    pub fn new(aspace: Arc<AddressSpace>, config: RnicConfig) -> Self {
+        let cache_entries = config.cache_entries;
+        Rnic {
+            aspace,
+            inner: Mutex::new(Inner {
+                mtt: HashMap::new(),
+                regions: HashMap::new(),
+                busy_until: HashMap::new(),
+                cache: LruCache::new(cache_entries),
+                next_key: 0x1000,
+            }),
+            config,
+            stats: RnicStats::default(),
+        }
+    }
+
+    /// The latency model in force.
+    pub fn model(&self) -> &LatencyModel {
+        &self.config.model
+    }
+
+    /// The host address space this NIC is attached to.
+    pub fn aspace(&self) -> &Arc<AddressSpace> {
+        &self.aspace
+    }
+
+    /// Registers `[base, base + pages*PAGE_SIZE)`. Snapshot-copies the
+    /// current page-table entries into the MTT (pinning semantics) and
+    /// returns keys. Cost is the same order as `rereg_mr`.
+    pub fn register(
+        &self,
+        base: u64,
+        pages: usize,
+        odp: bool,
+    ) -> Result<(MemoryRegion, SimDuration), RdmaError> {
+        if odp && self.config.model.odp_miss.is_none() {
+            return Err(RdmaError::OdpUnsupported);
+        }
+        if !base.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(RdmaError::Mem(MemError::Unaligned(base)));
+        }
+        let mut entries = Vec::with_capacity(pages);
+        for i in 0..pages {
+            let va = base + (i * PAGE_SIZE) as u64;
+            let t = self.aspace.translate(va)?;
+            entries.push((va / PAGE_SIZE as u64, MttEntry { frame: t.frame, epoch: t.epoch }));
+        }
+        let mut inner = self.inner.lock();
+        let lkey = inner.next_key;
+        let rkey = inner.next_key + 1;
+        inner.next_key += 2;
+        for (vpn, e) in entries {
+            inner.mtt.insert(vpn, e);
+        }
+        let mr = MemoryRegion { lkey, rkey, base, pages, odp };
+        inner.regions.insert(rkey, mr);
+        Ok((mr, self.config.model.rereg_cost(pages)))
+    }
+
+    /// Deregisters a region, dropping its MTT entries.
+    pub fn deregister(&self, rkey: u32) -> Result<(), RdmaError> {
+        let mut inner = self.inner.lock();
+        let mr = inner.regions.remove(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        for i in 0..mr.pages {
+            let vpn = mr.base / PAGE_SIZE as u64 + i as u64;
+            inner.mtt.remove(&vpn);
+            inner.cache.remove(&vpn);
+        }
+        inner.busy_until.remove(&rkey);
+        Ok(())
+    }
+
+    /// `ibv_rereg_mr`: re-snapshots the region's translations, preserving
+    /// keys. The region is unavailable for `[now, now+cost)`; one-sided
+    /// accesses inside the window break the QP.
+    pub fn rereg(&self, rkey: u32, now: SimTime) -> Result<SimDuration, RdmaError> {
+        let mut inner = self.inner.lock();
+        let mr = *inner.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        let cost = self.config.model.rereg_cost(mr.pages);
+        for i in 0..mr.pages {
+            let va = mr.base + (i * PAGE_SIZE) as u64;
+            let t = self.aspace.translate(va)?;
+            let vpn = va / PAGE_SIZE as u64;
+            inner.mtt.insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
+            inner.cache.remove(&vpn);
+        }
+        inner.busy_until.insert(rkey, now + cost);
+        self.stats.reregs.fetch_add(1, Ordering::Relaxed);
+        Ok(cost)
+    }
+
+    /// `ibv_advise_mr` prefetch: refreshes translations of an ODP region's
+    /// pages ahead of the first access.
+    pub fn advise(&self, rkey: u32, va: u64, pages: usize) -> Result<SimDuration, RdmaError> {
+        let mut inner = self.inner.lock();
+        let mr = *inner.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        if !mr.odp {
+            return Err(RdmaError::OdpUnsupported);
+        }
+        if !mr.covers(va, pages * PAGE_SIZE) {
+            return Err(RdmaError::OutOfRange { rkey, va, len: pages * PAGE_SIZE });
+        }
+        for i in 0..pages {
+            let page_va = va + (i * PAGE_SIZE) as u64;
+            let t = self.aspace.translate(page_va)?;
+            let vpn = page_va / PAGE_SIZE as u64;
+            inner.mtt.insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
+        }
+        self.stats.advises.fetch_add(1, Ordering::Relaxed);
+        Ok(self.config.model.advise_cost(pages))
+    }
+
+    /// One-sided RDMA READ of `buf.len()` bytes at `(rkey, va)`.
+    ///
+    /// Translation is performed through the MTT. For non-ODP regions the
+    /// snapshot is authoritative even if stale — the dangerous case. For
+    /// ODP regions, stale/missing entries are refetched from the OS page
+    /// table at the ODP miss cost.
+    pub fn read(
+        &self,
+        rkey: u32,
+        va: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<VerbOutcome, RdmaError> {
+        let outcome = self.access(rkey, va, buf.len(), now, AccessDir::Read(buf))?;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(outcome.1 as u64, Ordering::Relaxed);
+        Ok(outcome.0)
+    }
+
+    /// One-sided RDMA WRITE of `data` at `(rkey, va)`.
+    pub fn write(
+        &self,
+        rkey: u32,
+        va: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<VerbOutcome, RdmaError> {
+        let outcome = self.access(rkey, va, data.len(), now, AccessDir::Write(data))?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(outcome.0)
+    }
+
+    fn access(
+        &self,
+        rkey: u32,
+        va: u64,
+        len: usize,
+        now: SimTime,
+        mut dir: AccessDir<'_>,
+    ) -> Result<(VerbOutcome, usize), RdmaError> {
+        let mut inner = self.inner.lock();
+        let mr = *inner.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        if !mr.covers(va, len) {
+            return Err(RdmaError::OutOfRange { rkey, va, len });
+        }
+        if let Some(&until) = inner.busy_until.get(&rkey) {
+            if now < until {
+                return Err(RdmaError::RegionBusy(rkey));
+            }
+        }
+        // Resolve the translation of every page the access touches.
+        let first_vpn = va / PAGE_SIZE as u64;
+        let last_vpn = (va + len.max(1) as u64 - 1) / PAGE_SIZE as u64;
+        let mut all_hit = true;
+        let mut odp_misses = 0u32;
+        let mut frames = Vec::with_capacity((last_vpn - first_vpn + 1) as usize);
+        for vpn in first_vpn..=last_vpn {
+            let entry = match inner.mtt.get(&vpn).copied() {
+                Some(e) if !mr.odp => e,
+                maybe => {
+                    // ODP region (or missing entry on one): validate epoch
+                    // against the OS page table.
+                    debug_assert!(mr.odp || maybe.is_some());
+                    let current = self
+                        .aspace
+                        .translate(vpn * PAGE_SIZE as u64)
+                        .map_err(|_| RdmaError::OdpFault(vpn * PAGE_SIZE as u64))?;
+                    match maybe {
+                        Some(e) if e.epoch == current.epoch => e,
+                        _ => {
+                            // Stale or absent: take the ODP miss and install.
+                            odp_misses += 1;
+                            self.stats.odp_misses.fetch_add(1, Ordering::Relaxed);
+                            let e = MttEntry { frame: current.frame, epoch: current.epoch };
+                            inner.mtt.insert(vpn, e);
+                            e
+                        }
+                    }
+                }
+            };
+            if inner.cache.get(&vpn).is_none() {
+                all_hit = false;
+                inner.cache.insert(vpn, ());
+            }
+            frames.push(entry.frame);
+        }
+        // Perform the DMA against the translated frames.
+        let phys = self.aspace.phys();
+        let mut done = 0usize;
+        let mut addr = va;
+        let mut frame_idx = 0usize;
+        while done < len {
+            let off = (addr % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(len - done);
+            let frame = frames[frame_idx];
+            match &mut dir {
+                AccessDir::Read(buf) => {
+                    phys.read(frame, off, &mut buf[done..done + n])?;
+                }
+                AccessDir::Write(data) => {
+                    phys.write(frame, off, &data[done..done + n])?;
+                }
+            }
+            done += n;
+            addr += n as u64;
+            frame_idx += 1;
+        }
+        let model = &self.config.model;
+        let mut latency = model.rdma_read_latency(len, all_hit);
+        if odp_misses > 0 {
+            latency += model.odp_miss.unwrap_or(SimDuration::ZERO) * odp_misses as u64;
+        }
+        Ok((
+            VerbOutcome { latency, cache_hit: all_hit, odp_misses },
+            len,
+        ))
+    }
+
+    /// Cache hit/miss counters of the translation cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.cache.hits(), inner.cache.misses())
+    }
+
+    /// The MTT's current translation for a page, if any (test/diagnostic
+    /// hook: lets tests assert MTT-vs-page-table divergence).
+    pub fn mtt_lookup(&self, va: u64) -> Option<FrameId> {
+        let inner = self.inner.lock();
+        inner.mtt.get(&(va / PAGE_SIZE as u64)).map(|e| e.frame)
+    }
+
+    /// Looks up a region by rkey.
+    pub fn region(&self, rkey: u32) -> Option<MemoryRegion> {
+        self.inner.lock().regions.get(&rkey).copied()
+    }
+}
+
+enum AccessDir<'a> {
+    Read(&'a mut [u8]),
+    Write(&'a [u8]),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corm_sim_mem::PhysicalMemory;
+
+    fn setup(pages: usize) -> (Arc<AddressSpace>, Arc<Rnic>, u64, Vec<FrameId>) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(pages).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let rnic = Arc::new(Rnic::new(aspace.clone(), RnicConfig::default()));
+        (aspace, rnic, va, frames)
+    }
+
+    #[test]
+    fn register_and_read_round_trip() {
+        let (aspace, rnic, va, _) = setup(2);
+        let (mr, _cost) = rnic.register(va, 2, false).unwrap();
+        aspace.write(va + 100, b"remote").unwrap();
+        let mut buf = [0u8; 6];
+        let out = rnic.read(mr.rkey, va + 100, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"remote");
+        assert!(out.latency > SimDuration::ZERO);
+        assert_eq!(rnic.stats.reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn read_crossing_page_boundary() {
+        let (aspace, rnic, va, _) = setup(2);
+        let (mr, _) = rnic.register(va, 2, false).unwrap();
+        let addr = va + PAGE_SIZE as u64 - 3;
+        aspace.write(addr, b"abcdef").unwrap();
+        let mut buf = [0u8; 6];
+        rnic.read(mr.rkey, addr, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn invalid_key_and_out_of_range() {
+        let (_aspace, rnic, va, _) = setup(1);
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            rnic.read(0xdead, va, &mut buf, SimTime::ZERO),
+            Err(RdmaError::InvalidKey(0xdead))
+        );
+        let mut big = vec![0u8; PAGE_SIZE + 1];
+        assert!(matches!(
+            rnic.read(mr.rkey, va, &mut big, SimTime::ZERO),
+            Err(RdmaError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_mtt_after_remap_reads_old_frame() {
+        // THE hazard: remap without MTT update → RDMA read returns the old
+        // frame's (stale) bytes even though the CPU sees the new ones.
+        let pm = Arc::new(PhysicalMemory::new());
+        let f_old = pm.alloc().unwrap();
+        let f_new = pm.alloc().unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&[f_old]).unwrap();
+        let rnic = Rnic::new(aspace.clone(), RnicConfig::default());
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+
+        aspace.write(va, b"old!").unwrap();
+        aspace.remap(va, &[f_new]).unwrap();
+        aspace.write(va, b"new!").unwrap(); // CPU writes through new mapping
+
+        let mut buf = [0u8; 4];
+        rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"old!", "non-ODP NIC must read the stale frame");
+        // CPU sees the new data.
+        let mut cpu = [0u8; 4];
+        aspace.read(va, &mut cpu).unwrap();
+        assert_eq!(&cpu, b"new!");
+    }
+
+    #[test]
+    fn rereg_fixes_stale_mtt_but_busy_window_rejects() {
+        let pm = Arc::new(PhysicalMemory::new());
+        let f_old = pm.alloc().unwrap();
+        let f_new = pm.alloc().unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&[f_old]).unwrap();
+        let rnic = Rnic::new(aspace.clone(), RnicConfig::default());
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        aspace.remap(va, &[f_new]).unwrap();
+        aspace.write(va, b"new!").unwrap();
+
+        let t0 = SimTime::from_micros(100);
+        let cost = rnic.rereg(mr.rkey, t0).unwrap();
+        // Access inside the window breaks (RegionBusy).
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            rnic.read(mr.rkey, va, &mut buf, t0),
+            Err(RdmaError::RegionBusy(mr.rkey))
+        );
+        // After the window, reads see the new frame with the same rkey.
+        let after = t0 + cost;
+        rnic.read(mr.rkey, va, &mut buf, after).unwrap();
+        assert_eq!(&buf, b"new!");
+    }
+
+    #[test]
+    fn odp_detects_remap_with_miss_cost_then_fast() {
+        let pm = Arc::new(PhysicalMemory::new());
+        let f_old = pm.alloc().unwrap();
+        let f_new = pm.alloc().unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&[f_old]).unwrap();
+        let rnic = Rnic::new(aspace.clone(), RnicConfig::default());
+        let (mr, _) = rnic.register(va, 1, true).unwrap();
+        aspace.remap(va, &[f_new]).unwrap();
+        aspace.write(va, b"new!").unwrap();
+
+        let mut buf = [0u8; 4];
+        let first = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"new!", "ODP must see the fresh mapping");
+        assert_eq!(first.odp_misses, 1);
+        assert!(first.latency.as_micros_f64() > 60.0, "{}", first.latency);
+
+        let second = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(second.odp_misses, 0);
+        assert!(second.latency.as_micros_f64() < 4.0, "{}", second.latency);
+    }
+
+    #[test]
+    fn odp_prefetch_avoids_miss() {
+        let pm = Arc::new(PhysicalMemory::new());
+        let f_old = pm.alloc().unwrap();
+        let f_new = pm.alloc().unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&[f_old]).unwrap();
+        let rnic = Rnic::new(aspace.clone(), RnicConfig::default());
+        let (mr, _) = rnic.register(va, 1, true).unwrap();
+        aspace.remap(va, &[f_new]).unwrap();
+        aspace.write(va, b"new!").unwrap();
+
+        let advise_cost = rnic.advise(mr.rkey, va, 1).unwrap();
+        assert!((4.4..=4.7).contains(&advise_cost.as_micros_f64()));
+        let mut buf = [0u8; 4];
+        let out = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"new!");
+        assert_eq!(out.odp_misses, 0, "prefetch must absorb the miss");
+    }
+
+    #[test]
+    fn odp_requires_device_support() {
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let rnic = Rnic::new(
+            aspace,
+            RnicConfig { model: LatencyModel::connectx3(), ..RnicConfig::default() },
+        );
+        assert_eq!(rnic.register(va, 1, true).unwrap_err(), RdmaError::OdpUnsupported);
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        assert_eq!(rnic.advise(mr.rkey, va, 1).unwrap_err(), RdmaError::OdpUnsupported);
+    }
+
+    #[test]
+    fn write_verb_updates_memory() {
+        let (aspace, rnic, va, _) = setup(1);
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        rnic.write(mr.rkey, va + 8, b"payload", SimTime::ZERO).unwrap();
+        let mut cpu = [0u8; 7];
+        aspace.read(va + 8, &mut cpu).unwrap();
+        assert_eq!(&cpu, b"payload");
+    }
+
+    #[test]
+    fn cache_miss_then_hit_latency() {
+        let (_aspace, rnic, va, _) = setup(1);
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let mut buf = [0u8; 8];
+        let cold = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        let warm = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert!(cold.latency > warm.latency);
+    }
+
+    #[test]
+    fn deregister_invalidates_key() {
+        let (_aspace, rnic, va, _) = setup(1);
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        rnic.deregister(mr.rkey).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO),
+            Err(RdmaError::InvalidKey(mr.rkey))
+        );
+    }
+
+    #[test]
+    fn mtt_lookup_reflects_registration() {
+        let (_aspace, rnic, va, frames) = setup(1);
+        assert_eq!(rnic.mtt_lookup(va), None);
+        let (_mr, _) = rnic.register(va, 1, false).unwrap();
+        assert_eq!(rnic.mtt_lookup(va), Some(frames[0]));
+    }
+}

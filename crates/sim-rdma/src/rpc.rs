@@ -1,0 +1,191 @@
+//! Two-sided SEND/RECV RPC fabric.
+//!
+//! CoRM serves memory-management operations (Alloc, Free, Write, RPC reads,
+//! ReleasePtr) over RPC: requests land in a queue shared by the server's
+//! worker threads (§2.2.2). This module provides that fabric for the
+//! *threaded* execution mode: clients hold an [`RpcClient`] and block on
+//! replies; worker threads drain the shared [`RpcQueue`].
+//!
+//! The event-driven figure harness does not use channels — it calls server
+//! handlers directly and charges virtual time — so this fabric carries no
+//! latency model of its own.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// A request paired with its reply channel.
+pub struct Envelope<Req, Resp> {
+    /// The request payload.
+    pub request: Req,
+    reply_to: Sender<Resp>,
+}
+
+impl<Req, Resp> Envelope<Req, Resp> {
+    /// Sends the reply to the waiting client. Returns `false` if the client
+    /// has gone away.
+    pub fn reply(self, response: Resp) -> bool {
+        self.reply_to.send(response).is_ok()
+    }
+}
+
+/// Client side of the RPC fabric.
+#[derive(Clone)]
+pub struct RpcClient<Req, Resp> {
+    tx: Sender<Envelope<Req, Resp>>,
+}
+
+/// Errors from a blocking RPC call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The server's queue is closed (server shut down).
+    Disconnected,
+    /// No reply within the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Disconnected => write!(f, "rpc server disconnected"),
+            RpcError::Timeout => write!(f, "rpc call timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl<Req, Resp> RpcClient<Req, Resp> {
+    /// Issues a blocking call and waits for the reply.
+    pub fn call(&self, request: Req) -> Result<Resp, RpcError> {
+        self.call_timeout(request, Duration::from_secs(30))
+    }
+
+    /// Issues a blocking call with an explicit deadline.
+    pub fn call_timeout(&self, request: Req, timeout: Duration) -> Result<Resp, RpcError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Envelope { request, reply_to: reply_tx })
+            .map_err(|_| RpcError::Disconnected)?;
+        match reply_rx.recv_timeout(timeout) {
+            Ok(resp) => Ok(resp),
+            Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+        }
+    }
+}
+
+/// Server side: the shared queue that worker threads poll.
+#[derive(Clone)]
+pub struct RpcQueue<Req, Resp> {
+    rx: Receiver<Envelope<Req, Resp>>,
+}
+
+impl<Req, Resp> RpcQueue<Req, Resp> {
+    /// Blocks for the next request, with a poll timeout so workers can
+    /// check for shutdown.
+    pub fn poll(&self, timeout: Duration) -> Option<Envelope<Req, Resp>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_poll(&self) -> Option<Envelope<Req, Resp>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// Creates a connected client/queue pair.
+pub fn rpc_channel<Req, Resp>() -> (RpcClient<Req, Resp>, RpcQueue<Req, Resp>) {
+    let (tx, rx) = unbounded();
+    (RpcClient { tx }, RpcQueue { rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn call_and_reply() {
+        let (client, queue) = rpc_channel::<u32, u32>();
+        let server = thread::spawn(move || {
+            let env = queue.poll(Duration::from_secs(1)).unwrap();
+            let req = env.request;
+            assert!(env.reply(req * 2));
+        });
+        assert_eq!(client.call(21).unwrap(), 42);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn multiple_workers_drain_shared_queue() {
+        let (client, queue) = rpc_channel::<u64, u64>();
+        let mut workers = Vec::new();
+        for _ in 0..4 {
+            let q = queue.clone();
+            workers.push(thread::spawn(move || {
+                let mut served = 0;
+                while let Some(env) = q.poll(Duration::from_millis(200)) {
+                    let r = env.request;
+                    env.reply(r + 1);
+                    served += 1;
+                }
+                served
+            }));
+        }
+        let client2 = client.clone();
+        let issuer = thread::spawn(move || {
+            for i in 0..100u64 {
+                assert_eq!(client2.call(i).unwrap(), i + 1);
+            }
+        });
+        issuer.join().unwrap();
+        drop(client);
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn disconnected_server_reports_error() {
+        let (client, queue) = rpc_channel::<u8, u8>();
+        drop(queue);
+        assert_eq!(client.call(1), Err(RpcError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_when_server_ignores() {
+        let (client, _queue) = rpc_channel::<u8, u8>();
+        // Server never polls; keep _queue alive so send succeeds.
+        assert_eq!(
+            client.call_timeout(1, Duration::from_millis(50)),
+            Err(RpcError::Timeout)
+        );
+    }
+
+    #[test]
+    fn try_poll_and_len() {
+        let (client, queue) = rpc_channel::<u8, u8>();
+        assert!(queue.try_poll().is_none());
+        assert!(queue.is_empty());
+        let t = thread::spawn(move || client.call_timeout(7, Duration::from_millis(200)));
+        // Wait for the request to arrive.
+        let env = loop {
+            if let Some(e) = queue.try_poll() {
+                break e;
+            }
+            thread::yield_now();
+        };
+        assert_eq!(env.request, 7);
+        env.reply(8);
+        assert_eq!(t.join().unwrap().unwrap(), 8);
+    }
+}

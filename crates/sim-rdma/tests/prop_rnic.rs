@@ -1,0 +1,120 @@
+//! Property-based tests of the simulated RNIC.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use corm_sim_core::time::SimTime;
+use corm_sim_mem::{AddressSpace, PhysicalMemory, PAGE_SIZE};
+use corm_sim_rdma::{Rnic, RnicConfig};
+
+fn setup(pages: usize) -> (Arc<AddressSpace>, Arc<Rnic>, u64) {
+    let pm = Arc::new(PhysicalMemory::new());
+    let frames = pm.alloc_n(pages).unwrap();
+    let aspace = Arc::new(AddressSpace::new(pm));
+    let va = aspace.mmap(&frames).unwrap();
+    let rnic = Arc::new(Rnic::new(aspace.clone(), RnicConfig::default()));
+    (aspace, rnic, va)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RDMA reads return exactly what the CPU wrote, for arbitrary
+    /// offsets/lengths inside the region (including page-crossing).
+    #[test]
+    fn rdma_read_your_writes(
+        pages in 1usize..4,
+        offset in 0usize..(3 * PAGE_SIZE),
+        data in prop::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let (aspace, rnic, va) = setup(pages);
+        let (mr, _) = rnic.register(va, pages, false).unwrap();
+        let span = pages * PAGE_SIZE;
+        let offset = offset % span;
+        if offset + data.len() > span {
+            let mut buf = vec![0u8; data.len()];
+            prop_assert!(rnic.read(mr.rkey, va + offset as u64, &mut buf, SimTime::ZERO).is_err());
+            return Ok(());
+        }
+        aspace.write(va + offset as u64, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        rnic.read(mr.rkey, va + offset as u64, &mut buf, SimTime::ZERO).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    /// After any remap sequence, an ODP region's reads always agree with
+    /// the CPU view, paying at most one miss per remap.
+    #[test]
+    fn odp_always_coherent(flips in prop::collection::vec(any::<bool>(), 1..12)) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let f1 = pm.alloc().unwrap();
+        let f2 = pm.alloc().unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&[f1]).unwrap();
+        let rnic = Rnic::new(aspace.clone(), RnicConfig::default());
+        let (mr, _) = rnic.register(va, 1, true).unwrap();
+        let mut total_misses = 0;
+        let mut remaps = 0;
+        for (i, flip) in flips.iter().enumerate() {
+            if *flip {
+                aspace.remap(va, &[if i % 2 == 0 { f2 } else { f1 }]).unwrap();
+                remaps += 1;
+            }
+            let tag = [i as u8; 4];
+            aspace.write(va, &tag).unwrap();
+            let mut buf = [0u8; 4];
+            let out = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+            prop_assert_eq!(buf, tag, "ODP read diverged at step {}", i);
+            total_misses += out.odp_misses;
+        }
+        prop_assert!(total_misses as usize <= remaps + 1, "{total_misses} misses for {remaps} remaps");
+    }
+
+    /// Non-ODP regions are exactly snapshot-consistent: reads reflect the
+    /// mapping at registration (or last rereg) time, never the page table.
+    #[test]
+    fn non_odp_reads_are_snapshots(writes in prop::collection::vec(any::<u8>(), 1..8)) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let f_old = pm.alloc().unwrap();
+        let f_new = pm.alloc().unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm.clone()));
+        let va = aspace.mmap(&[f_old]).unwrap();
+        let rnic = Rnic::new(aspace.clone(), RnicConfig::default());
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        // Stamp the old frame, remap, stamp the new frame differently.
+        aspace.write(va, b"OLD!").unwrap();
+        aspace.remap(va, &[f_new]).unwrap();
+        for (i, w) in writes.iter().enumerate() {
+            aspace.write(va + i as u64, &[*w]).unwrap();
+        }
+        let mut buf = [0u8; 4];
+        rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        prop_assert_eq!(&buf, b"OLD!", "stale snapshot must read the old frame");
+        // rereg resynchronizes.
+        let t0 = SimTime::from_micros(50);
+        let cost = rnic.rereg(mr.rkey, t0).unwrap();
+        let mut buf2 = [0u8; 4];
+        rnic.read(mr.rkey, va, &mut buf2, t0 + cost).unwrap();
+        let mut cpu = [0u8; 4];
+        aspace.read(va, &mut cpu).unwrap();
+        prop_assert_eq!(buf2, cpu);
+    }
+
+    /// Cache hit/miss accounting is exact for any access pattern: hits +
+    /// misses equals the number of page translations performed.
+    #[test]
+    fn cache_accounting_exact(accesses in prop::collection::vec(0usize..8, 1..64)) {
+        let (_aspace, rnic, va) = setup(8);
+        let (mr, _) = rnic.register(va, 8, false).unwrap();
+        let mut buf = [0u8; 16];
+        for page in &accesses {
+            rnic.read(mr.rkey, va + (page * PAGE_SIZE) as u64, &mut buf, SimTime::ZERO).unwrap();
+        }
+        let (hits, misses) = rnic.cache_stats();
+        prop_assert_eq!(hits + misses, accesses.len() as u64);
+        // Distinct pages touched = cold misses (cache holds 16K entries).
+        let distinct: std::collections::HashSet<_> = accesses.iter().collect();
+        prop_assert_eq!(misses, distinct.len() as u64);
+    }
+}

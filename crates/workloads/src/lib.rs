@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Workload generators for the CoRM evaluation (§4).
+//!
+//! - [`zipf`]: the YCSB Zipfian key generator (with scrambling), used for
+//!   the skewed workloads of Figs. 12–14.
+//! - [`ycsb`]: YCSB-style closed-loop operation streams — key distribution
+//!   × read:write mix (100:0, 95:5, 50:50).
+//! - [`synthetic`]: the Fig. 17 traces — allocate N objects of one size,
+//!   deallocate a random fraction — evaluated against every compaction
+//!   strategy over the block model.
+//! - [`redis`]: generators reproducing the three Redis `memefficiency`
+//!   traces the paper describes (§4.4.3).
+//! - [`replay`]: a model-level multi-threaded allocator that replays
+//!   alloc/free traces into [`corm_compact::BlockModel`]s and applies a
+//!   compaction strategy — the engine behind Figs. 17–19.
+
+pub mod redis;
+pub mod replay;
+pub mod synthetic;
+pub mod ycsb;
+pub mod zipf;
+
+pub use redis::{redis_trace, RedisTrace};
+pub use replay::{ClassPolicy, ModelHeap, ReplayOutcome, TraceOp};
+pub use synthetic::{synthetic_trace, SyntheticSpec};
+pub use ycsb::{KeyDist, Mix, Op, Workload};
+pub use zipf::Zipfian;

@@ -1,0 +1,209 @@
+//! Redis `memefficiency` traces (§4.4.3).
+//!
+//! The paper extracts allocation traces from the memefficiency unit test
+//! of Redis v5.0.7 and replays them against each compaction strategy.
+//! The three traces are described precisely enough to regenerate:
+//!
+//! - **redis-mem-t1**: default configuration; 10,000 keys of 8 bytes with
+//!   values of sizes ranging from 1 to 16 KiB.
+//! - **redis-mem-t2**: LRU cache capped at 100 MiB; 700,000 8-byte keys
+//!   with 150-byte values, then 170,000 8-byte keys with 300-byte values
+//!   (evictions free the oldest entries as the cap is exceeded).
+//! - **redis-mem-t3**: default configuration; 5 keys holding 160 KiB data
+//!   structures, then 50,000 keys with 150-byte values, then removal of
+//!   25,000 keys from that last batch.
+//!
+//! Every Redis entry is two allocations: the 8-byte key object and the
+//! value object — matching how Redis' allocator sees the workload.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::replay::TraceOp;
+
+/// Which of the paper's three Redis traces to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedisTrace {
+    /// 10 k keys, values 1 B – 16 KiB.
+    T1,
+    /// 100 MiB LRU: 700 k × 150 B then 170 k × 300 B.
+    T2,
+    /// 5 × 160 KiB structures + 50 k × 150 B, then 25 k removals.
+    T3,
+}
+
+impl RedisTrace {
+    /// Label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RedisTrace::T1 => "redis-mem-t1",
+            RedisTrace::T2 => "redis-mem-t2",
+            RedisTrace::T3 => "redis-mem-t3",
+        }
+    }
+}
+
+const KEY_BYTES: usize = 8;
+
+/// Generates the requested trace. Keys are numbered so every allocation
+/// has a unique trace key: entry `i` uses `2i` (key object) and `2i+1`
+/// (value object).
+pub fn redis_trace(which: RedisTrace, seed: u64) -> Vec<TraceOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match which {
+        RedisTrace::T1 => t1(&mut rng),
+        RedisTrace::T2 => t2(),
+        RedisTrace::T3 => t3(&mut rng),
+    }
+}
+
+fn entry(ops: &mut Vec<TraceOp>, i: u64, value_size: usize) {
+    ops.push(TraceOp::Alloc { key: 2 * i, size: KEY_BYTES });
+    ops.push(TraceOp::Alloc { key: 2 * i + 1, size: value_size });
+}
+
+fn remove_entry(ops: &mut Vec<TraceOp>, i: u64) {
+    ops.push(TraceOp::Free { key: 2 * i });
+    ops.push(TraceOp::Free { key: 2 * i + 1 });
+}
+
+fn t1(rng: &mut StdRng) -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    for i in 0..10_000u64 {
+        let value = rng.gen_range(1..=16 * 1024);
+        entry(&mut ops, i, value);
+    }
+    ops
+}
+
+fn t2() -> Vec<TraceOp> {
+    const CAPACITY: u64 = 100 * 1024 * 1024;
+    let mut ops = Vec::new();
+    let mut lru: VecDeque<(u64, u64)> = VecDeque::new(); // (entry, bytes)
+    let mut used = 0u64;
+    let mut insert = |ops: &mut Vec<TraceOp>, i: u64, value: usize| {
+        let bytes = (KEY_BYTES + value) as u64;
+        entry(ops, i, value);
+        lru.push_back((i, bytes));
+        used += bytes;
+        while used > CAPACITY {
+            let (victim, vbytes) = lru.pop_front().expect("cache not empty");
+            remove_entry(ops, victim);
+            used -= vbytes;
+        }
+    };
+    for i in 0..700_000u64 {
+        insert(&mut ops, i, 150);
+    }
+    for i in 700_000..870_000u64 {
+        insert(&mut ops, i, 300);
+    }
+    ops
+}
+
+fn t3(rng: &mut StdRng) -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    for i in 0..5u64 {
+        entry(&mut ops, i, 160 * 1024);
+    }
+    for i in 5..50_005u64 {
+        entry(&mut ops, i, 150);
+    }
+    // Remove 25,000 uniformly random keys of the last batch.
+    let mut batch: Vec<u64> = (5..50_005).collect();
+    for i in 0..25_000usize {
+        let j = rng.gen_range(i..batch.len());
+        batch.swap(i, j);
+    }
+    for &i in &batch[..25_000] {
+        remove_entry(&mut ops, i);
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::ModelHeap;
+    use corm_compact::strategy::CompactorKind;
+
+    fn stats(ops: &[TraceOp]) -> (usize, usize) {
+        let allocs = ops.iter().filter(|o| matches!(o, TraceOp::Alloc { .. })).count();
+        let frees = ops.iter().filter(|o| matches!(o, TraceOp::Free { .. })).count();
+        (allocs, frees)
+    }
+
+    #[test]
+    fn t1_shape() {
+        let ops = redis_trace(RedisTrace::T1, 1);
+        let (allocs, frees) = stats(&ops);
+        assert_eq!(allocs, 20_000); // 10k keys + 10k values
+        assert_eq!(frees, 0);
+        // Value sizes span the documented range.
+        let max = ops
+            .iter()
+            .filter_map(|o| match o {
+                TraceOp::Alloc { size, .. } => Some(*size),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max > 8 * 1024 && max <= 16 * 1024);
+    }
+
+    #[test]
+    fn t2_respects_lru_capacity() {
+        let ops = redis_trace(RedisTrace::T2, 1);
+        let (allocs, frees) = stats(&ops);
+        assert_eq!(allocs, 2 * 870_000);
+        assert!(frees > 0, "the cap must force evictions");
+        // Live bytes never exceed the cap by more than one entry.
+        let mut live = 0i64;
+        let mut max_live = 0i64;
+        let mut sizes = std::collections::HashMap::new();
+        for op in &ops {
+            match op {
+                TraceOp::Alloc { key, size } => {
+                    sizes.insert(*key, *size as i64);
+                    live += *size as i64;
+                }
+                TraceOp::Free { key } => live -= sizes[key],
+            }
+            max_live = max_live.max(live);
+        }
+        assert!(max_live <= 100 * 1024 * 1024 + 400, "peak {max_live}");
+    }
+
+    #[test]
+    fn t3_shape() {
+        let ops = redis_trace(RedisTrace::T3, 1);
+        let (allocs, frees) = stats(&ops);
+        assert_eq!(allocs, 2 * 50_005);
+        assert_eq!(frees, 2 * 25_000);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(redis_trace(RedisTrace::T1, 7), redis_trace(RedisTrace::T1, 7));
+        assert_eq!(redis_trace(RedisTrace::T3, 7), redis_trace(RedisTrace::T3, 7));
+    }
+
+    #[test]
+    fn t3_replays_and_compacts() {
+        // The 25k random removals fragment the 150 B class; hybrid CoRM-16
+        // must recover memory vs no compaction (Fig. 19's t3 panel).
+        let ops = redis_trace(RedisTrace::T3, 3);
+        let run = |kind| {
+            let mut heap = ModelHeap::new(kind, 1 << 20, 8, 11);
+            heap.replay(&ops);
+            heap.finish()
+        };
+        let none = run(CompactorKind::NoCompaction);
+        let hybrid = run(CompactorKind::Hybrid { id_bits: 16 });
+        let ideal = run(CompactorKind::Ideal);
+        assert!(hybrid.active_bytes < none.active_bytes);
+        assert!(ideal.active_bytes <= hybrid.active_bytes);
+    }
+}

@@ -1,0 +1,66 @@
+//! Drive CoRM with a YCSB workload and compare RPC vs one-sided reads —
+//! a miniature of the paper's Fig. 12 experiment you can tweak.
+//!
+//! Run: `cargo run --release --example ycsb_run`
+
+use std::sync::Arc;
+
+use corm::core::client::CormClient;
+use corm::core::server::{CormServer, ServerConfig};
+use corm::sim_core::stats::Histogram;
+use corm::sim_core::time::SimTime;
+use corm::workloads::ycsb::{KeyDist, Mix, Op, Workload};
+
+const OBJECTS: usize = 50_000;
+const OPS: usize = 100_000;
+
+fn main() {
+    let server = Arc::new(CormServer::new(ServerConfig::default()));
+    let mut client = CormClient::connect(server.clone());
+
+    // Load phase.
+    let mut ptrs = Vec::with_capacity(OBJECTS);
+    for i in 0..OBJECTS {
+        let mut p = client.alloc(32).unwrap().value;
+        client.write(&mut p, format!("value-{i:08x}-pad-pad-").as_bytes()).unwrap();
+        ptrs.push(p);
+    }
+    println!("loaded {OBJECTS} x 32 B objects ({} KiB active)", server.active_bytes() / 1024);
+
+    // Run phase: Zipf(0.99), 95:5, reads via one-sided RDMA.
+    let workload = Workload::new(OBJECTS as u64, KeyDist::Zipf(0.99), Mix::READ_HEAVY);
+    let mut rng = corm::sim_core::rng::root_rng(42);
+    let mut rdma_lat = Histogram::new();
+    let mut rpc_lat = Histogram::new();
+    let mut buf = [0u8; 32];
+    let payload = [7u8; 32];
+    for _ in 0..OPS {
+        match workload.next_op(&mut rng) {
+            Op::Read(k) => {
+                let mut p = ptrs[k as usize];
+                let direct = client
+                    .direct_read_with_recovery(&mut p, &mut buf, SimTime::ZERO)
+                    .unwrap();
+                rdma_lat.record_duration(direct.cost);
+                let rpc = client.read(&mut p, &mut buf).unwrap();
+                rpc_lat.record_duration(rpc.cost);
+            }
+            Op::Write(k) => {
+                let mut p = ptrs[k as usize];
+                client.write(&mut p, &payload).unwrap();
+            }
+        }
+    }
+    println!(
+        "median read latency: one-sided {:.2} us vs RPC {:.2} us ({:.2}x)",
+        rdma_lat.median().unwrap(),
+        rpc_lat.median().unwrap(),
+        rpc_lat.median().unwrap() / rdma_lat.median().unwrap()
+    );
+    println!(
+        "single-client ceilings: one-sided ≈ {:.0} Kreq/s, RPC ≈ {:.0} Kreq/s",
+        1e3 / rdma_lat.median().unwrap(),
+        1e3 / rpc_lat.median().unwrap()
+    );
+    println!("(for the full multi-client sweep run: cargo run --release -p corm-bench --bin fig12_ycsb_throughput)");
+}

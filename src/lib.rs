@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! # CoRM: Compactable Remote Memory over RDMA
+//!
+//! A Rust reproduction of *CoRM: Compactable Remote Memory over RDMA*
+//! (Taranov, Di Girolamo, Hoefler — SIGMOD 2021): a shared-memory system
+//! whose objects are remotely readable with one-sided RDMA **and**
+//! relocatable by memory compaction, without indirection tables and
+//! without invalidating the pointers or `r_key`s clients hold.
+//!
+//! Real RDMA hardware is replaced by a faithful simulated substrate (see
+//! `DESIGN.md`): a physical frame table, memfd-style files, per-process
+//! page tables, and an RNIC with its own memory translation table, ODP,
+//! and calibrated latencies — preserving every hazard the paper's design
+//! navigates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use corm::core::server::{CormServer, ServerConfig};
+//! use corm::core::CormClient;
+//! use corm::sim_core::time::SimTime;
+//!
+//! // Boot a CoRM node over simulated memory and connect (CreateCtx).
+//! let server = Arc::new(CormServer::new(ServerConfig::default()));
+//! let mut client = CormClient::connect(server.clone());
+//!
+//! // Alloc / Write / DirectRead / Free — the Table 2 API.
+//! let mut ptr = client.alloc(64).unwrap().value;
+//! client.write(&mut ptr, b"hello remote memory").unwrap();
+//! let mut buf = [0u8; 19];
+//! let n = client
+//!     .direct_read_with_recovery(&mut ptr, &mut buf, SimTime::ZERO)
+//!     .unwrap()
+//!     .value;
+//! assert_eq!(&buf[..n], b"hello remote memory");
+//! client.free(&mut ptr).unwrap();
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `corm-core` | the CoRM server/client (the paper's contribution) |
+//! | [`alloc`] | `corm-alloc` | two-level concurrent allocator |
+//! | [`compact`] | `corm-compact` | compaction strategies & probability theory |
+//! | [`baselines`] | `corm-baselines` | emulated FaRM, raw RDMA/RPC, memcpy |
+//! | [`workloads`] | `corm-workloads` | YCSB, synthetic and Redis traces |
+//! | [`sim_core`] | `corm-sim-core` | discrete-event engine |
+//! | [`sim_mem`] | `corm-sim-mem` | simulated OS memory |
+//! | [`sim_rdma`] | `corm-sim-rdma` | simulated RNIC + fabric |
+
+pub use corm_alloc as alloc;
+pub use corm_baselines as baselines;
+pub use corm_compact as compact;
+pub use corm_core as core;
+pub use corm_sim_core as sim_core;
+pub use corm_sim_mem as sim_mem;
+pub use corm_sim_rdma as sim_rdma;
+pub use corm_workloads as workloads;

@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: the whole system working together,
+//! from the simulated frames up through compaction and workloads.
+
+use std::sync::Arc;
+
+use corm::baselines::FarmServer;
+use corm::core::client::{ClientConfig, CormClient, FixStrategy};
+use corm::core::server::{CormServer, CorrectionStrategy, ServerConfig};
+use corm::sim_core::time::SimTime;
+use corm::sim_rdma::MttUpdateStrategy;
+use corm::workloads::ycsb::{KeyDist, Mix, Workload};
+
+fn config() -> ServerConfig {
+    ServerConfig { workers: 4, ..ServerConfig::default() }
+}
+
+#[test]
+fn ycsb_workload_over_live_server_with_periodic_compaction() {
+    let server = Arc::new(CormServer::new(config()));
+    let mut client = CormClient::connect(server.clone());
+    let n = 2_000;
+    let mut ptrs = Vec::new();
+    for i in 0..n {
+        let mut p = client.alloc(32).unwrap().value;
+        client.write(&mut p, format!("v{i:04}").as_bytes()).unwrap();
+        ptrs.push(p);
+    }
+    let workload = Workload::new(n as u64, KeyDist::Zipf(0.9), Mix::BALANCED);
+    let mut rng = corm::sim_core::rng::root_rng(5);
+    let mut now = SimTime::ZERO;
+    let mut buf = [0u8; 32];
+    for step in 0..20_000 {
+        match workload.next_op(&mut rng) {
+            corm::workloads::ycsb::Op::Read(k) => {
+                let n = client
+                    .direct_read_with_recovery(&mut ptrs[k as usize], &mut buf, now)
+                    .unwrap()
+                    .value;
+                assert!(n >= 5);
+            }
+            corm::workloads::ycsb::Op::Write(k) => {
+                client
+                    .write(&mut ptrs[k as usize], format!("w{step:05}").as_bytes())
+                    .unwrap();
+            }
+        }
+        if step % 5_000 == 4_999 {
+            // Churn + compact mid-workload.
+            for p in ptrs.iter_mut().skip(n / 2).take(200) {
+                client.free(p).unwrap();
+                *p = client.alloc(32).unwrap().value;
+                client.write(p, b"refreshed").unwrap();
+            }
+            for r in server.compact_if_fragmented(now).unwrap() {
+                now += r.total_cost();
+            }
+            now += corm::sim_core::time::SimDuration::from_millis(1);
+        }
+    }
+    assert_eq!(client.qp().breaks(), 0, "ODP default never breaks QPs");
+}
+
+#[test]
+fn corm_beats_farm_on_active_memory_after_spike() {
+    // The paper's headline: same workload, FaRM cannot reclaim fragmented
+    // blocks, CoRM can.
+    let corm = Arc::new(CormServer::new(config()));
+    let farm = FarmServer::new(config());
+    let mut cc = CormClient::connect(corm.clone());
+    let mut fc = farm.connect();
+
+    let mut corm_ptrs = Vec::new();
+    let mut farm_ptrs = Vec::new();
+    for _ in 0..4_096 {
+        corm_ptrs.push(cc.alloc(48).unwrap().value);
+        farm_ptrs.push(fc.alloc(48).unwrap().value);
+    }
+    // Deallocation spike: free 7 of every 8.
+    for i in 0..corm_ptrs.len() {
+        if i % 8 != 0 {
+            cc.free(&mut corm_ptrs[i]).unwrap();
+            fc.free(&mut farm_ptrs[i]).unwrap();
+        }
+    }
+    corm.compact_if_fragmented(SimTime::ZERO).unwrap();
+    let corm_active = corm.active_bytes();
+    let farm_active = farm.server().active_bytes();
+    assert!(
+        corm_active * 3 < farm_active,
+        "CoRM {corm_active} should be ≳3x below FaRM {farm_active}"
+    );
+    // And the surviving FaRM/CoRM objects both still read fine.
+    let mut buf = [0u8; 8];
+    cc.direct_read_with_recovery(&mut corm_ptrs[0], &mut buf, SimTime::from_millis(1))
+        .unwrap();
+    fc.read(&mut farm_ptrs[0], &mut buf, SimTime::from_millis(1)).unwrap();
+}
+
+#[test]
+fn all_mtt_strategies_preserve_objects_across_compaction() {
+    for strategy in [
+        MttUpdateStrategy::Rereg,
+        MttUpdateStrategy::Odp,
+        MttUpdateStrategy::OdpPrefetch,
+    ] {
+        let server = Arc::new(CormServer::new(ServerConfig {
+            workers: 1,
+            mtt_strategy: strategy,
+            ..ServerConfig::default()
+        }));
+        let mut client = CormClient::connect_with(
+            server.clone(),
+            ClientConfig { fix_strategy: FixStrategy::ScanRead, ..Default::default() },
+        );
+        let mut ptrs: Vec<_> = (0..256)
+            .map(|i| {
+                let mut p = client.alloc(48).unwrap().value;
+                client.write(&mut p, format!("obj{i}").as_bytes()).unwrap();
+                p
+            })
+            .collect();
+        for (i, p) in ptrs.iter_mut().enumerate() {
+            if i % 16 != 0 {
+                client.free(p).unwrap();
+            }
+        }
+        let class = corm::core::consistency::class_for_payload(server.classes(), 48).unwrap();
+        let t = server.compact_class(class, SimTime::ZERO).unwrap();
+        // Read comfortably after any rereg window.
+        let after = SimTime::ZERO + t.cost + corm::sim_core::time::SimDuration::from_millis(10);
+        for i in (0..256).step_by(16) {
+            let mut buf = [0u8; 8];
+            let n = client
+                .direct_read_with_recovery(&mut ptrs[i], &mut buf, after)
+                .unwrap()
+                .value;
+            let expect = format!("obj{i}");
+            let m = expect.len().min(n);
+            assert_eq!(&buf[..m], expect.as_bytes(), "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn correction_strategies_equivalent_results() {
+    // Thread messaging and block scanning must find the same objects.
+    let mut answers = Vec::new();
+    for correction in [CorrectionStrategy::ThreadMessaging, CorrectionStrategy::BlockScan] {
+        let server = Arc::new(CormServer::new(ServerConfig {
+            workers: 1,
+            correction,
+            seed: 99, // identical layout across runs
+            ..ServerConfig::default()
+        }));
+        let mut client = CormClient::connect(server.clone());
+        let mut ptrs: Vec<_> = (0..128).map(|_| client.alloc(48).unwrap().value).collect();
+        for (i, p) in ptrs.iter_mut().enumerate() {
+            client.write(p, format!("x{i}").as_bytes()).unwrap();
+            if !matches!(i, 0 | 64 | 66) {
+                client.free(p).unwrap();
+            }
+        }
+        let class = corm::core::consistency::class_for_payload(server.classes(), 48).unwrap();
+        server.compact_class(class, SimTime::ZERO).unwrap();
+        let mut run = Vec::new();
+        for &i in &[0usize, 64, 66] {
+            let mut buf = [0u8; 4];
+            let mut p = ptrs[i];
+            let n = client.read(&mut p, &mut buf).unwrap().value;
+            run.push(buf[..n].to_vec());
+        }
+        answers.push(run);
+    }
+    assert_eq!(answers[0], answers[1]);
+}
+
+#[test]
+fn capacity_pressure_triggers_compaction_and_recovers() {
+    // A capped physical memory: allocation fails, compaction frees blocks,
+    // allocation succeeds again (§3.1.3's second trigger).
+    let phys = Arc::new(corm::sim_mem::PhysicalMemory::with_capacity(4096 + 64));
+    let server = Arc::new(CormServer::with_memory(
+        phys,
+        ServerConfig {
+            workers: 1,
+            alloc: corm::alloc::AllocConfig {
+                file_bytes: 64 * 1024, // small files so the cap binds late
+                ..Default::default()
+            },
+            ..ServerConfig::default()
+        },
+    ));
+    let mut client = CormClient::connect(server.clone());
+    // Fill until allocation fails.
+    let mut ptrs = Vec::new();
+    loop {
+        match client.alloc(48) {
+            Ok(t) => ptrs.push(t.value),
+            Err(corm::core::CormError::Alloc(corm::alloc::AllocError::OutOfMemory)) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    // Free 80% and compact: physical blocks return to the pool.
+    let total = ptrs.len();
+    for (i, p) in ptrs.iter_mut().enumerate() {
+        if i % 5 != 0 {
+            client.free(p).unwrap();
+        }
+    }
+    server.compact_if_fragmented(SimTime::ZERO).unwrap();
+    // Allocation works again without growing the file set.
+    for _ in 0..total / 2 {
+        client.alloc(48).expect("compaction freed room");
+    }
+}

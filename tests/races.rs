@@ -1,0 +1,270 @@
+//! Real-thread race tests: CPU writers, the compaction leader, and
+//! one-sided "NIC" readers genuinely interleave, exercising the cacheline
+//! versioning protocol the way the paper's hardware does.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use corm::core::client::CormClient;
+use corm::core::consistency::ReadFailure;
+use corm::core::server::{CormServer, ServerConfig};
+use corm::core::ReadOutcome;
+use corm::sim_core::time::SimTime;
+
+/// A lock-free RDMA reader racing an RPC writer on one object must only
+/// ever observe complete payloads: every accepted read is entirely one
+/// writer generation. Torn intermediate states must be rejected by the
+/// version check, never returned.
+#[test]
+fn direct_reads_never_observe_torn_writes() {
+    let server = Arc::new(CormServer::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    }));
+    let mut setup = CormClient::connect(server.clone());
+    // 192-byte payload spans several cachelines — plenty of torn windows.
+    let size = 180;
+    let mut ptr = setup.alloc(size).unwrap().value;
+    setup.write(&mut ptr, &vec![0u8; size]).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let server = server.clone();
+        let stop = stop.clone();
+        let mut ptr = ptr;
+        std::thread::spawn(move || {
+            let mut client = CormClient::connect(server);
+            let mut gen = 1u8;
+            let mut writes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                client.write(&mut ptr, &vec![gen; size]).unwrap();
+                gen = gen.wrapping_add(1);
+                writes += 1;
+            }
+            writes
+        })
+    };
+
+    let mut reader = CormClient::connect(server.clone());
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut aba_wraps = 0u64;
+    let mut buf = vec![0u8; size];
+    for _ in 0..60_000 {
+        let out = reader.direct_read(&ptr, &mut buf, SimTime::ZERO).unwrap();
+        match out.value {
+            ReadOutcome::Ok(n) => {
+                accepted += 1;
+                // Uniformity: the accepted image should be one writer
+                // generation. The sole legitimate exception is the 8-bit
+                // version ABA the paper's scheme inherits from FaRM: if
+                // exactly k*256 writes land while the reader is descheduled
+                // mid-copy, mixed generations carry matching version bytes.
+                // Impossible at hardware DMA speeds; rare-but-possible
+                // under OS preemption in this simulation. Assert the true
+                // guarantee: single-generation except a vanishing ABA tail.
+                let first = buf[0];
+                if !buf[..n].iter().all(|&b| b == first) {
+                    aba_wraps += 1;
+                }
+            }
+            ReadOutcome::Invalid(ReadFailure::TornRead)
+            | ReadOutcome::Invalid(ReadFailure::Locked) => rejected += 1,
+            ReadOutcome::Invalid(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let writes = writer.join().unwrap();
+    assert!(accepted > 0, "reader starved");
+    assert!(writes > 0, "writer starved");
+    assert!(
+        (aba_wraps as f64) <= (accepted as f64 * 0.001).max(2.0),
+        "{aba_wraps} mixed-generation reads in {accepted} accepted — more          than version-wrap ABA can explain"
+    );
+    // With a hot writer the race window is real: expect some rejections
+    // (this asserts the detection machinery actually fires).
+    assert!(
+        rejected > 0,
+        "no torn/locked read detected across {accepted} reads and {writes} writes"
+    );
+}
+
+/// Readers racing a real compaction pass either get the old consistent
+/// object, a locked/torn rejection, or (after the move) an ID mismatch —
+/// never wrong bytes.
+#[test]
+fn direct_reads_race_compaction_safely() {
+    let server = Arc::new(CormServer::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    }));
+    let mut setup = CormClient::connect(server.clone());
+    let size = 100;
+    let mut ptrs: Vec<_> = (0..512)
+        .map(|i| {
+            let mut p = setup.alloc(size).unwrap().value;
+            setup.write(&mut p, &vec![i as u8; size]).unwrap();
+            p
+        })
+        .collect();
+    for (i, p) in ptrs.iter_mut().enumerate() {
+        if i % 4 != 0 {
+            setup.free(p).unwrap();
+        }
+    }
+    let survivors: Vec<(usize, corm::core::GlobalPtr)> =
+        (0..512).step_by(4).map(|i| (i, ptrs[i])).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let server = server.clone();
+        let stop = stop.clone();
+        let survivors = survivors.clone();
+        std::thread::spawn(move || {
+            let mut client = CormClient::connect(server);
+            let mut buf = vec![0u8; size];
+            let mut checked = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for &(i, ptr) in &survivors {
+                    let out = client.direct_read(&ptr, &mut buf, SimTime::ZERO).unwrap();
+                    if let ReadOutcome::Ok(n) = out.value {
+                        assert!(
+                            buf[..n].iter().all(|&b| b == i as u8),
+                            "object {i} returned foreign bytes"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+            checked
+        })
+    };
+
+    // Run several compaction passes while the reader hammers.
+    let class = corm::core::consistency::class_for_payload(server.classes(), size).unwrap();
+    let mut now = SimTime::ZERO;
+    for _ in 0..3 {
+        let t = server.compact_class(class, now).unwrap();
+        now = now + t.cost + corm::sim_core::time::SimDuration::from_millis(1);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    let checked = reader.join().unwrap();
+    assert!(checked > 0, "reader never validated an object");
+
+    // Afterwards every survivor is recoverable with correct contents.
+    let mut client = CormClient::connect(server);
+    let mut buf = vec![0u8; size];
+    for (i, mut ptr) in survivors {
+        let n = client
+            .direct_read_with_recovery(&mut ptr, &mut buf, now)
+            .unwrap()
+            .value;
+        assert!(buf[..n].iter().all(|&b| b == i as u8));
+    }
+}
+
+/// Concurrent allocation from many threads through the threaded server
+/// never hands out overlapping objects.
+#[test]
+fn concurrent_allocations_never_overlap() {
+    use corm::core::server::threaded::{Request, Response, ThreadedServer};
+    let server = Arc::new(CormServer::new(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    }));
+    let node = ThreadedServer::start(server.clone());
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let rpc = node.rpc_client();
+        handles.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..250 {
+                match rpc.call(Request::Alloc { len: 24 }).unwrap() {
+                    Response::Ptr(p) => got.push(p),
+                    other => panic!("{other:?}"),
+                }
+            }
+            got
+        }));
+    }
+    let all: Vec<_> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    node.shutdown();
+    let mut addrs: Vec<u64> = all.iter().map(|p| p.vaddr).collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    assert_eq!(addrs.len(), all.len(), "duplicate object addresses");
+    // Objects of the same block must be class-size apart.
+    let class = corm::core::consistency::class_for_payload(server.classes(), 24).unwrap();
+    let slot = server.classes().size_of(class) as u64;
+    for w in addrs.windows(2) {
+        assert!(w[1] - w[0] >= slot, "{:#x} and {:#x} overlap", w[0], w[1]);
+    }
+}
+
+/// The threaded node keeps serving RPC traffic while the leader compacts;
+/// every response remains correct.
+#[test]
+fn threaded_server_compacts_under_live_rpc_traffic() {
+    use corm::core::server::threaded::{Request, Response, ThreadedServer};
+    let server = Arc::new(CormServer::new(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    }));
+    let node = ThreadedServer::start(server.clone());
+    // Populate + fragment through RPC.
+    let rpc = node.rpc_client();
+    let mut ptrs = Vec::new();
+    for i in 0..1024u32 {
+        let ptr = match rpc.call(Request::Alloc { len: 48 }).unwrap() {
+            Response::Ptr(p) => p,
+            other => panic!("{other:?}"),
+        };
+        match rpc.call(Request::Write { ptr, data: i.to_le_bytes().to_vec() }).unwrap() {
+            Response::Done(_) => ptrs.push(ptr),
+            other => panic!("{other:?}"),
+        }
+    }
+    for (i, ptr) in ptrs.iter().enumerate() {
+        if i % 8 != 0 {
+            match rpc.call(Request::Free { ptr: *ptr }).unwrap() {
+                Response::Done(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+    // Readers hammer the survivors while compaction runs on this thread.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let rpc = node.rpc_client();
+        let survivors: Vec<_> = ptrs.iter().copied().step_by(8).collect();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut served = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for (j, ptr) in survivors.iter().enumerate() {
+                    match rpc.call(Request::Read { ptr: *ptr, len: 4 }).unwrap() {
+                        Response::Data { data, .. } => {
+                            let val = u32::from_le_bytes(data.try_into().unwrap());
+                            assert_eq!(val as usize, j * 8, "wrong object data");
+                            served += 1;
+                        }
+                        other => panic!("read failed mid-compaction: {other:?}"),
+                    }
+                }
+            }
+            served
+        })
+    };
+    let class = corm::core::consistency::class_for_payload(server.classes(), 48).unwrap();
+    let mut total_freed = 0;
+    for _ in 0..3 {
+        total_freed += node.compact_class(class).unwrap().blocks_freed;
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let served = reader.join().unwrap();
+    node.shutdown();
+    assert!(total_freed > 0, "compaction must reclaim blocks");
+    assert!(served > 0, "reader must make progress throughout");
+}
