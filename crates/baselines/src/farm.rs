@@ -113,22 +113,14 @@ mod tests {
         let farm = FarmServer::new(ServerConfig { workers: 1, ..ServerConfig::default() });
         let mut client = farm.connect();
         // Fragment heavily.
-        let mut ptrs: Vec<_> = (0..256)
-            .map(|_| client.alloc(48).unwrap().value)
-            .collect();
+        let mut ptrs: Vec<_> = (0..256).map(|_| client.alloc(48).unwrap().value).collect();
         for p in ptrs.iter_mut().skip(1) {
             client.free(p).unwrap();
         }
         // The compaction trigger does nothing under an infinite threshold.
-        let reports = farm
-            .server()
-            .compact_if_fragmented(SimTime::ZERO)
-            .unwrap();
+        let reports = farm.server().compact_if_fragmented(SimTime::ZERO).unwrap();
         assert!(reports.is_empty(), "FaRM must never compact");
-        assert_eq!(
-            farm.server().stats.compactions.load(std::sync::atomic::Ordering::Relaxed),
-            0
-        );
+        assert_eq!(farm.server().stats.compactions.load(std::sync::atomic::Ordering::Relaxed), 0);
     }
 
     #[test]

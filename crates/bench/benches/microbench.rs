@@ -9,11 +9,11 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use corm_compact::{compact_blocks, corm_probability, BlockModel, ConflictRule};
-use corm_sim_rdma::LruCache;
 use corm_core::client::CormClient;
 use corm_core::server::{CormServer, ServerConfig};
 use corm_core::{consistency, header::ObjectHeader};
 use corm_sim_core::time::SimTime;
+use corm_sim_rdma::LruCache;
 use corm_workloads::zipf::Zipfian;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,12 +43,8 @@ fn bench_reads(c: &mut Criterion) {
     g.bench_function("direct_read_64B", |b| {
         b.iter(|| client.direct_read(&ptr, &mut buf, SimTime::ZERO).unwrap())
     });
-    g.bench_function("rpc_read_64B", |b| {
-        b.iter(|| client.read(&mut ptr, &mut buf).unwrap())
-    });
-    g.bench_function("rpc_write_64B", |b| {
-        b.iter(|| client.write(&mut ptr, &buf).unwrap())
-    });
+    g.bench_function("rpc_read_64B", |b| b.iter(|| client.read(&mut ptr, &mut buf).unwrap()));
+    g.bench_function("rpc_write_64B", |b| b.iter(|| client.write(&mut ptr, &buf).unwrap()));
     g.finish();
 }
 
@@ -58,9 +54,7 @@ fn bench_scatter_gather(c: &mut Criterion) {
     let image = consistency::scatter(header, &payload, 2048);
     let mut g = c.benchmark_group("consistency");
     g.throughput(Throughput::Bytes(2048));
-    g.bench_function("scatter_2KiB", |b| {
-        b.iter(|| consistency::scatter(header, &payload, 2048))
-    });
+    g.bench_function("scatter_2KiB", |b| b.iter(|| consistency::scatter(header, &payload, 2048)));
     g.bench_function("gather_2KiB", |b| {
         b.iter(|| consistency::gather(&image, Some(42), payload.len()).unwrap())
     });
@@ -72,9 +66,8 @@ fn bench_compaction(c: &mut Criterion) {
     // Greedy pass over 64 half-empty blocks of 64 slots.
     g.bench_function("greedy_pass_64_blocks", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        let blocks: Vec<BlockModel> = (0..64)
-            .map(|_| BlockModel::random(&mut rng, 64, 1 << 16, 16))
-            .collect();
+        let blocks: Vec<BlockModel> =
+            (0..64).map(|_| BlockModel::random(&mut rng, 64, 1 << 16, 16)).collect();
         b.iter_batched(
             || blocks.clone(),
             |blocks| compact_blocks(blocks, ConflictRule::Ids),
@@ -90,8 +83,7 @@ fn bench_compaction(c: &mut Criterion) {
                     ..ServerConfig::default()
                 }));
                 let mut client = CormClient::connect(server.clone());
-                let mut ptrs: Vec<_> =
-                    (0..128).map(|_| client.alloc(48).unwrap().value).collect();
+                let mut ptrs: Vec<_> = (0..128).map(|_| client.alloc(48).unwrap().value).collect();
                 for (i, p) in ptrs.iter_mut().enumerate() {
                     if i % 8 != 0 {
                         client.free(p).unwrap();
@@ -113,12 +105,8 @@ fn bench_conflict_checks(c: &mut Criterion) {
     let a = BlockModel::random(&mut rng, 4096, 1 << 16, 1024);
     let b = BlockModel::random(&mut rng, 4096, 1 << 16, 1024);
     let mut g = c.benchmark_group("conflict_checks");
-    g.bench_function("corm_compactable_4096_slots", |bch| {
-        bch.iter(|| a.corm_compactable(&b))
-    });
-    g.bench_function("mesh_compactable_4096_slots", |bch| {
-        bch.iter(|| a.mesh_compactable(&b))
-    });
+    g.bench_function("corm_compactable_4096_slots", |bch| bch.iter(|| a.corm_compactable(&b)));
+    g.bench_function("mesh_compactable_4096_slots", |bch| bch.iter(|| a.mesh_compactable(&b)));
     g.finish();
 }
 

@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use corm_bench::report::{f2, write_csv, Table};
 use corm_baselines::RpcEcho;
+use corm_bench::report::{f2, write_csv, Table};
 use corm_core::client::{ClientConfig, CormClient, FixStrategy};
 use corm_core::server::{CormServer, CorrectionStrategy, ServerConfig};
 use corm_core::{GlobalPtr, ReadOutcome};
@@ -30,17 +30,16 @@ fn relocated_population(size: usize) -> (Arc<CormServer>, Vec<(GlobalPtr, Global
         ..ServerConfig::default()
     }));
     let mut client = CormClient::connect(server.clone());
-    let class = corm_core::consistency::class_for_payload(server.classes(), size)
-        .expect("size in classes");
+    let class =
+        corm_core::consistency::class_for_payload(server.classes(), size).expect("size in classes");
     let slot_bytes = server.classes().size_of(class);
     let slots = server.block_bytes() / slot_bytes;
     if slots < 2 {
         return (server, Vec::new()); // class too large for offset conflicts
     }
     // Fill two blocks fully.
-    let mut ptrs: Vec<GlobalPtr> = (0..2 * slots)
-        .map(|_| client.alloc(size).expect("alloc").value)
-        .collect();
+    let mut ptrs: Vec<GlobalPtr> =
+        (0..2 * slots).map(|_| client.alloc(size).expect("alloc").value).collect();
     let payload = vec![0xABu8; size];
     for p in ptrs.iter_mut() {
         client.write(p, &payload).expect("write");
@@ -53,9 +52,7 @@ fn relocated_population(size: usize) -> (Arc<CormServer>, Vec<(GlobalPtr, Global
         }
     }
     let stale = vec![ptrs[0], ptrs[slots]];
-    server
-        .compact_class(class, SimTime::ZERO)
-        .expect("compaction");
+    server.compact_class(class, SimTime::ZERO).expect("compaction");
     // Exactly one of the two survivors moved; find it by probing.
     let mut moved = Vec::new();
     for ptr in stale {
@@ -132,7 +129,6 @@ fn main() {
                     .expect("recovery")
                     .cost,
             );
-
         }
 
         // ReleasePtr permanently re-homes the object (and may release the

@@ -45,8 +45,8 @@ fn main() {
     for size in SIZES {
         let gross = {
             let cfg = ServerConfig::default();
-            let class = corm_core::consistency::class_for_payload(&cfg.alloc.classes, size)
-                .expect("class");
+            let class =
+                corm_core::consistency::class_for_payload(&cfg.alloc.classes, size).expect("class");
             cfg.alloc.classes.size_of(class)
         };
         let objects = WORKING_SET_BYTES / gross;
@@ -62,10 +62,7 @@ fn main() {
 
         // FaRM over the same scaled working set (1 MiB blocks).
         let farm = FarmServer::new(ServerConfig {
-            alloc: corm_alloc::AllocConfig {
-                block_bytes: 1 << 20,
-                ..config.alloc.clone()
-            },
+            alloc: corm_alloc::AllocConfig { block_bytes: 1 << 20, ..config.alloc.clone() },
             ..config.clone()
         });
         let mut farm_client = farm.connect();
@@ -93,9 +90,7 @@ fn main() {
             // warmed the page's translation.
             let raw_key = rand::Rng::gen_range(&mut rng, 0..objects);
             h_raw.record_duration(
-                raw.read_ptr(&store.ptrs[raw_key], &mut buf, SimTime::ZERO)
-                    .expect("raw")
-                    .cost,
+                raw.read_ptr(&store.ptrs[raw_key], &mut buf, SimTime::ZERO).expect("raw").cost,
             );
             let mut fp = farm_ptrs[key];
             h_farm.record_duration(

@@ -30,8 +30,7 @@ fn main() {
     );
     for &theta in &THETAS {
         for &clients in &CLIENTS {
-            let workload =
-                Workload::new(OBJECTS as u64, KeyDist::Zipf(theta), Mix::BALANCED);
+            let workload = Workload::new(OBJECTS as u64, KeyDist::Zipf(theta), Mix::BALANCED);
             let spec = ClosedLoopSpec {
                 duration: SimDuration::from_millis(200),
                 warmup: SimDuration::from_millis(50),

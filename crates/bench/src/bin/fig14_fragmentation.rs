@@ -21,12 +21,12 @@ const LIVE_OBJECTS: usize = 256 * 1024;
 const THETAS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.99];
 const CLIENTS: usize = 8;
 
-fn run(store_ptrs: &mut [GlobalPtr], server: &std::sync::Arc<corm_core::CormServer>, theta: f64) -> f64 {
-    let workload = Workload::new(
-        store_ptrs.len() as u64,
-        KeyDist::Zipf(theta),
-        Mix::READ_ONLY,
-    );
+fn run(
+    store_ptrs: &mut [GlobalPtr],
+    server: &std::sync::Arc<corm_core::CormServer>,
+    theta: f64,
+) -> f64 {
+    let workload = Workload::new(store_ptrs.len() as u64, KeyDist::Zipf(theta), Mix::READ_ONLY);
     let spec = ClosedLoopSpec {
         duration: SimDuration::from_millis(200),
         warmup: SimDuration::from_millis(50),

@@ -50,26 +50,20 @@ fn run_compaction(
     // Two phases so freed slots are never refilled: allocate every slot of
     // every block, then free all but the first object per block.
     let slots = server.block_bytes() / server.classes().size_of(class);
-    let mut all: Vec<_> = (0..blocks * slots)
-        .map(|_| client.alloc(32).expect("alloc").value)
-        .collect();
+    let mut all: Vec<_> =
+        (0..blocks * slots).map(|_| client.alloc(32).expect("alloc").value).collect();
     for (i, p) in all.iter_mut().enumerate() {
         if i % slots != 0 {
             client.free(p).expect("free filler");
         }
     }
-    server
-        .compact_class(class, SimTime::ZERO)
-        .expect("compaction")
-        .value
+    server.compact_class(class, SimTime::ZERO).expect("compaction").value
 }
 
 fn main() {
     // --- Left panel: collection time vs threads -------------------------
-    let mut left = Table::new(
-        "Fig. 15 (left): collection time vs threads (us)",
-        &["threads", "intel", "amd"],
-    );
+    let mut left =
+        Table::new("Fig. 15 (left): collection time vs threads (us)", &["threads", "intel", "amd"]);
     for threads in [2usize, 4, 8, 16] {
         let intel = run_compaction(
             threads,
@@ -100,8 +94,10 @@ fn main() {
         &["blocks", "connectx3", "connectx5", "connectx5_odp"],
     );
     for blocks in [2usize, 4, 8, 16] {
-        let cx3 = run_compaction(1, blocks, 4096, LatencyModel::connectx3(), MttUpdateStrategy::Rereg);
-        let cx5 = run_compaction(1, blocks, 4096, LatencyModel::connectx5(), MttUpdateStrategy::Rereg);
+        let cx3 =
+            run_compaction(1, blocks, 4096, LatencyModel::connectx3(), MttUpdateStrategy::Rereg);
+        let cx5 =
+            run_compaction(1, blocks, 4096, LatencyModel::connectx5(), MttUpdateStrategy::Rereg);
         let odp = run_compaction(
             1,
             blocks,
@@ -129,13 +125,8 @@ fn main() {
         let bytes = pages * 4096;
         let cx3 = run_compaction(1, 2, bytes, LatencyModel::connectx3(), MttUpdateStrategy::Rereg);
         let cx5 = run_compaction(1, 2, bytes, LatencyModel::connectx5(), MttUpdateStrategy::Rereg);
-        let odp = run_compaction(
-            1,
-            2,
-            bytes,
-            LatencyModel::connectx5(),
-            MttUpdateStrategy::OdpPrefetch,
-        );
+        let odp =
+            run_compaction(1, 2, bytes, LatencyModel::connectx5(), MttUpdateStrategy::OdpPrefetch);
         right.row(&[
             pages.to_string(),
             f1(cx3.compaction_cost.as_micros_f64()),

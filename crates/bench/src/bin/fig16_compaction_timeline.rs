@@ -38,8 +38,7 @@ fn run_panel(
     let mut store = populate_server(config, OBJECTS, 32);
     let survivors = store.fragment(0.75, 13);
     let mut ptrs: Vec<GlobalPtr> = survivors.iter().map(|&(_, p)| p).collect();
-    let class =
-        corm_core::consistency::class_for_payload(store.server.classes(), 32).unwrap();
+    let class = corm_core::consistency::class_for_payload(store.server.classes(), 32).unwrap();
     let workload = Workload::new(ptrs.len() as u64, KeyDist::Uniform, Mix::READ_ONLY);
     let spec = ClosedLoopSpec {
         duration: SimDuration::from_millis(5_500),
@@ -55,11 +54,8 @@ fn run_panel(
         .compaction_window
         .map(|(a, b)| (a.as_secs_f64(), b.as_secs_f64()))
         .unwrap_or((0.0, 0.0));
-    let blocks_freed = store
-        .server
-        .stats
-        .compaction_blocks_freed
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let blocks_freed =
+        store.server.stats.compaction_blocks_freed.load(std::sync::atomic::Ordering::Relaxed);
     (out.timeline.expect("timeline").rates(), window, blocks_freed)
 }
 
@@ -77,12 +73,7 @@ fn main() {
             ReadPath::Rdma,
             FixStrategy::ScanRead,
         ),
-        (
-            "scan/rpc-client",
-            CorrectionStrategy::BlockScan,
-            ReadPath::Rpc,
-            FixStrategy::ScanRead,
-        ),
+        ("scan/rpc-client", CorrectionStrategy::BlockScan, ReadPath::Rpc, FixStrategy::ScanRead),
         (
             "scan/rdma-client+rpcfix",
             CorrectionStrategy::BlockScan,
@@ -118,8 +109,7 @@ fn summarize(t: &Table) {
     let mut per: std::collections::BTreeMap<String, PanelSeries> = Default::default();
     for line in csv.lines().skip(1) {
         let mut parts = line.splitn(3, ',');
-        let (Some(panel), Some(t_sec), Some(rate)) =
-            (parts.next(), parts.next(), parts.next())
+        let (Some(panel), Some(t_sec), Some(rate)) = (parts.next(), parts.next(), parts.next())
         else {
             continue;
         };
@@ -146,12 +136,6 @@ fn summarize(t: &Table) {
     };
     println!("{:<28} {:>8} {:>8} {:>8}", "panel", "before", "2-3s", "after");
     for (panel, (b, d, a)) in per {
-        println!(
-            "{:<28} {:>8.0} {:>8.0} {:>8.0}",
-            panel,
-            mean(&b),
-            mean(&d),
-            mean(&a)
-        );
+        println!("{:<28} {:>8.0} {:>8.0} {:>8.0}", panel, mean(&b), mean(&d), mean(&a));
     }
 }

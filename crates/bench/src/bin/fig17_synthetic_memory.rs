@@ -50,7 +50,8 @@ fn main() {
             let trace = synthetic_trace(&spec);
             let mut row = vec![size.to_string(), format!("{rate:.1}")];
             for kind in kinds() {
-                let mut heap = ModelHeap::with_policy(kind, BLOCK, 1, 0xF17, ClassPolicy::Dedicated);
+                let mut heap =
+                    ModelHeap::with_policy(kind, BLOCK, 1, 0xF17, ClassPolicy::Dedicated);
                 heap.replay(&trace);
                 row.push(gib(heap.finish().active_bytes));
             }

@@ -27,16 +27,7 @@ fn kinds() -> Vec<CompactorKind> {
 fn main() {
     let mut t = Table::new(
         "Fig. 19: active memory (GiB), Redis traces, hybrid CoRM, 1 MiB blocks",
-        &[
-            "trace",
-            "threads",
-            "No",
-            "Ideal",
-            "Mesh",
-            "CoRM-0+8",
-            "CoRM-0+12",
-            "CoRM-0+16",
-        ],
+        &["trace", "threads", "No", "Ideal", "Mesh", "CoRM-0+8", "CoRM-0+12", "CoRM-0+16"],
     );
     for trace_kind in [RedisTrace::T1, RedisTrace::T2, RedisTrace::T3] {
         let ops = redis_trace(trace_kind, 0x12ED);

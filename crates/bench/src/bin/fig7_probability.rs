@@ -25,16 +25,10 @@ fn monte_carlo(rule_ids: bool, s: usize, id_space: usize, b: usize, trials: u32)
                 BlockModel::random(&mut rng, s, id_space, b),
             )
         } else {
-            (
-                BlockModel::random_mesh(&mut rng, s, b),
-                BlockModel::random_mesh(&mut rng, s, b),
-            )
+            (BlockModel::random_mesh(&mut rng, s, b), BlockModel::random_mesh(&mut rng, s, b))
         };
-        let compactable = if rule_ids {
-            x.corm_compactable(&y)
-        } else {
-            x.mesh_compactable(&y) && 2 * b <= s
-        };
+        let compactable =
+            if rule_ids { x.corm_compactable(&y) } else { x.mesh_compactable(&y) && 2 * b <= s };
         if compactable {
             ok += 1;
         }
@@ -45,15 +39,7 @@ fn monte_carlo(rule_ids: bool, s: usize, id_space: usize, b: usize, trials: u32)
 fn main() {
     let mut t = Table::new(
         "Fig. 7: compaction probability (4 KiB blocks)",
-        &[
-            "occupancy",
-            "obj_size",
-            "corm16",
-            "corm8",
-            "mesh",
-            "corm16_mc",
-            "mesh_mc",
-        ],
+        &["occupancy", "obj_size", "corm16", "corm8", "mesh", "corm16_mc", "mesh_mc"],
     );
     for occ in OCCUPANCIES {
         for size in SIZES {

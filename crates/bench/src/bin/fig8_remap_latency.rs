@@ -68,7 +68,13 @@ fn main() {
         let read_us = read.latency.as_micros_f64();
         t.row(&["rereg_mr".into(), "mmap".into(), f2(mmap), f2(mmap), String::new()]);
         t.row(&["rereg_mr".into(), "ibv_rereg_mr".into(), f2(rereg), f2(cum), note_break.into()]);
-        t.row(&["rereg_mr".into(), "RDMA read".into(), f2(read_us), f2(cum + read_us), String::new()]);
+        t.row(&[
+            "rereg_mr".into(),
+            "RDMA read".into(),
+            f2(read_us),
+            f2(cum + read_us),
+            String::new(),
+        ]);
     }
 
     // --- Strategy 2: mmap + ODP ----------------------------------------
@@ -85,8 +91,20 @@ fn main() {
         let second = qp.read(s.rkey, s.va, &mut buf, SimTime::ZERO).unwrap();
         let (f_us, s_us) = (first.latency.as_micros_f64(), second.latency.as_micros_f64());
         t.row(&["odp".into(), "mmap".into(), f2(mmap), f2(mmap), String::new()]);
-        t.row(&["odp".into(), "RDMA read (ODP miss)".into(), f2(f_us), f2(mmap + f_us), "connection survives".into()]);
-        t.row(&["odp".into(), "RDMA read (warm)".into(), f2(s_us), f2(mmap + f_us + s_us), String::new()]);
+        t.row(&[
+            "odp".into(),
+            "RDMA read (ODP miss)".into(),
+            f2(f_us),
+            f2(mmap + f_us),
+            "connection survives".into(),
+        ]);
+        t.row(&[
+            "odp".into(),
+            "RDMA read (warm)".into(),
+            f2(s_us),
+            f2(mmap + f_us + s_us),
+            String::new(),
+        ]);
     }
 
     // --- Strategy 3: mmap + ibv_advise_mr prefetch ----------------------
@@ -103,8 +121,20 @@ fn main() {
         assert_eq!(read.odp_misses, 0, "prefetch must absorb the miss");
         let r_us = read.latency.as_micros_f64();
         t.row(&["odp+prefetch".into(), "mmap".into(), f2(mmap), f2(mmap), String::new()]);
-        t.row(&["odp+prefetch".into(), "ibv_advise_mr".into(), f2(advise), f2(mmap + advise), "CoRM's default".into()]);
-        t.row(&["odp+prefetch".into(), "RDMA read".into(), f2(r_us), f2(mmap + advise + r_us), "no ODP miss".into()]);
+        t.row(&[
+            "odp+prefetch".into(),
+            "ibv_advise_mr".into(),
+            f2(advise),
+            f2(mmap + advise),
+            "CoRM's default".into(),
+        ]);
+        t.row(&[
+            "odp+prefetch".into(),
+            "RDMA read".into(),
+            f2(r_us),
+            f2(mmap + advise + r_us),
+            "no ODP miss".into(),
+        ]);
     }
 
     t.print();

@@ -6,9 +6,9 @@
 //! RDMA ≥ 1.7 µs and < 4 µs at 2 KiB; Alloc/Free ≈ RPC + 0.5 µs;
 //! DirectRead ≈ raw RDMA for objects < 256 B.
 
+use corm_baselines::{RawRdmaClient, RpcEcho};
 use corm_bench::report::{f2, write_csv, Table};
 use corm_bench::setup::populate_server;
-use corm_baselines::{RawRdmaClient, RpcEcho};
 use corm_core::client::CormClient;
 use corm_core::server::ServerConfig;
 use corm_core::ReadOutcome;
@@ -22,10 +22,7 @@ const OPS: usize = 500;
 fn main() {
     let mut t = Table::new(
         "Fig. 9: median operation latency with direct pointers (us)",
-        &[
-            "size", "alloc", "free", "rpc_read", "rpc_write", "direct_read", "rpc_base",
-            "rdma_base",
-        ],
+        &["size", "alloc", "free", "rpc_read", "rpc_write", "direct_read", "rpc_base", "rdma_base"],
     );
 
     for size in SIZES {
@@ -60,8 +57,7 @@ fn main() {
 
             let mut ptr = store.ptrs[key];
             h_read.record_duration(client.read(&mut ptr, &mut buf).expect("read").cost);
-            h_write
-                .record_duration(client.write(&mut ptr, &payload).expect("write").cost);
+            h_write.record_duration(client.write(&mut ptr, &payload).expect("write").cost);
             let d = client.direct_read(&ptr, &mut buf, SimTime::ZERO).expect("qp");
             assert!(matches!(d.value, ReadOutcome::Ok(_)), "direct pointers only");
             h_direct.record_duration(d.cost);
@@ -83,9 +79,7 @@ fn main() {
     t.print();
     println!(
         "\n(the paper's IPoIB reference on the same link: {:.1} us)",
-        RpcEcho::new(corm_sim_rdma::LatencyModel::connectx5())
-            .ipoib_round_trip()
-            .as_micros_f64()
+        RpcEcho::new(corm_sim_rdma::LatencyModel::connectx5()).ipoib_round_trip().as_micros_f64()
     );
     let path = write_csv("fig9_latency_direct", &t).expect("write csv");
     println!("csv: {}", path.display());

@@ -13,30 +13,12 @@ fn main() {
         &["System", "Type", "RDMA", "Mem. Compaction", "Vaddr Reuse"],
     );
     // Mesh is a malloc replacement: compaction without RDMA or vaddr reuse.
-    t.row(&[
-        "Mesh".into(),
-        "Allocator".into(),
-        "no".into(),
-        "yes".into(),
-        "no".into(),
-    ]);
+    t.row(&["Mesh".into(), "Allocator".into(), "no".into(), "yes".into(), "no".into()]);
     // FaRM: RDMA DSM, no compaction (vaddr reuse is moot: objects never
     // move, so no old addresses accumulate).
-    t.row(&[
-        "FaRM".into(),
-        "DSM".into(),
-        "yes".into(),
-        "no".into(),
-        "-".into(),
-    ]);
+    t.row(&["FaRM".into(), "DSM".into(), "yes".into(), "no".into(), "-".into()]);
     // CoRM: all three.
-    t.row(&[
-        "CoRM".into(),
-        "DSM".into(),
-        "yes".into(),
-        "yes".into(),
-        "yes".into(),
-    ]);
+    t.row(&["CoRM".into(), "DSM".into(), "yes".into(), "yes".into(), "yes".into()]);
     t.print();
     let path = write_csv("table1_features", &t).expect("write csv");
     println!("\ncsv: {}", path.display());

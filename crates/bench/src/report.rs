@@ -1,12 +1,16 @@
-//! Result presentation: aligned text tables and CSV files.
+//! Result presentation: aligned text tables, CSV files, and JSON metrics.
 //!
 //! Every figure binary prints a human-readable table mirroring the paper's
 //! rows/series and writes the same data as CSV into `results/` so the
-//! series can be plotted or diffed.
+//! series can be plotted or diffed. Fault-injection runs additionally
+//! export their counters as JSON (hand-rolled — the workspace builds
+//! offline, without serde).
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use corm_sim_rdma::{FaultKind, Rnic};
 
 /// A simple column-aligned table.
 #[derive(Debug, Clone)]
@@ -90,17 +94,10 @@ impl Table {
                 s.to_string()
             }
         };
-        let _ = writeln!(
-            out,
-            "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-            );
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         out
     }
@@ -124,6 +121,177 @@ pub fn write_csv(name: &str, table: &Table) -> std::io::Result<PathBuf> {
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
     fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// A JSON value (the subset the metrics exports need).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (rendered with enough precision to round-trip).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serializes the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builder for a JSON object with insertion-ordered fields.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, Json)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds any JSON value.
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds an unsigned integer.
+    pub fn uint(self, key: &str, value: u64) -> Self {
+        self.field(key, Json::UInt(value))
+    }
+
+    /// Adds a float.
+    pub fn float(self, key: &str, value: f64) -> Self {
+        self.field(key, Json::Float(value))
+    }
+
+    /// Adds a string.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        self.field(key, Json::Str(value.to_string()))
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.fields)
+    }
+}
+
+/// The canonical name of a fault kind in exports.
+pub fn fault_kind_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Transient => "transient",
+        FaultKind::DelaySpike => "delay_spike",
+        FaultKind::CacheMiss => "cache_miss",
+        FaultKind::QpBreak => "qp_break",
+    }
+}
+
+/// Snapshot of a NIC's fault-injection counters and the client's recovery
+/// counters as a JSON object, including the replayable fault log.
+pub fn fault_metrics(
+    rnic: &Rnic,
+    qp_breaks: u64,
+    qp_reconnects: u64,
+    client_recoveries: u64,
+) -> Json {
+    use std::sync::atomic::Ordering::Relaxed;
+    let s = &rnic.stats;
+    let log: Vec<Json> = rnic
+        .fault_log()
+        .into_iter()
+        .map(|(op, kind)| {
+            JsonObject::new().uint("op", op).str("kind", fault_kind_name(kind)).build()
+        })
+        .collect();
+    JsonObject::new()
+        .uint("injected_faults", s.injected_faults.load(Relaxed))
+        .uint("injected_qp_breaks", s.injected_qp_breaks.load(Relaxed))
+        .uint("injected_delays", s.injected_delays.load(Relaxed))
+        .uint("injected_delay_ns", s.injected_delay_ns.load(Relaxed))
+        .uint("forced_cache_misses", s.forced_cache_misses.load(Relaxed))
+        .uint("qp_breaks", qp_breaks)
+        .uint("qp_reconnects", qp_reconnects)
+        .uint("client_recoveries", client_recoveries)
+        .field("fault_log", Json::Arr(log))
+        .build()
+}
+
+/// Writes a JSON document under `results/<name>.json` and returns the path.
+pub fn write_json(name: &str, json: &Json) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json.render())?;
     Ok(path)
 }
 
@@ -186,5 +354,37 @@ mod tests {
         assert_eq!(f2(1.256), "1.26");
         assert_eq!(f3(0.12345), "0.123");
         assert_eq!(gib(1 << 30), "1.000");
+    }
+
+    #[test]
+    fn json_renders_nested_structures() {
+        let j = JsonObject::new()
+            .uint("ops", 1000)
+            .float("rate", 0.5)
+            .str("name", "sweep")
+            .field("flags", Json::Bool(true))
+            .field(
+                "log",
+                Json::Arr(vec![JsonObject::new().uint("op", 3).str("kind", "qp_break").build()]),
+            )
+            .build();
+        assert_eq!(
+            j.render(),
+            r#"{"ops":1000,"rate":0.5,"name":"sweep","flags":true,"log":[{"op":3,"kind":"qp_break"}]}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.render(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn fault_kind_names_are_stable() {
+        assert_eq!(fault_kind_name(FaultKind::Transient), "transient");
+        assert_eq!(fault_kind_name(FaultKind::DelaySpike), "delay_spike");
+        assert_eq!(fault_kind_name(FaultKind::CacheMiss), "cache_miss");
+        assert_eq!(fault_kind_name(FaultKind::QpBreak), "qp_break");
     }
 }

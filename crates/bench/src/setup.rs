@@ -62,14 +62,9 @@ impl PopulatedStore {
         let freed: std::collections::HashSet<usize> = idx[..k].iter().copied().collect();
         for &i in &idx[..k] {
             let mut ptr = self.ptrs[i];
-            client
-                .free(&mut ptr)
-                .unwrap_or_else(|e| panic!("fragment free failed: {e}"));
+            client.free(&mut ptr).unwrap_or_else(|e| panic!("fragment free failed: {e}"));
         }
-        (0..n)
-            .filter(|i| !freed.contains(i))
-            .map(|i| (i as u64, self.ptrs[i]))
-            .collect()
+        (0..n).filter(|i| !freed.contains(i)).map(|i| (i as u64, self.ptrs[i])).collect()
     }
 }
 
@@ -80,20 +75,15 @@ mod tests {
 
     #[test]
     fn populate_and_verify() {
-        let store = populate_server(
-            ServerConfig { workers: 2, ..ServerConfig::default() },
-            100,
-            32,
-        );
+        let store =
+            populate_server(ServerConfig { workers: 2, ..ServerConfig::default() }, 100, 32);
         let mut client = CormClient::connect(store.server.clone());
         let mut expect = vec![0u8; 32];
         for key in [0usize, 50, 99] {
             let mut ptr = store.ptrs[key];
             let mut buf = vec![0u8; 32];
-            let n = client
-                .direct_read_with_recovery(&mut ptr, &mut buf, SimTime::ZERO)
-                .unwrap()
-                .value;
+            let n =
+                client.direct_read_with_recovery(&mut ptr, &mut buf, SimTime::ZERO).unwrap().value;
             fill_pattern(&mut expect, key as u64);
             assert_eq!(&buf[..n], &expect[..n]);
         }
@@ -101,11 +91,8 @@ mod tests {
 
     #[test]
     fn fragment_frees_requested_fraction() {
-        let mut store = populate_server(
-            ServerConfig { workers: 2, ..ServerConfig::default() },
-            200,
-            32,
-        );
+        let mut store =
+            populate_server(ServerConfig { workers: 2, ..ServerConfig::default() }, 200, 32);
         let before = store.server.stats.frees.load(std::sync::atomic::Ordering::Relaxed);
         let survivors = store.fragment(0.75, 1);
         let after = store.server.stats.frees.load(std::sync::atomic::Ordering::Relaxed);

@@ -23,8 +23,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-
-
 use corm_core::client::{CormClient, FixStrategy};
 use corm_core::server::{CormServer, CorrectionStrategy};
 use corm_core::{GlobalPtr, ReadOutcome};
@@ -138,9 +136,8 @@ pub fn run_closed_loop(
     let mut workers = FifoResource::new(n_workers);
     let mut nic = FifoResource::new(1);
     let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut rngs: Vec<DetRng> = (0..spec.clients)
-        .map(|c| stream_rng(spec.seed, c as u64))
-        .collect();
+    let mut rngs: Vec<DetRng> =
+        (0..spec.clients).map(|c| stream_rng(spec.seed, c as u64)).collect();
     let mut client = CormClient::connect_with(
         server.clone(),
         corm_core::client::ClientConfig {
@@ -193,9 +190,8 @@ pub fn run_closed_loop(
         // Fig. 16: fire the compaction pass once its trigger time passes.
         if let Some((at, class)) = compaction_pending {
             if next_at >= at {
-                let timed = server
-                    .compact_class(class, at)
-                    .expect("compaction in sim must not fail");
+                let timed =
+                    server.compact_class(class, at).expect("compaction in sim must not fail");
                 // The leader (one worker) is busy for the whole pass.
                 workers.admit(at, timed.cost);
                 out.compaction_window = Some((at, at + timed.cost));
@@ -242,19 +238,15 @@ pub fn run_closed_loop(
                         let mut ptr = ptrs[k as usize];
                         let worker = next_worker % n_workers;
                         next_worker += 1;
-                        let corr_before = server
-                            .stats
-                            .corrections
-                            .load(std::sync::atomic::Ordering::Relaxed);
+                        let corr_before =
+                            server.stats.corrections.load(std::sync::atomic::Ordering::Relaxed);
                         let cost = match server.read(worker, &mut ptr, &mut buf) {
                             Ok(t) => t.cost,
                             Err(e) => panic!("sim rpc read failed on key {k}: {e}"),
                         };
-                        let corrected = server
-                            .stats
-                            .corrections
-                            .load(std::sync::atomic::Ordering::Relaxed)
-                            > corr_before;
+                        let corrected =
+                            server.stats.corrections.load(std::sync::atomic::Ordering::Relaxed)
+                                > corr_before;
                         ptrs[k as usize] = ptr;
                         let mut start = ingress_done;
                         // §4.3.2 (Fig. 16 top): with thread-messaging
@@ -264,8 +256,7 @@ pub fn run_closed_loop(
                         if corrected {
                             out.corrections += 1;
                             if let Some((w0, w1)) = out.compaction_window {
-                                if server.config().correction
-                                    == CorrectionStrategy::ThreadMessaging
+                                if server.config().correction == CorrectionStrategy::ThreadMessaging
                                     && now >= w0
                                     && now < w1
                                 {
@@ -279,9 +270,8 @@ pub fn run_closed_loop(
                     }
                     ReadPath::Rdma => {
                         let ptr = ptrs[k as usize];
-                        let attempt = client
-                            .direct_read(&ptr, &mut buf, now)
-                            .expect("qp healthy in sim");
+                        let attempt =
+                            client.direct_read(&ptr, &mut buf, now).expect("qp healthy in sim");
                         // A racing write to the same key within the fetch
                         // window tears the read.
                         let torn = write_busy
@@ -289,9 +279,7 @@ pub fn run_closed_loop(
                             .map(|&(s, e)| now < e && now + attempt.cost > s)
                             .unwrap_or(false);
                         let outcome = if torn {
-                            ReadOutcome::Invalid(
-                                corm_core::consistency::ReadFailure::TornRead,
-                            )
+                            ReadOutcome::Invalid(corm_core::consistency::ReadFailure::TornRead)
                         } else {
                             attempt.value
                         };
@@ -302,15 +290,12 @@ pub fn run_closed_loop(
                                 // extra, so anything above the hit-path
                                 // latency was a miss (and occupies the
                                 // engine for longer).
-                                let hit_latency = model
-                                    .rdma_read_latency(slot_bytes, true)
+                                let hit_latency = model.rdma_read_latency(slot_bytes, true)
                                     + model.version_check_cost(slot_bytes);
                                 let cache_hit = attempt.cost <= hit_latency;
-                                let service =
-                                    model.rdma_read_service(spec.value_len, cache_hit);
+                                let service = model.rdma_read_service(spec.value_len, cache_hit);
                                 let nic_done = nic.admit(now, service);
-                                completion =
-                                    nic_done + attempt.cost.saturating_sub(service);
+                                completion = nic_done + attempt.cost.saturating_sub(service);
                                 read_latency = Some(completion - now);
                             }
                             ReadOutcome::Invalid(
@@ -325,11 +310,9 @@ pub fn run_closed_loop(
                                         let scan = client
                                             .scan_read(&mut ptr, &mut buf, now)
                                             .expect("scan finds relocated object");
-                                        let service =
-                                            model.rdma_read_service(block, true);
+                                        let service = model.rdma_read_service(block, true);
                                         let nic_done = nic.admit(now, service);
-                                        completion = nic_done
-                                            + scan.cost.saturating_sub(service);
+                                        completion = nic_done + scan.cost.saturating_sub(service);
                                     }
                                     FixStrategy::RpcRead => {
                                         let ingress_done =
@@ -352,8 +335,7 @@ pub fn run_closed_loop(
                                         }
                                         let worker_done =
                                             workers.admit(start.max(ingress_done), cost);
-                                        completion =
-                                            worker_done + wire_rpc(spec.value_len);
+                                        completion = worker_done + wire_rpc(spec.value_len);
                                     }
                                 }
                                 ptrs[k as usize] = ptr;
@@ -365,10 +347,8 @@ pub fn run_closed_loop(
                                 if now >= warmup_end {
                                     out.conflicts += 1;
                                 }
-                                queue.schedule(
-                                    now + attempt.cost + spec.backoff,
-                                    Ev::Retry(cid, k),
-                                );
+                                queue
+                                    .schedule(now + attempt.cost + spec.backoff, Ev::Retry(cid, k));
                                 continue;
                             }
                         }
@@ -395,6 +375,112 @@ pub fn run_closed_loop(
     }
 
     out.kreqs = out.completed as f64 / spec.duration.as_secs_f64() / 1_000.0;
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fault sweep: client survival under injected NIC faults
+// ---------------------------------------------------------------------
+
+/// Specification of a fault-injection run: one client loops DirectReads
+/// with full recovery over a populated store while the NIC injects faults
+/// per `fault`.
+#[derive(Debug, Clone)]
+pub struct FaultSweepSpec {
+    /// Objects populated (keys).
+    pub objects: usize,
+    /// Payload bytes per object.
+    pub value_len: usize,
+    /// Reads issued.
+    pub ops: u64,
+    /// Fault-injection configuration installed on the server's NIC.
+    pub fault: corm_sim_rdma::FaultConfig,
+    /// Seed for key selection.
+    pub seed: u64,
+}
+
+impl Default for FaultSweepSpec {
+    fn default() -> Self {
+        FaultSweepSpec {
+            objects: 512,
+            value_len: 32,
+            ops: 1_000,
+            fault: corm_sim_rdma::FaultConfig::default(),
+            seed: 0xFA17,
+        }
+    }
+}
+
+/// Results of a fault-injection run.
+#[derive(Debug, Clone)]
+pub struct FaultSweepOutput {
+    /// Reads that completed (every op must).
+    pub completed: u64,
+    /// Reads whose payload did not match the expected pattern (must be 0).
+    pub corrupted: u64,
+    /// QP breaks observed by the client.
+    pub qp_breaks: u64,
+    /// QP reconnects performed.
+    pub qp_reconnects: u64,
+    /// Recoveries the client charged to operations.
+    pub client_recoveries: u64,
+    /// Total virtual time of all reads.
+    pub virtual_time: SimDuration,
+    /// The NIC's replayable fault log.
+    pub fault_log: Vec<(u64, corm_sim_rdma::FaultKind)>,
+}
+
+/// Runs the fault sweep: populates a store with the fault injector
+/// installed, then loops `ops` DirectReads with recovery, verifying every
+/// payload against the deterministic per-key pattern.
+///
+/// Panics if any read fails outright — the whole point is that recovery
+/// absorbs every injected fault.
+pub fn run_fault_sweep(spec: &FaultSweepSpec) -> FaultSweepOutput {
+    use crate::setup::{fill_pattern, populate_server};
+    use corm_core::server::ServerConfig;
+    use corm_sim_rdma::RnicConfig;
+
+    let config = ServerConfig {
+        rnic: RnicConfig { faults: Some(spec.fault.clone()), ..RnicConfig::default() },
+        ..ServerConfig::default()
+    };
+    // Population runs over RPC, so it consumes no one-sided verbs and the
+    // fault stream starts exactly at the first DirectRead.
+    let mut store = populate_server(config, spec.objects, spec.value_len);
+    let mut client = CormClient::connect(store.server.clone());
+    let mut rng = stream_rng(spec.seed, 7);
+    let mut buf = vec![0u8; spec.value_len];
+    let mut expect = vec![0u8; spec.value_len];
+    let mut out = FaultSweepOutput {
+        completed: 0,
+        corrupted: 0,
+        qp_breaks: 0,
+        qp_reconnects: 0,
+        client_recoveries: 0,
+        virtual_time: SimDuration::ZERO,
+        fault_log: Vec::new(),
+    };
+    let mut clock = SimTime::ZERO;
+    for _ in 0..spec.ops {
+        let key = rand::Rng::gen_range(&mut rng, 0..spec.objects as u64);
+        let mut ptr = store.ptrs[key as usize];
+        let t = client
+            .direct_read_with_recovery(&mut ptr, &mut buf, clock)
+            .unwrap_or_else(|e| panic!("read of key {key} must survive faults: {e}"));
+        store.ptrs[key as usize] = ptr;
+        fill_pattern(&mut expect, key);
+        if buf[..t.value] != expect[..t.value] {
+            out.corrupted += 1;
+        }
+        out.completed += 1;
+        out.virtual_time += t.cost;
+        clock += t.cost;
+    }
+    out.qp_breaks = client.qp().breaks();
+    out.qp_reconnects = client.qp().reconnects();
+    out.client_recoveries = client.qp_recoveries;
+    out.fault_log = store.server.rnic().fault_log();
     out
 }
 
@@ -429,12 +515,7 @@ mod tests {
             &quick_spec(ReadPath::Rpc, Mix::READ_ONLY, 8),
         );
         assert!(rdma.completed > 0 && rpc.completed > 0);
-        assert!(
-            rdma.kreqs > rpc.kreqs,
-            "rdma {} vs rpc {}",
-            rdma.kreqs,
-            rpc.kreqs
-        );
+        assert!(rdma.kreqs > rpc.kreqs, "rdma {} vs rpc {}", rdma.kreqs, rpc.kreqs);
     }
 
     #[test]
@@ -451,11 +532,7 @@ mod tests {
             &quick_spec(ReadPath::Rpc, Mix::READ_ONLY, 16),
         );
         assert!(many.kreqs > few.kreqs, "more clients, more throughput");
-        assert!(
-            (550.0..=800.0).contains(&many.kreqs),
-            "RPC plateau ≈700K, got {}",
-            many.kreqs
-        );
+        assert!((550.0..=800.0).contains(&many.kreqs), "RPC plateau ≈700K, got {}", many.kreqs);
     }
 
     #[test]
@@ -472,16 +549,75 @@ mod tests {
     }
 
     #[test]
+    fn fault_sweep_survives_injected_faults_without_corruption() {
+        let spec = FaultSweepSpec {
+            fault: corm_sim_rdma::FaultConfig {
+                seed: 11,
+                transient_prob: 0.01,
+                delay_prob: 0.01,
+                cache_miss_prob: 0.02,
+                qp_break_prob: 0.005,
+                ..corm_sim_rdma::FaultConfig::default()
+            },
+            ..FaultSweepSpec::default()
+        };
+        let out = run_fault_sweep(&spec);
+        assert_eq!(out.completed, spec.ops);
+        assert_eq!(out.corrupted, 0, "no injected fault may corrupt data");
+        assert!(!out.fault_log.is_empty(), "these rates must fire in 1k ops");
+        assert!(out.qp_breaks > 0, "transients and breaks must break the QP");
+        assert_eq!(out.qp_breaks, out.qp_reconnects, "every break recovered");
+        assert_eq!(out.client_recoveries, out.qp_reconnects);
+    }
+
+    #[test]
+    fn fault_sweep_replays_byte_for_byte_from_seed() {
+        let spec = FaultSweepSpec {
+            fault: corm_sim_rdma::FaultConfig {
+                seed: 99,
+                transient_prob: 0.02,
+                qp_break_prob: 0.01,
+                ..corm_sim_rdma::FaultConfig::default()
+            },
+            ..FaultSweepSpec::default()
+        };
+        let a = run_fault_sweep(&spec);
+        let b = run_fault_sweep(&spec);
+        assert_eq!(a.fault_log, b.fault_log, "same seed, same fault schedule");
+        assert_eq!(a.virtual_time, b.virtual_time, "recovery costs replay too");
+        assert_eq!(a.qp_reconnects, b.qp_reconnects);
+    }
+
+    #[test]
+    fn fault_sweep_disabled_faults_cost_nothing_extra() {
+        let clean = run_fault_sweep(&FaultSweepSpec::default());
+        assert_eq!(clean.qp_breaks, 0);
+        assert_eq!(clean.client_recoveries, 0);
+        assert!(clean.fault_log.is_empty());
+        let faulty = run_fault_sweep(&FaultSweepSpec {
+            fault: corm_sim_rdma::FaultConfig {
+                seed: 3,
+                qp_break_prob: 0.01,
+                ..corm_sim_rdma::FaultConfig::default()
+            },
+            ..FaultSweepSpec::default()
+        });
+        assert!(
+            faulty.virtual_time > clean.virtual_time,
+            "reconnects must cost virtual time: {} vs {}",
+            faulty.virtual_time,
+            clean.virtual_time
+        );
+    }
+
+    #[test]
     fn conflicts_appear_under_skewed_mixed_load() {
         let mut store = populate_server(ServerConfig::default(), 2_000, 32);
         let spec = ClosedLoopSpec {
             duration: SimDuration::from_millis(60),
             warmup: SimDuration::from_millis(10),
             read_path: ReadPath::Rdma,
-            ..ClosedLoopSpec::new(
-                Workload::new(2_000, KeyDist::Zipf(0.99), Mix::BALANCED),
-                16,
-            )
+            ..ClosedLoopSpec::new(Workload::new(2_000, KeyDist::Zipf(0.99), Mix::BALANCED), 16)
         };
         let out = run_closed_loop(&store.server, &mut store.ptrs, &spec);
         assert!(out.conflicts > 0, "hot-key races must tear some reads");

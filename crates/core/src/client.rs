@@ -40,6 +40,15 @@ pub struct ClientConfig {
     /// Backoff between retries (§3.2.3: "the read is repeated after a
     /// backoff period").
     pub backoff: SimDuration,
+    /// QP reconnect attempts per operation before giving up (§3.5: a break
+    /// is survivable but costs milliseconds — a persistently broken fabric
+    /// must eventually surface as an error).
+    pub max_reconnects: usize,
+    /// Base backoff before a QP reconnect; doubles per consecutive
+    /// reconnect within one operation, capped at `reconnect_backoff_cap`.
+    pub reconnect_backoff: SimDuration,
+    /// Upper bound on the exponential reconnect backoff.
+    pub reconnect_backoff_cap: SimDuration,
     /// Seed for worker selection.
     pub seed: u64,
 }
@@ -50,7 +59,10 @@ impl Default for ClientConfig {
             fix_strategy: FixStrategy::ScanRead,
             max_retries: 64,
             backoff: SimDuration::from_micros(5),
-            seed: 0xC11E
+            max_reconnects: 8,
+            reconnect_backoff: SimDuration::from_micros(50),
+            reconnect_backoff_cap: SimDuration::from_millis(1),
+            seed: 0xC11E,
         }
     }
 }
@@ -72,6 +84,8 @@ pub struct CormClient {
     rng: DetRng,
     /// DirectReads that failed validation (Fig. 13's conflict counter).
     pub failed_direct_reads: u64,
+    /// QP breaks this client recovered from by reconnecting (§3.5).
+    pub qp_recoveries: u64,
 }
 
 impl std::fmt::Debug for CormClient {
@@ -90,7 +104,7 @@ impl CormClient {
     pub fn connect_with(server: Arc<CormServer>, config: ClientConfig) -> Self {
         let qp = QueuePair::connect(server.rnic().clone());
         let rng = stream_rng(config.seed, 0);
-        CormClient { server, qp, config, rng, failed_direct_reads: 0 }
+        CormClient { server, qp, config, rng, failed_direct_reads: 0, qp_recoveries: 0 }
     }
 
     /// The server this client talks to.
@@ -106,6 +120,39 @@ impl CormClient {
     fn pick_worker(&mut self) -> usize {
         let workers = self.server.config().workers;
         rand::Rng::gen_range(&mut self.rng, 0..workers)
+    }
+
+    /// Whether an RDMA error is survivable by reconnecting the QP: the
+    /// connection broke (or a transient NIC/PCIe fault broke it), but the
+    /// region, keys, and data are intact.
+    fn recoverable(e: &RdmaError) -> bool {
+        matches!(e, RdmaError::QpBroken | RdmaError::InjectedFault | RdmaError::RegionBusy(_))
+    }
+
+    /// Reconnects the QP after a recoverable fault, charging an
+    /// exponentially-backed-off delay (doubling per consecutive attempt,
+    /// capped) plus the §3.5 reconnect cost to the operation. Errors out
+    /// once `max_reconnects` attempts are spent.
+    fn recover_qp(
+        &mut self,
+        attempt: &mut usize,
+        total: &mut SimDuration,
+        clock: &mut SimTime,
+    ) -> Result<(), CormError> {
+        if *attempt >= self.config.max_reconnects {
+            return Err(CormError::Rdma(RdmaError::QpBroken));
+        }
+        let shift = (*attempt).min(10) as u32;
+        let mut backoff = self.config.reconnect_backoff * (1u64 << shift);
+        if backoff > self.config.reconnect_backoff_cap {
+            backoff = self.config.reconnect_backoff_cap;
+        }
+        let cost = backoff + self.qp.reconnect();
+        *total += cost;
+        *clock += cost;
+        self.qp_recoveries += 1;
+        *attempt += 1;
+        Ok(())
     }
 
     fn rpc_wire(&self, payload: usize) -> SimDuration {
@@ -141,11 +188,7 @@ impl CormClient {
     }
 
     /// Reads up to `buf.len()` bytes over RPC (Table 2 `Read`).
-    pub fn read(
-        &mut self,
-        ptr: &mut GlobalPtr,
-        buf: &mut [u8],
-    ) -> Result<Timed<usize>, CormError> {
+    pub fn read(&mut self, ptr: &mut GlobalPtr, buf: &mut [u8]) -> Result<Timed<usize>, CormError> {
         let w = self.pick_worker();
         let t = self.server.read(w, ptr, buf)?;
         let wire = self.rpc_wire(t.value);
@@ -230,9 +273,8 @@ impl CormClient {
         for slot in 0..slots {
             let off = slot * slot_bytes;
             let slice = &image[off..off + slot_bytes];
-            let header = ObjectHeader::from_bytes(
-                slice[..HEADER_BYTES].try_into().expect("header"),
-            );
+            let header =
+                ObjectHeader::from_bytes(slice[..HEADER_BYTES].try_into().expect("header"));
             if !header.valid || header.obj_id != ptr.obj_id {
                 continue;
             }
@@ -256,8 +298,17 @@ impl CormClient {
     }
 
     /// DirectRead with full recovery (the paper's client loop): retries
-    /// torn/locked reads after a backoff, and repairs relocated objects via
-    /// the configured [`FixStrategy`], correcting the pointer in place.
+    /// torn/locked reads after a backoff, repairs relocated objects via the
+    /// configured [`FixStrategy`] (correcting the pointer in place), and
+    /// survives QP breaks — including injected transient NIC/PCIe faults
+    /// and `rereg_mr` busy windows — by reconnecting with capped
+    /// exponential backoff (§3.5). Every retry, backoff, and reconnect is
+    /// charged to the returned [`Timed`] cost.
+    ///
+    /// When retries run out the error reflects the *last* observed state:
+    /// [`CormError::ObjectLocked`] if the object was transiently locked or
+    /// torn (the caller should back off and try again), never a spurious
+    /// `ObjectNotFound`.
     pub fn direct_read_with_recovery(
         &mut self,
         ptr: &mut GlobalPtr,
@@ -266,14 +317,24 @@ impl CormClient {
     ) -> Result<Timed<usize>, CormError> {
         let mut total = SimDuration::ZERO;
         let mut clock = now;
+        let mut reconnects = 0usize;
+        let mut locked_last = false;
         for _ in 0..self.config.max_retries {
-            let attempt = self.direct_read(ptr, buf, clock).map_err(CormError::Rdma)?;
+            let attempt = match self.direct_read(ptr, buf, clock) {
+                Ok(t) => t,
+                Err(e) if Self::recoverable(&e) => {
+                    self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                    continue;
+                }
+                Err(e) => return Err(CormError::Rdma(e)),
+            };
             total += attempt.cost;
             clock += attempt.cost;
             match attempt.value {
                 ReadOutcome::Ok(n) => return Ok(Timed::new(n, total)),
                 ReadOutcome::Invalid(ReadFailure::Locked)
                 | ReadOutcome::Invalid(ReadFailure::TornRead) => {
+                    locked_last = true;
                     total += self.config.backoff;
                     clock += self.config.backoff;
                 }
@@ -281,31 +342,127 @@ impl CormClient {
                 // is not at the hint" — it may have been relocated while
                 // its old slot was freed or reused. Only the repair path
                 // can distinguish relocated from truly gone.
-                ReadOutcome::Invalid(
-                    ReadFailure::IdMismatch { .. } | ReadFailure::NotValid,
-                ) => {
+                ReadOutcome::Invalid(ReadFailure::IdMismatch { .. } | ReadFailure::NotValid) => {
+                    locked_last = false;
                     // The object moved: repair per strategy (§3.2.2).
-                    let fixed = match self.config.fix_strategy {
+                    match self.config.fix_strategy {
                         FixStrategy::ScanRead => match self.scan_read(ptr, buf, clock) {
-                            Ok(t) => t,
+                            Ok(t) => {
+                                total += t.cost;
+                                return Ok(Timed::new(t.value, total));
+                            }
                             Err(CormError::ObjectLocked) => {
+                                locked_last = true;
                                 total += self.config.backoff;
                                 clock += self.config.backoff;
-                                continue;
+                            }
+                            Err(CormError::Rdma(e)) if Self::recoverable(&e) => {
+                                self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
                             }
                             Err(e) => return Err(e),
                         },
-                        FixStrategy::RpcRead => {
-                            let t = self.read(ptr, buf)?;
-                            Timed::new(t.value, t.cost)
-                        }
-                    };
-                    total += fixed.cost;
-                    return Ok(Timed::new(fixed.value, total));
+                        FixStrategy::RpcRead => match self.read(ptr, buf) {
+                            Ok(t) => {
+                                // The RPC's virtual time counts toward the
+                                // op like every other repair cost.
+                                total += t.cost;
+                                clock += t.cost;
+                                return Ok(Timed::new(t.value, total));
+                            }
+                            Err(CormError::ObjectLocked) => {
+                                locked_last = true;
+                                total += self.config.backoff;
+                                clock += self.config.backoff;
+                            }
+                            Err(e) => return Err(e),
+                        },
+                    }
                 }
             }
         }
-        Err(CormError::ObjectNotFound)
+        Err(if locked_last { CormError::ObjectLocked } else { CormError::ObjectNotFound })
+    }
+
+    /// One-sided write with full recovery: fetches the slot image to learn
+    /// the current version, validates it, then writes back the re-scattered
+    /// image with a bumped version. Retries locked/torn images after a
+    /// backoff, falls back to an RPC write when the object was relocated
+    /// (which also corrects the pointer), and survives QP breaks by
+    /// reconnecting with capped exponential backoff — all charged to the
+    /// returned [`Timed`] cost.
+    ///
+    /// Like FaRM-style one-sided writes, this assumes the caller is the
+    /// object's single writer; concurrent writers to the *same object* must
+    /// coordinate through the RPC path.
+    pub fn write_with_recovery(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<Timed<()>, CormError> {
+        let slot_bytes = self.slot_bytes(ptr)?;
+        if data.len() > consistency::layout(slot_bytes).capacity {
+            return Err(CormError::PayloadTooLarge(data.len()));
+        }
+        let model = self.server.model().clone();
+        let mut total = SimDuration::ZERO;
+        let mut clock = now;
+        let mut reconnects = 0usize;
+        let mut locked_last = false;
+        for _ in 0..self.config.max_retries {
+            let mut image = vec![0u8; slot_bytes];
+            let verb = match self.qp.read(ptr.rkey, ptr.vaddr, &mut image, clock) {
+                Ok(v) => v,
+                Err(e) if Self::recoverable(&e) => {
+                    self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                    continue;
+                }
+                Err(e) => return Err(CormError::Rdma(e)),
+            };
+            let cost = verb.latency + model.version_check_cost(slot_bytes);
+            total += cost;
+            clock += cost;
+            match consistency::gather(&image, Some(ptr.obj_id), 0) {
+                Ok((header, _)) => {
+                    let image = consistency::scatter(header.bump_version(), data, slot_bytes);
+                    match self.qp.write(ptr.rkey, ptr.vaddr, &image, clock) {
+                        Ok(v) => {
+                            total += v.latency + model.copy_cost(data.len());
+                            return Ok(Timed::new((), total));
+                        }
+                        Err(e) if Self::recoverable(&e) => {
+                            // The write never completed; loop back to
+                            // re-read so a retry stays idempotent.
+                            self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                        }
+                        Err(e) => return Err(CormError::Rdma(e)),
+                    }
+                }
+                Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
+                    locked_last = true;
+                    total += self.config.backoff;
+                    clock += self.config.backoff;
+                }
+                Err(ReadFailure::IdMismatch { .. }) | Err(ReadFailure::NotValid) => {
+                    // Relocated: the RPC write finds the object server-side
+                    // and corrects the pointer.
+                    match self.write(ptr, data) {
+                        Ok(t) => {
+                            total += t.cost;
+                            clock += t.cost;
+                            return Ok(Timed::new((), total));
+                        }
+                        Err(CormError::ObjectLocked) => {
+                            locked_last = true;
+                            total += self.config.backoff;
+                            clock += self.config.backoff;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Err(if locked_last { CormError::ObjectLocked } else { CormError::ObjectNotFound })
     }
 
     /// Local read through the CoRM API (Fig. 11's local path): same

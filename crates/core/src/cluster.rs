@@ -195,11 +195,7 @@ impl ClusterClient {
 
     /// RPC read from the owning node (pointer corrected in place, node tag
     /// preserved).
-    pub fn read(
-        &mut self,
-        ptr: &mut GlobalPtr,
-        buf: &mut [u8],
-    ) -> Result<Timed<usize>, CormError> {
+    pub fn read(&mut self, ptr: &mut GlobalPtr, buf: &mut [u8]) -> Result<Timed<usize>, CormError> {
         let node = ptr.node();
         let t = self.route(ptr)?.read(ptr, buf)?;
         *ptr = ptr.with_node(node);
@@ -242,10 +238,7 @@ mod tests {
     use super::*;
 
     fn cluster(n: usize) -> Arc<Cluster> {
-        Arc::new(Cluster::new(
-            n,
-            ServerConfig { workers: 2, ..ServerConfig::default() },
-        ))
+        Arc::new(Cluster::new(n, ServerConfig { workers: 2, ..ServerConfig::default() }))
     }
 
     #[test]
@@ -286,9 +279,7 @@ mod tests {
             client.read(ptr, &mut buf).unwrap();
             assert_eq!(u32::from_le_bytes(buf), i as u32);
             let mut buf2 = [0u8; 4];
-            client
-                .direct_read_with_recovery(ptr, &mut buf2, SimTime::ZERO)
-                .unwrap();
+            client.direct_read_with_recovery(ptr, &mut buf2, SimTime::ZERO).unwrap();
             assert_eq!(u32::from_le_bytes(buf2), i as u32);
         }
         // Frees decrement the right node's counters.
@@ -299,11 +290,8 @@ mod tests {
             client.free(ptr).unwrap();
         }
         for n in 0..3u8 {
-            let after = cluster
-                .node(NodeId(n))
-                .stats
-                .frees
-                .load(std::sync::atomic::Ordering::Relaxed);
+            let after =
+                cluster.node(NodeId(n)).stats.frees.load(std::sync::atomic::Ordering::Relaxed);
             assert_eq!(after - before[n as usize], 10);
         }
     }
@@ -333,9 +321,7 @@ mod tests {
         assert!(cluster.active_bytes() < before);
         for (i, ptr) in ptrs.iter_mut().enumerate().filter(|(i, _)| i % 8 < 2) {
             let mut buf = [0u8; 4];
-            client
-                .direct_read_with_recovery(ptr, &mut buf, SimTime::from_millis(1))
-                .unwrap();
+            client.direct_read_with_recovery(ptr, &mut buf, SimTime::from_millis(1)).unwrap();
             assert_eq!(u32::from_le_bytes(buf), i as u32);
         }
     }

@@ -73,11 +73,7 @@ pub struct SlotLayout {
 pub fn layout(slot_bytes: usize) -> SlotLayout {
     assert!(slot_bytes >= HEADER_BYTES + 8, "slot too small: {slot_bytes}");
     let lines = slot_bytes.div_ceil(CACHELINE);
-    SlotLayout {
-        slot_bytes,
-        lines,
-        capacity: slot_bytes - HEADER_BYTES - (lines - 1),
-    }
+    SlotLayout { slot_bytes, lines, capacity: slot_bytes - HEADER_BYTES - (lines - 1) }
 }
 
 /// Builds the full slot image for an object: header, version bytes, and
@@ -127,9 +123,7 @@ pub fn gather(
 ) -> Result<(ObjectHeader, Vec<u8>), ReadFailure> {
     assert!(image.len() >= HEADER_BYTES + 8, "image too small");
     let lay = layout(image.len());
-    let header = ObjectHeader::from_bytes(
-        image[..HEADER_BYTES].try_into().expect("8-byte header"),
-    );
+    let header = ObjectHeader::from_bytes(image[..HEADER_BYTES].try_into().expect("8-byte header"));
     if !header.valid {
         return Err(ReadFailure::NotValid);
     }
@@ -169,10 +163,7 @@ pub fn class_for_payload(
     classes: &corm_alloc::SizeClasses,
     payload: usize,
 ) -> Option<corm_alloc::ClassId> {
-    classes
-        .iter()
-        .find(|&(_, size)| layout(size).capacity >= payload)
-        .map(|(class, _)| class)
+    classes.iter().find(|&(_, size)| layout(size).capacity >= payload).map(|(class, _)| class)
 }
 
 #[cfg(test)]
@@ -234,10 +225,7 @@ mod tests {
     fn id_mismatch_detected_before_lock_or_tear() {
         let payload = vec![1u8; 8];
         let image = scatter(hdr(5, 1).with_lock(LockState::WriteLocked), &payload, 128);
-        assert_eq!(
-            gather(&image, Some(6), 8),
-            Err(ReadFailure::IdMismatch { found: 5 })
-        );
+        assert_eq!(gather(&image, Some(6), 8), Err(ReadFailure::IdMismatch { found: 5 }));
     }
 
     #[test]

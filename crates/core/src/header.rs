@@ -70,13 +70,7 @@ impl ObjectHeader {
     /// Creates a fresh, unlocked, valid header.
     pub fn new(obj_id: u16, version: u8, home_block: u32) -> Self {
         assert!(home_block <= Self::MAX_HOME_BLOCK, "home index overflow");
-        ObjectHeader {
-            obj_id,
-            version,
-            lock: LockState::Free,
-            valid: true,
-            home_block,
-        }
+        ObjectHeader { obj_id, version, lock: LockState::Free, valid: true, home_block }
     }
 
     /// Packs the header into its on-memory u64.
@@ -160,11 +154,7 @@ mod tests {
 
     #[test]
     fn lock_states_round_trip() {
-        for lock in [
-            LockState::Free,
-            LockState::WriteLocked,
-            LockState::CompactionLocked,
-        ] {
+        for lock in [LockState::Free, LockState::WriteLocked, LockState::CompactionLocked] {
             let h = ObjectHeader::new(1, 1, 1).with_lock(lock);
             assert_eq!(ObjectHeader::decode(h.encode()).lock, lock);
         }

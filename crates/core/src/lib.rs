@@ -32,20 +32,18 @@
 
 pub mod client;
 pub mod cluster;
-pub mod replication;
 pub mod consistency;
 pub mod header;
 pub mod ptr;
+pub mod replication;
 pub mod server;
 
 pub use client::{CormClient, ReadOutcome};
 pub use cluster::{Cluster, ClusterClient, NodeId};
-pub use replication::{ReplicatedClient, ReplicatedPtr};
 pub use header::ObjectHeader;
 pub use ptr::GlobalPtr;
-pub use server::{
-    CormError, CormServer, CorrectionStrategy, CompactionReport, ServerConfig,
-};
+pub use replication::{ReplicatedClient, ReplicatedPtr};
+pub use server::{CompactionReport, CormError, CormServer, CorrectionStrategy, ServerConfig};
 
 use corm_sim_core::time::SimDuration;
 

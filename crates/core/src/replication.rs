@@ -61,10 +61,7 @@ impl ReplicatedClient {
     /// Panics if `replicas` is zero or exceeds the cluster size.
     pub fn new(inner: ClusterClient, replicas: usize) -> Self {
         assert!(replicas >= 1, "need at least one replica");
-        assert!(
-            replicas <= inner.cluster().len(),
-            "replication factor exceeds cluster size"
-        );
+        assert!(replicas <= inner.cluster().len(), "replication factor exceeds cluster size");
         ReplicatedClient { inner, replicas, next: 0 }
     }
 
@@ -183,10 +180,8 @@ mod tests {
     use std::sync::Arc;
 
     fn setup(nodes: usize, replicas: usize) -> (Arc<Cluster>, ReplicatedClient) {
-        let cluster = Arc::new(Cluster::new(
-            nodes,
-            ServerConfig { workers: 2, ..ServerConfig::default() },
-        ));
+        let cluster =
+            Arc::new(Cluster::new(nodes, ServerConfig { workers: 2, ..ServerConfig::default() }));
         let client = ReplicatedClient::new(cluster.connect(), replicas);
         (cluster, client)
     }
@@ -262,10 +257,7 @@ mod tests {
         cluster.fail_node(NodeId(1));
         for _ in 0..8 {
             let handle = client.alloc(32).unwrap().value;
-            assert!(
-                handle.nodes().all(|n| n != NodeId(1)),
-                "dead node must not receive replicas"
-            );
+            assert!(handle.nodes().all(|n| n != NodeId(1)), "dead node must not receive replicas");
         }
     }
 
@@ -280,10 +272,7 @@ mod tests {
             client.read(&mut handle, &mut buf, SimTime::ZERO),
             Err(CormError::NodeDown)
         ));
-        assert!(matches!(
-            client.write(&mut handle, b"x"),
-            Err(CormError::NodeDown)
-        ));
+        assert!(matches!(client.write(&mut handle, b"x"), Err(CormError::NodeDown)));
         assert!(matches!(client.alloc(32), Err(CormError::NodeDown)));
     }
 

@@ -78,9 +78,7 @@ impl CormServer {
         for w in &self.workers {
             let mut state = w.lock();
             candidates.extend(
-                state
-                    .alloc
-                    .collect_for_compaction(class, self.config().collect_max_occupancy),
+                state.alloc.collect_for_compaction(class, self.config().collect_max_occupancy),
             );
         }
         for block in &candidates {
@@ -137,12 +135,13 @@ impl CormServer {
         }
 
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .compaction_blocks_freed
-            .fetch_add(merges as u64, Ordering::Relaxed);
-        self.stats
-            .objects_moved
-            .fetch_add(relocated as u64, Ordering::Relaxed);
+        self.stats.compaction_blocks_freed.fetch_add(merges as u64, Ordering::Relaxed);
+        // Counter semantics: `objects_moved` counts only offset-changing
+        // relocations (pointers became indirect); `objects_copied` counts
+        // every copy including offset-preserving ones. They deliberately
+        // mirror `CompactionReport::{objects_relocated, objects_copied}`.
+        self.stats.objects_moved.fetch_add(relocated as u64, Ordering::Relaxed);
+        self.stats.objects_copied.fetch_add(copied as u64, Ordering::Relaxed);
 
         let report = CompactionReport {
             class,
@@ -160,10 +159,7 @@ impl CormServer {
 
     /// Compacts every class whose fragmentation ratio exceeds the
     /// configured threshold (§3.1.3). Returns one report per class.
-    pub fn compact_if_fragmented(
-        &self,
-        now: SimTime,
-    ) -> Result<Vec<CompactionReport>, CormError> {
+    pub fn compact_if_fragmented(&self, now: SimTime) -> Result<Vec<CompactionReport>, CormError> {
         let report = self.fragmentation_report();
         let mut out = Vec::new();
         let mut clock = now;
@@ -221,18 +217,15 @@ impl CormServer {
             let mut image = vec![0u8; slot_bytes];
             self.aspace().read(s.slot_vaddr(slot), &mut image)?;
             // The copy lands unlocked and otherwise bit-identical.
-            let mut header = ObjectHeader::from_bytes(
-                image[..HEADER_BYTES].try_into().expect("header"),
-            );
+            let mut header =
+                ObjectHeader::from_bytes(image[..HEADER_BYTES].try_into().expect("header"));
             header.lock = LockState::Free;
             image[..HEADER_BYTES].copy_from_slice(&header.to_bytes());
 
             let dst_slot = if d.insert_object(id, slot) {
                 slot
             } else {
-                let hint = d
-                    .free_slot_hint()
-                    .expect("compactability guarantees room");
+                let hint = d.free_slot_hint().expect("compactability guarantees room");
                 let ok = d.insert_object(id, hint);
                 debug_assert!(ok, "free hint must be insertable");
                 relocated += 1;
@@ -252,9 +245,7 @@ impl CormServer {
         let old_frames = s.frames().to_vec();
         drop(s);
         drop(d);
-        let repointed = self
-            .registry
-            .demote_to_alias(src_base, dst_base, src_rkey, pages);
+        let repointed = self.registry.demote_to_alias(src_base, dst_base, src_rkey, pages);
         let mut remap_targets: Vec<(u64, u32)> = vec![(src_base, src_rkey)];
         remap_targets.extend(repointed.iter().map(|(base, info)| (*base, info.rkey)));
         let mut mtt_calls = 0u64;
@@ -274,8 +265,7 @@ impl CormServer {
 
         // Phase 4: release the source's physical pages back to the
         // process-wide allocator.
-        self.process_allocator()
-            .release_block_phys(file, page, old_frames);
+        self.process_allocator().release_block_phys(file, page, old_frames);
 
         // If no live object is homed at the source (its original objects
         // were all freed before compaction), nothing will ever decrement
@@ -290,7 +280,8 @@ impl CormServer {
             pages,
             bytes_copied,
             objects.len(),
-        ) + (model.mmap_cost(pages) + model.mtt_update_cost(self.config().mtt_strategy, pages))
+        ) + (model.mmap_cost(pages)
+            + model.mtt_update_cost(self.config().mtt_strategy, pages))
             * extra_remaps;
         Ok(MergeStats { relocated, copied: objects.len(), cost })
     }

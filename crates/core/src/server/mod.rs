@@ -26,21 +26,27 @@ use rand::Rng;
 
 use corm_alloc::process::SharedBlock;
 use corm_alloc::{
-    AllocConfig, AllocError, FragmentationReport, ProcessAllocator, SizeClasses,
-    ThreadAllocator,
+    AllocConfig, AllocError, FragmentationReport, ProcessAllocator, SizeClasses, ThreadAllocator,
 };
 use corm_sim_core::rng::{stream_rng, DetRng};
 use corm_sim_core::time::SimDuration;
 use corm_sim_mem::{AddressSpace, MemError, PhysicalMemory};
 use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, RdmaError, Rnic, RnicConfig};
 
-use crate::consistency::{self};
+use crate::consistency::{self, ReadFailure};
 use crate::header::{home_base, home_index, LockState, ObjectHeader, HEADER_BYTES};
 use crate::ptr::GlobalPtr;
 use crate::Timed;
 
 use registry::BlockRegistry;
 use vaddrs::VaddrTracker;
+
+/// How many times an RPC handler re-attempts an object that is transiently
+/// locked, torn, or mid-migration before giving up with
+/// [`CormError::ObjectLocked`]. The lock window is bounded by one block
+/// merge (microseconds of real time), so with a yield per late attempt this
+/// budget is only exhausted if a lock leaks.
+const RPC_BACKOFF_ATTEMPTS: usize = 100_000;
 
 /// How a worker locates an object accessed through an indirect pointer
 /// (§3.2.1).
@@ -173,10 +179,19 @@ pub struct ServerStats {
     pub compactions: AtomicU64,
     /// Blocks freed by compaction.
     pub compaction_blocks_freed: AtomicU64,
-    /// Objects relocated to new offsets by compaction.
+    /// Objects relocated to *new offsets* by compaction — the subset of
+    /// [`Self::objects_copied`] whose pointers became indirect. Matches
+    /// `CompactionReport::objects_relocated` summed over passes.
     pub objects_moved: AtomicU64,
+    /// Total objects copied between blocks by compaction, offset-preserving
+    /// copies included. Matches `CompactionReport::objects_copied` summed
+    /// over passes; always ≥ [`Self::objects_moved`].
+    pub objects_copied: AtomicU64,
     /// Virtual addresses released for reuse.
     pub vaddrs_released: AtomicU64,
+    /// RPC operations that found an object transiently locked, torn, or
+    /// mid-migration and backed off for a retry (§3.2.3).
+    pub rpc_lock_retries: AtomicU64,
 }
 
 pub(crate) struct WorkerState {
@@ -217,17 +232,11 @@ impl CormServer {
     /// to exercise the allocation-failure compaction trigger).
     pub fn with_memory(phys: Arc<PhysicalMemory>, config: ServerConfig) -> Self {
         assert!(config.workers > 0, "server needs at least one worker");
-        assert!(
-            config.alloc.id_bits <= 16,
-            "the data-plane header stores 16-bit object IDs"
-        );
+        assert!(config.alloc.id_bits <= 16, "the data-plane header stores 16-bit object IDs");
         let aspace = Arc::new(AddressSpace::new(phys.clone()));
         let rnic = Arc::new(Rnic::new(aspace.clone(), config.rnic.clone()));
         if config.mtt_strategy.needs_odp() {
-            assert!(
-                rnic.model().odp_miss.is_some(),
-                "ODP strategy requires an ODP-capable device"
-            );
+            assert!(rnic.model().odp_miss.is_some(), "ODP strategy requires an ODP-capable device");
         }
         let proc = ProcessAllocator::new(phys.clone(), aspace.clone(), config.alloc.clone());
         let n_classes = config.alloc.classes.len();
@@ -301,10 +310,7 @@ impl CormServer {
     pub fn fragmentation_report(&self) -> FragmentationReport {
         let blocks = self.registry.live_blocks();
         let guards: Vec<_> = blocks.iter().map(|b| b.lock()).collect();
-        FragmentationReport::from_blocks(
-            guards.iter().map(|g| &**g),
-            self.config.alloc.block_bytes,
-        )
+        FragmentationReport::from_blocks(guards.iter().map(|g| &**g), self.config.alloc.block_bytes)
     }
 
     fn mmap_base(&self) -> u64 {
@@ -385,10 +391,7 @@ impl CormServer {
     ) -> Result<(SharedBlock, u32, SimDuration, bool), CormError> {
         let block_bytes = self.block_bytes();
         let base = ptr.block_base(block_bytes);
-        let resolved = self
-            .registry
-            .resolve(base)
-            .ok_or(CormError::UnknownBlock(base))?;
+        let resolved = self.registry.resolve(base).ok_or(CormError::UnknownBlock(base))?;
         let block = resolved.block;
         let offset = ptr.block_offset(block_bytes);
         let b = block.lock();
@@ -425,85 +428,154 @@ impl CormServer {
 
     /// RPC read (Table 2 `Read`): copies up to `buf.len()` object bytes
     /// into `buf`; returns the bytes read. Corrects the pointer in place.
+    ///
+    /// A read can race a writer or the compaction leader: the slot image is
+    /// then write-locked, torn, or mid-migration (header
+    /// `CompactionLocked`, or stale until the moved block's vaddr is
+    /// remapped onto the destination frames). Per §3.2.3, CPU accesses
+    /// back off and retry — the condition clears as soon as the writer
+    /// unlocks or the migration's remap lands. Only a genuinely invalid
+    /// slot is `ObjectNotFound`; exhausting the backoff budget surfaces as
+    /// [`CormError::ObjectLocked`] so callers can distinguish contention
+    /// from deletion.
     pub fn read(
         &self,
         worker: usize,
         ptr: &mut GlobalPtr,
         buf: &mut [u8],
     ) -> Result<Timed<usize>, CormError> {
-        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
-        let b = block.lock();
-        let slot_bytes = b.obj_size();
-        let mut image = vec![0u8; slot_bytes];
-        self.aspace.read(b.slot_vaddr(slot), &mut image)?;
-        drop(b);
-        let (_, payload) = consistency::gather(&image, Some(ptr.obj_id), buf.len())
-            .map_err(|_| CormError::ObjectNotFound)?;
-        let n = payload.len().min(buf.len());
-        buf[..n].copy_from_slice(&payload[..n]);
-        self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        let model = self.model();
-        let cost = model.rpc_worker_service + model.copy_cost(n) + corr_cost;
-        Ok(Timed::new(n, cost))
+        let mut corr_total = SimDuration::ZERO;
+        for attempt in 0..RPC_BACKOFF_ATTEMPTS {
+            let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+            corr_total += corr_cost;
+            let b = block.lock();
+            let slot_bytes = b.obj_size();
+            let mut image = vec![0u8; slot_bytes];
+            self.aspace.read(b.slot_vaddr(slot), &mut image)?;
+            drop(b);
+            match consistency::gather(&image, Some(ptr.obj_id), buf.len()) {
+                Ok((_, payload)) => {
+                    let n = payload.len().min(buf.len());
+                    buf[..n].copy_from_slice(&payload[..n]);
+                    self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                    let model = self.model();
+                    let cost = model.rpc_worker_service + model.copy_cost(n) + corr_total;
+                    return Ok(Timed::new(n, cost));
+                }
+                Err(ReadFailure::NotValid) => return Err(CormError::ObjectNotFound),
+                Err(
+                    ReadFailure::Locked | ReadFailure::TornRead | ReadFailure::IdMismatch { .. },
+                ) => self.rpc_backoff(attempt),
+            }
+        }
+        Err(CormError::ObjectLocked)
+    }
+
+    /// Backs off before an RPC handler retries a transiently unreadable
+    /// slot. Cheap spin first, then yield so the writer or compaction
+    /// leader we are racing gets scheduled.
+    fn rpc_backoff(&self, attempt: usize) {
+        self.stats.rpc_lock_retries.fetch_add(1, Ordering::Relaxed);
+        if attempt >= 16 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
     }
 
     /// RPC write (Table 2 `Write`): replaces the object's contents with
     /// `data`. Bumps the version; lock-free readers racing this write see
     /// mismatched cacheline versions and retry.
+    ///
+    /// If the slot is `CompactionLocked` — the leader is mid-migration and
+    /// the copy already happened or is about to — writing through would
+    /// both corrupt the migration marker and lose the update once the
+    /// remap lands. The worker backs off and retries (§3.2.3); after the
+    /// remap, `locate` resolves the object at its new block and the write
+    /// applies there.
     pub fn write(
         &self,
         worker: usize,
         ptr: &mut GlobalPtr,
         data: &[u8],
     ) -> Result<Timed<()>, CormError> {
-        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
-        let b = block.lock();
-        let slot_bytes = b.obj_size();
-        if data.len() > consistency::layout(slot_bytes).capacity {
-            return Err(CormError::PayloadTooLarge(data.len()));
+        let mut corr_total = SimDuration::ZERO;
+        for attempt in 0..RPC_BACKOFF_ATTEMPTS {
+            let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+            corr_total += corr_cost;
+            let b = block.lock();
+            let slot_bytes = b.obj_size();
+            if data.len() > consistency::layout(slot_bytes).capacity {
+                return Err(CormError::PayloadTooLarge(data.len()));
+            }
+            let slot_vaddr = b.slot_vaddr(slot);
+            let mut hdr_bytes = [0u8; HEADER_BYTES];
+            self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
+            let header = ObjectHeader::from_bytes(hdr_bytes);
+            if !header.valid {
+                return Err(CormError::ObjectNotFound);
+            }
+            if header.obj_id != ptr.obj_id || !header.readable() {
+                // Mid-migration (locked, or the image lags the block
+                // metadata until the remap lands): back off and re-locate.
+                drop(b);
+                self.rpc_backoff(attempt);
+                continue;
+            }
+            // 1) lock, 2) body with new version, 3) unlocked header. The
+            // intermediate states are what concurrent DirectReads can
+            // observe.
+            let locked = header.with_lock(LockState::WriteLocked);
+            self.aspace.write(slot_vaddr, &locked.to_bytes())?;
+            let new_header = header.bump_version();
+            let image = consistency::scatter(new_header, data, slot_bytes);
+            self.aspace.write(slot_vaddr + HEADER_BYTES as u64, &image[HEADER_BYTES..])?;
+            self.aspace.write(slot_vaddr, &new_header.to_bytes())?;
+            drop(b);
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+            let model = self.model();
+            let cost = model.rpc_worker_service + model.copy_cost(data.len()) + corr_total;
+            return Ok(Timed::new((), cost));
         }
-        let slot_vaddr = b.slot_vaddr(slot);
-        let mut hdr_bytes = [0u8; HEADER_BYTES];
-        self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
-        let header = ObjectHeader::from_bytes(hdr_bytes);
-        debug_assert_eq!(header.obj_id, ptr.obj_id);
-        // 1) lock, 2) body with new version, 3) unlocked header. The
-        // intermediate states are what concurrent DirectReads can observe.
-        let locked = header.with_lock(LockState::WriteLocked);
-        self.aspace.write(slot_vaddr, &locked.to_bytes())?;
-        let new_header = header.bump_version();
-        let image = consistency::scatter(new_header, data, slot_bytes);
-        self.aspace
-            .write(slot_vaddr + HEADER_BYTES as u64, &image[HEADER_BYTES..])?;
-        self.aspace.write(slot_vaddr, &new_header.to_bytes())?;
-        drop(b);
-        self.stats.writes.fetch_add(1, Ordering::Relaxed);
-        let model = self.model();
-        let cost = model.rpc_worker_service + model.copy_cost(data.len()) + corr_cost;
-        Ok(Timed::new((), cost))
+        Err(CormError::ObjectLocked)
     }
 
     /// RPC free (Table 2 `Free`): releases the object and updates the
     /// home-vaddr accounting (§3.3).
     pub fn free(&self, worker: usize, ptr: &mut GlobalPtr) -> Result<Timed<()>, CormError> {
-        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
-        let (home_addr, block_empty, live_base) = {
+        let mut corr_total = SimDuration::ZERO;
+        let mut freed = None;
+        for attempt in 0..RPC_BACKOFF_ATTEMPTS {
+            let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+            corr_total += corr_cost;
             let mut b = block.lock();
             let slot_vaddr = b.slot_vaddr(slot);
             let mut hdr_bytes = [0u8; HEADER_BYTES];
             self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
             let header = ObjectHeader::from_bytes(hdr_bytes);
-            if !header.valid || header.obj_id != ptr.obj_id {
+            if !header.valid {
                 return Err(CormError::ObjectNotFound);
             }
-            self.aspace
-                .write(slot_vaddr, &header.invalidated().to_bytes())?;
+            if header.obj_id != ptr.obj_id || !header.readable() {
+                // Mid-migration: freeing the source copy now would leave
+                // the migrated copy alive. Back off until the remap lands,
+                // then free the object at its new home.
+                drop(b);
+                self.rpc_backoff(attempt);
+                continue;
+            }
+            self.aspace.write(slot_vaddr, &header.invalidated().to_bytes())?;
             b.free_slot(slot);
-            (
+            freed = Some((
+                block.clone(),
                 home_base(header.home_block, self.mmap_base(), self.block_bytes()),
                 b.is_empty(),
                 b.vaddr(),
-            )
+            ));
+            break;
+        }
+        let Some((block, home_addr, block_empty, live_base)) = freed else {
+            return Err(CormError::ObjectLocked);
         };
         let remaining = self.vaddrs.lock().dec(home_addr);
         if remaining == 0 {
@@ -513,7 +585,7 @@ impl CormServer {
             self.try_release_empty_block(&block, live_base);
         }
         self.stats.frees.fetch_add(1, Ordering::Relaxed);
-        let cost = self.model().alloc_free_extra + corr_cost;
+        let cost = self.model().alloc_free_extra + corr_total;
         Ok(Timed::new((), cost))
     }
 
@@ -526,20 +598,30 @@ impl CormServer {
         ptr: &mut GlobalPtr,
     ) -> Result<Timed<GlobalPtr>, CormError> {
         let old_base = ptr.block_base(self.block_bytes());
-        let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
-        let (new_ptr, new_base) = {
+        let mut corr_total = SimDuration::ZERO;
+        let mut rehomed = None;
+        for attempt in 0..RPC_BACKOFF_ATTEMPTS {
+            let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
+            corr_total += corr_cost;
             let b = block.lock();
             let slot_vaddr = b.slot_vaddr(slot);
             let mut hdr_bytes = [0u8; HEADER_BYTES];
             self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
             let mut header = ObjectHeader::from_bytes(hdr_bytes);
-            if !header.valid || header.obj_id != ptr.obj_id {
+            if !header.valid {
                 return Err(CormError::ObjectNotFound);
+            }
+            if header.obj_id != ptr.obj_id || !header.readable() {
+                // Mid-migration: re-homing now would stamp a home index the
+                // remap is about to invalidate. Back off and re-locate.
+                drop(b);
+                self.rpc_backoff(attempt);
+                continue;
             }
             let new_base = b.vaddr();
             header.home_block = home_index(new_base, self.mmap_base(), self.block_bytes());
             self.aspace.write(slot_vaddr, &header.to_bytes())?;
-            (
+            rehomed = Some((
                 GlobalPtr {
                     vaddr: slot_vaddr,
                     rkey: b.rkey().expect("live block is registered"),
@@ -548,7 +630,11 @@ impl CormServer {
                     flags: 0,
                 },
                 new_base,
-            )
+            ));
+            break;
+        }
+        let Some((new_ptr, new_base)) = rehomed else {
+            return Err(CormError::ObjectLocked);
         };
         if new_base != old_base {
             let mut v = self.vaddrs.lock();
@@ -560,7 +646,7 @@ impl CormServer {
             }
         }
         self.stats.releases.fetch_add(1, Ordering::Relaxed);
-        let cost = self.model().release_ptr_extra + corr_cost;
+        let cost = self.model().release_ptr_extra + corr_total;
         Ok(Timed::new(new_ptr, cost))
     }
 
@@ -582,9 +668,7 @@ impl CormServer {
         // The alias region is gone for good: deregister its keys and unmap
         // its pages, making the vaddr reusable (§3.3).
         let _ = self.rnic.deregister(info.rkey);
-        self.aspace
-            .munmap(base, info.pages)
-            .expect("alias vaddr must be mapped");
+        self.aspace.munmap(base, info.pages).expect("alias vaddr must be mapped");
         self.vaddrs.lock().note_released();
         self.stats.vaddrs_released.fetch_add(1, Ordering::Relaxed);
     }
@@ -613,10 +697,7 @@ impl CormServer {
             return; // someone else released it first
         }
         drop(w);
-        debug_assert!(
-            self.vaddrs.lock().releasable(base),
-            "empty live block with homed objects"
-        );
+        debug_assert!(self.vaddrs.lock().releasable(base), "empty live block with homed objects");
         self.registry.remove(base);
         let b = block.lock();
         if let Some((_, rkey)) = b.keys() {

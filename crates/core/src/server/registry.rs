@@ -94,19 +94,13 @@ impl BlockRegistry {
             matches!(inner.map.get(&target), Some(RegEntry::Live(_))),
             "alias target {target:#x} must be live"
         );
-        match inner.map.insert(
-            base,
-            RegEntry::Alias(AliasInfo { target, rkey, pages }),
-        ) {
+        match inner.map.insert(base, RegEntry::Alias(AliasInfo { target, rkey, pages })) {
             Some(RegEntry::Live(_)) => {}
             _ => panic!("demote of non-live base {base:#x}"),
         }
         // Re-point every alias of `base` at `target` (flat invariant).
-        let moved: Vec<u64> = inner
-            .rev
-            .remove(&base)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
+        let moved: Vec<u64> =
+            inner.rev.remove(&base).map(|s| s.into_iter().collect()).unwrap_or_default();
         let mut repointed = Vec::with_capacity(moved.len());
         for abase in &moved {
             if let Some(RegEntry::Alias(info)) = inner.map.get_mut(abase) {
@@ -156,17 +150,13 @@ impl BlockRegistry {
     pub fn resolve(&self, base: u64) -> Option<Resolved> {
         let inner = self.inner.read();
         match inner.map.get(&base)? {
-            RegEntry::Live(block) => Some(Resolved {
-                block: block.clone(),
-                live_base: base,
-                via_alias: false,
-            }),
+            RegEntry::Live(block) => {
+                Some(Resolved { block: block.clone(), live_base: base, via_alias: false })
+            }
             RegEntry::Alias(info) => match inner.map.get(&info.target)? {
-                RegEntry::Live(block) => Some(Resolved {
-                    block: block.clone(),
-                    live_base: info.target,
-                    via_alias: true,
-                }),
+                RegEntry::Live(block) => {
+                    Some(Resolved { block: block.clone(), live_base: info.target, via_alias: true })
+                }
                 RegEntry::Alias(_) => unreachable!("alias chain despite flat invariant"),
             },
         }
@@ -220,12 +210,7 @@ impl BlockRegistry {
 
     /// Number of alias entries.
     pub fn alias_count(&self) -> usize {
-        self.inner
-            .read()
-            .map
-            .values()
-            .filter(|e| matches!(e, RegEntry::Alias(_)))
-            .count()
+        self.inner.read().map.values().filter(|e| matches!(e, RegEntry::Alias(_))).count()
     }
 }
 

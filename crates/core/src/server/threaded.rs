@@ -96,9 +96,8 @@ impl ThreadedServer {
             let server = server.clone();
             let shutdown = shutdown.clone();
             let clock = clock_ns.clone();
-            handles.push(std::thread::spawn(move || {
-                worker_loop(w, server, queue, shutdown, clock)
-            }));
+            handles
+                .push(std::thread::spawn(move || worker_loop(w, server, queue, shutdown, clock)));
         }
         ThreadedServer { server, client_tx, shutdown, clock_ns, handles }
     }
@@ -126,8 +125,7 @@ impl ThreadedServer {
         class: corm_alloc::ClassId,
     ) -> Result<crate::server::CompactionReport, CormError> {
         let timed = self.server.compact_class(class, self.now())?;
-        self.clock_ns
-            .fetch_add(timed.cost.as_nanos(), Ordering::Relaxed);
+        self.clock_ns.fetch_add(timed.cost.as_nanos(), Ordering::Relaxed);
         Ok(timed.value)
     }
 
@@ -140,10 +138,7 @@ impl ThreadedServer {
     pub fn shutdown(self) -> Vec<u64> {
         self.shutdown.store(true, Ordering::Relaxed);
         drop(self.client_tx);
-        self.handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        self.handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     }
 }
 
@@ -174,14 +169,10 @@ fn worker_loop(
     served
 }
 
-fn serve(
-    worker: usize,
-    server: &CormServer,
-    clock: &AtomicU64,
-    request: Request,
-) -> Response {
-    let advance =
-        |cost: corm_sim_core::time::SimDuration| clock.fetch_add(cost.as_nanos(), Ordering::Relaxed);
+fn serve(worker: usize, server: &CormServer, clock: &AtomicU64, request: Request) -> Response {
+    let advance = |cost: corm_sim_core::time::SimDuration| {
+        clock.fetch_add(cost.as_nanos(), Ordering::Relaxed)
+    };
     match request {
         Request::Alloc { len } => match server.alloc(worker, len) {
             Ok(t) => {
@@ -231,10 +222,8 @@ mod tests {
     use crate::server::ServerConfig;
 
     fn start() -> ThreadedServer {
-        let server = Arc::new(CormServer::new(ServerConfig {
-            workers: 4,
-            ..ServerConfig::default()
-        }));
+        let server =
+            Arc::new(CormServer::new(ServerConfig { workers: 4, ..ServerConfig::default() }));
         ThreadedServer::start(server)
     }
 
@@ -246,10 +235,7 @@ mod tests {
             Response::Ptr(p) => p,
             other => panic!("unexpected {other:?}"),
         };
-        match client
-            .call(Request::Write { ptr, data: b"hello threaded corm".to_vec() })
-            .unwrap()
-        {
+        match client.call(Request::Write { ptr, data: b"hello threaded corm".to_vec() }).unwrap() {
             Response::Done(_) => {}
             other => panic!("unexpected {other:?}"),
         }

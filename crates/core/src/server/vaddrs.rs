@@ -34,10 +34,8 @@ impl VaddrTracker {
     ///
     /// Panics on underflow — a double free the server should have caught.
     pub fn dec(&mut self, base: u64) -> u64 {
-        let c = self
-            .counts
-            .get_mut(&base)
-            .unwrap_or_else(|| panic!("dec of untracked home {base:#x}"));
+        let c =
+            self.counts.get_mut(&base).unwrap_or_else(|| panic!("dec of untracked home {base:#x}"));
         assert!(*c > 0, "home count underflow at {base:#x}");
         *c -= 1;
         let remaining = *c;

@@ -48,7 +48,10 @@ fn compaction_frees_blocks_and_preserves_every_object() {
     let survivors: Vec<_> = (0..objs.len()).step_by(4).collect();
 
     let report = server
-        .compact_class(corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(), SimTime::ZERO)
+        .compact_class(
+            corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(),
+            SimTime::ZERO,
+        )
         .expect("compaction runs")
         .value;
     assert!(report.merges > 0, "fragmented blocks must merge");
@@ -96,14 +99,14 @@ fn direct_read_detects_relocation_and_scan_read_recovers() {
         }
     }
     let report = server
-        .compact_class(corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(), SimTime::ZERO)
+        .compact_class(
+            corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(),
+            SimTime::ZERO,
+        )
         .unwrap()
         .value;
     assert_eq!(report.merges, 1);
-    assert!(
-        report.objects_relocated >= 1,
-        "slot-0 conflict must relocate an object"
-    );
+    assert!(report.objects_relocated >= 1, "slot-0 conflict must relocate an object");
 
     // At least one surviving pointer is now indirect: a raw DirectRead
     // reports IdMismatch, and recovery via ScanRead fixes the hint.
@@ -114,9 +117,8 @@ fn direct_read_detects_relocation_and_scan_read_recovers() {
         let raw = client.direct_read(ptr, &mut buf, SimTime::from_millis(1)).unwrap();
         if matches!(raw.value, ReadOutcome::Invalid(_)) {
             saw_indirect = true;
-            let fixed = client
-                .direct_read_with_recovery(ptr, &mut buf, SimTime::from_millis(1))
-                .unwrap();
+            let fixed =
+                client.direct_read_with_recovery(ptr, &mut buf, SimTime::from_millis(1)).unwrap();
             assert_eq!(&buf[..fixed.value], &data[..fixed.value]);
             assert!(ptr.references_old_block(), "corrected ptr flagged");
             // After correction, a raw DirectRead succeeds directly.
@@ -140,7 +142,10 @@ fn rpc_reads_correct_pointers_transparently() {
             }
         }
         server
-            .compact_class(corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(), SimTime::ZERO)
+            .compact_class(
+                corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(),
+                SimTime::ZERO,
+            )
             .unwrap();
         for &i in &[0usize, 1, 64, 66] {
             let (ref mut ptr, ref data) = objs[i];
@@ -197,10 +202,7 @@ fn rereg_strategy_breaks_qp_during_window_and_recovers() {
     assert!(recovery.as_secs_f64() >= 0.001);
     let late = t0 + corm_sim_core::time::SimDuration::from_millis(50);
     let mut ptr0 = objs[0].0;
-    let n = client
-        .direct_read_with_recovery(&mut ptr0, &mut buf, late)
-        .unwrap()
-        .value;
+    let n = client.direct_read_with_recovery(&mut ptr0, &mut buf, late).unwrap().value;
     assert_eq!(&buf[..n], &objs[0].1[..n]);
 }
 
@@ -219,7 +221,10 @@ fn vaddr_released_after_all_homed_objects_freed() {
         client.free(ptr).unwrap();
     }
     server
-        .compact_class(corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(), SimTime::ZERO)
+        .compact_class(
+            corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(),
+            SimTime::ZERO,
+        )
         .unwrap();
     let released_before = server.stats.vaddrs_released.load(std::sync::atomic::Ordering::Relaxed);
 
@@ -247,9 +252,13 @@ fn release_ptr_rehomes_and_returns_fresh_pointer() {
         }
     }
     server
-        .compact_class(corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(), SimTime::ZERO)
+        .compact_class(
+            corm_core::consistency::class_for_payload(server.classes(), 48).unwrap(),
+            SimTime::ZERO,
+        )
         .unwrap();
-    let alias_count_before = server.stats.vaddrs_released.load(std::sync::atomic::Ordering::Relaxed);
+    let alias_count_before =
+        server.stats.vaddrs_released.load(std::sync::atomic::Ordering::Relaxed);
 
     // Release every survivor's old pointer: each gets re-homed at its
     // current block, and the old block's vaddr becomes reusable.
@@ -279,10 +288,7 @@ fn free_of_stale_pointer_after_release_fails_cleanly() {
     // Double free: either the object is gone or the whole block was
     // recycled.
     let err = client.free(&mut ptr).unwrap_err();
-    assert!(
-        matches!(err, CormError::ObjectNotFound | CormError::UnknownBlock(_)),
-        "got {err:?}"
-    );
+    assert!(matches!(err, CormError::ObjectNotFound | CormError::UnknownBlock(_)), "got {err:?}");
 }
 
 #[test]

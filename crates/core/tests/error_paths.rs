@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use corm_core::client::CormClient;
-use corm_core::server::{CormServer, CormError, ServerConfig};
+use corm_core::server::{CormError, CormServer, ServerConfig};
 use corm_core::GlobalPtr;
 use corm_sim_core::time::SimTime;
 
@@ -66,9 +66,7 @@ fn wrong_id_on_live_slot_reports_not_found() {
     let err = client.read(&mut wrong, &mut buf).unwrap_err();
     assert!(matches!(err, CormError::ObjectNotFound), "{err:?}");
     // DirectRead with recovery also lands on ObjectNotFound, not a hang.
-    let err = client
-        .direct_read_with_recovery(&mut wrong, &mut buf, SimTime::ZERO)
-        .unwrap_err();
+    let err = client.direct_read_with_recovery(&mut wrong, &mut buf, SimTime::ZERO).unwrap_err();
     assert!(matches!(err, CormError::ObjectNotFound), "{err:?}");
 }
 
@@ -78,10 +76,7 @@ fn release_ptr_of_direct_pointer_is_noop_cheap_and_safe() {
     let mut client = CormClient::connect(server.clone());
     let mut ptr = client.alloc(48).unwrap().value;
     client.write(&mut ptr, b"stable").unwrap();
-    let released_before = server
-        .stats
-        .vaddrs_released
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let released_before = server.stats.vaddrs_released.load(std::sync::atomic::Ordering::Relaxed);
     let fresh = client.release_ptr(&mut ptr).unwrap().value;
     // Same block: nothing to re-home, no vaddr released.
     assert_eq!(fresh.vaddr, ptr.vaddr);
@@ -102,20 +97,14 @@ fn zero_length_reads_and_writes_are_fine() {
     client.write(&mut ptr, b"").unwrap();
     let mut empty: [u8; 0] = [];
     assert_eq!(client.read(&mut ptr, &mut empty).unwrap().value, 0);
-    let n = client
-        .direct_read_with_recovery(&mut ptr, &mut empty, SimTime::ZERO)
-        .unwrap()
-        .value;
+    let n = client.direct_read_with_recovery(&mut ptr, &mut empty, SimTime::ZERO).unwrap().value;
     assert_eq!(n, 0);
 }
 
 #[test]
 fn compacting_an_untouched_class_is_a_cheap_noop() {
     let server = server();
-    let report = server
-        .compact_class(corm_alloc::ClassId(0), SimTime::ZERO)
-        .unwrap()
-        .value;
+    let report = server.compact_class(corm_alloc::ClassId(0), SimTime::ZERO).unwrap().value;
     assert_eq!(report.collected, 0);
     assert_eq!(report.merges, 0);
     assert_eq!(report.blocks_freed, 0);

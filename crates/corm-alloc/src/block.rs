@@ -236,11 +236,7 @@ impl Block {
 
     /// The first free slot, if any.
     pub fn free_slot_hint(&self) -> Option<ObjectSlot> {
-        self.model
-            .offsets()
-            .lowest_clear(1)
-            .first()
-            .map(|&s| s as ObjectSlot)
+        self.model.offsets().lowest_clear(1).first().map(|&s| s as ObjectSlot)
     }
 
     /// Byte offset of a slot within the block.

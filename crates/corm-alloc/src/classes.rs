@@ -34,8 +34,8 @@ impl SizeClasses {
     pub fn standard() -> Self {
         SizeClasses {
             sizes: vec![
-                16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1280, 1536, 2048,
-                2560, 3072, 4096, 5120, 6144, 8192, 10240, 12288, 16384, 20480,
+                16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1280, 1536, 2048, 2560,
+                3072, 4096, 5120, 6144, 8192, 10240, 12288, 16384, 20480,
             ],
         }
     }
@@ -84,10 +84,7 @@ impl SizeClasses {
 
     /// Iterates `(ClassId, gross size)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ClassId, usize)> + '_ {
-        self.sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (ClassId(i as u16), s))
+        self.sizes.iter().enumerate().map(|(i, &s)| (ClassId(i as u16), s))
     }
 
     /// Internal fragmentation of storing `payload` bytes: wasted bytes due

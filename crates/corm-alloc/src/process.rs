@@ -192,10 +192,7 @@ impl ProcessAllocator {
         }
         let file = inner.files.last().expect("file just ensured");
         let page = inner.carve_cursor;
-        let frames = file
-            .frames_at(page, pages_per_block)
-            .expect("cursor within file")
-            .to_vec();
+        let frames = file.frames_at(page, pages_per_block).expect("cursor within file").to_vec();
         let file_id = file.id();
         inner.carve_cursor += pages_per_block;
         self.blocks_in_use.fetch_add(1, Ordering::Relaxed);

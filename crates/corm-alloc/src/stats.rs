@@ -51,10 +51,7 @@ pub struct FragmentationReport {
 
 impl FragmentationReport {
     /// Builds a report from an iterator over blocks and the block size.
-    pub fn from_blocks<'a>(
-        blocks: impl Iterator<Item = &'a Block>,
-        block_bytes: usize,
-    ) -> Self {
+    pub fn from_blocks<'a>(blocks: impl Iterator<Item = &'a Block>, block_bytes: usize) -> Self {
         let mut map: std::collections::BTreeMap<ClassId, ClassStats> = Default::default();
         for b in blocks {
             let entry = map.entry(b.class()).or_insert_with(|| ClassStats {

@@ -49,10 +49,7 @@ impl std::fmt::Debug for ThreadAllocator {
 impl ThreadAllocator {
     /// Creates an empty allocator for worker `id` over `n_classes` classes.
     pub fn new(id: u16, n_classes: usize) -> Self {
-        ThreadAllocator {
-            id,
-            bins: (0..n_classes).map(|_| Vec::new()).collect(),
-        }
+        ThreadAllocator { id, bins: (0..n_classes).map(|_| Vec::new()).collect() }
     }
 
     /// The owning worker's id.
@@ -85,13 +82,7 @@ impl ThreadAllocator {
             if let Some((id, slot)) = b.alloc_object(rng) {
                 let vaddr = b.slot_vaddr(slot);
                 drop(b);
-                return Ok(AllocOutcome {
-                    block: block.clone(),
-                    slot,
-                    id,
-                    vaddr,
-                    refilled: false,
-                });
+                return Ok(AllocOutcome { block: block.clone(), slot, id, vaddr, refilled: false });
             }
         }
         // Refill: fetch a new block from the process-wide allocator.
@@ -99,9 +90,7 @@ impl ThreadAllocator {
         let shared: SharedBlock = Arc::new(Mutex::new(block));
         let (id, slot, vaddr) = {
             let mut b = shared.lock();
-            let (id, slot) = b
-                .alloc_object(rng)
-                .expect("fresh block must have room");
+            let (id, slot) = b.alloc_object(rng).expect("fresh block must have room");
             (id, slot, b.slot_vaddr(slot))
         };
         bin.push(shared.clone());
@@ -177,10 +166,7 @@ impl ThreadAllocator {
 
     /// Live objects across all blocks of a class.
     pub fn live_in_class(&self, class: ClassId) -> usize {
-        self.bins[class.0 as usize]
-            .iter()
-            .map(|b| b.lock().live())
-            .sum()
+        self.bins[class.0 as usize].iter().map(|b| b.lock().live()).sum()
     }
 }
 
@@ -272,7 +258,7 @@ mod tests {
     fn collection_takes_low_occupancy_blocks() {
         let (proc, mut ta, mut rng) = setup();
         let class = ClassId(0); // 16-byte objects → 256 per block
-        // Fill one block completely and another sparsely.
+                                // Fill one block completely and another sparsely.
         for _ in 0..256 {
             ta.alloc(class, &proc, &mut rng).unwrap();
         }

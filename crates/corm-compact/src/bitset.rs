@@ -16,11 +16,7 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set over a universe of `len` elements.
     pub fn new(len: usize) -> Self {
-        BitSet {
-            words: vec![0; len.div_ceil(64)],
-            len,
-            count: 0,
-        }
+        BitSet { words: vec![0; len.div_ceil(64)], len, count: 0 }
     }
 
     /// Universe size.
@@ -78,20 +74,13 @@ impl BitSet {
     /// universe.
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Number of shared elements.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Adds every element of `other` to `self`.

@@ -33,16 +33,8 @@ impl BlockModel {
     /// IDs) or either is zero.
     pub fn new(slots: usize, id_space: usize) -> Self {
         assert!(slots > 0, "block must have slots");
-        assert!(
-            id_space >= slots,
-            "id space {id_space} cannot label {slots} slots"
-        );
-        BlockModel {
-            slots,
-            id_space,
-            ids: BitSet::new(id_space),
-            offsets: BitSet::new(slots),
-        }
+        assert!(id_space >= slots, "id space {id_space} cannot label {slots} slots");
+        BlockModel { slots, id_space, ids: BitSet::new(id_space), offsets: BitSet::new(slots) }
     }
 
     /// Slots per block.
@@ -347,10 +339,7 @@ mod tests {
         let m = BlockModel::random_mesh(&mut r, 128, 40);
         assert_eq!(m.live(), 40);
         // Mesh invariant: id set equals offset set.
-        assert_eq!(
-            m.ids().iter().collect::<Vec<_>>(),
-            m.offsets().iter().collect::<Vec<_>>()
-        );
+        assert_eq!(m.ids().iter().collect::<Vec<_>>(), m.offsets().iter().collect::<Vec<_>>());
     }
 
     #[test]

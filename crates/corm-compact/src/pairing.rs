@@ -183,13 +183,11 @@ mod tests {
         // The paper's core claim, checked empirically on identical block
         // populations (ids mirror offsets for the Mesh run).
         let mut rng = StdRng::seed_from_u64(11);
-        let mesh_blocks: Vec<BlockModel> = (0..60)
-            .map(|_| BlockModel::random_mesh(&mut rng, 32, 12))
-            .collect();
+        let mesh_blocks: Vec<BlockModel> =
+            (0..60).map(|_| BlockModel::random_mesh(&mut rng, 32, 12)).collect();
         let mut rng2 = StdRng::seed_from_u64(11);
-        let corm_blocks: Vec<BlockModel> = (0..60)
-            .map(|_| BlockModel::random(&mut rng2, 32, 1 << 16, 12))
-            .collect();
+        let corm_blocks: Vec<BlockModel> =
+            (0..60).map(|_| BlockModel::random(&mut rng2, 32, 1 << 16, 12)).collect();
         let mesh = compact_blocks(mesh_blocks, ConflictRule::Offsets);
         let corm = compact_blocks(corm_blocks, ConflictRule::Ids);
         assert!(

@@ -200,9 +200,6 @@ mod tests {
         }
         let empirical = ok as f64 / trials as f64;
         let closed = compaction_probability(n, s, b1, b2);
-        assert!(
-            (empirical - closed).abs() < 0.02,
-            "empirical={empirical} closed={closed}"
-        );
+        assert!((empirical - closed).abs() < 0.02, "empirical={empirical} closed={closed}");
     }
 }

@@ -143,18 +143,12 @@ pub fn apply_strategy(
     let live_objects: usize = blocks.iter().map(|b| b.live()).sum();
     let (blocks_after, objects_moved, merges) = match kind {
         CompactorKind::Ideal => (live_objects.div_ceil(slots.max(1)), 0, 0),
-        CompactorKind::NoCompaction => {
-            (blocks.iter().filter(|b| !b.is_empty()).count(), 0, 0)
-        }
+        CompactorKind::NoCompaction => (blocks.iter().filter(|b| !b.is_empty()).count(), 0, 0),
         _ => match kind.class_rule(slots) {
             None => (blocks.iter().filter(|b| !b.is_empty()).count(), 0, 0),
             Some(rule) => {
-                let CompactionOutcome {
-                    blocks: surviving,
-                    objects_moved,
-                    merges,
-                    ..
-                } = compact_blocks(blocks, rule);
+                let CompactionOutcome { blocks: surviving, objects_moved, merges, .. } =
+                    compact_blocks(blocks, rule);
                 (surviving.len(), objects_moved, merges)
             }
         },
@@ -182,10 +176,7 @@ mod tests {
         assert_eq!(CompactorKind::NoCompaction.name(), "No");
         assert_eq!(CompactorKind::Mesh.name(), "Mesh");
         assert_eq!(CompactorKind::Corm { id_bits: 16 }.name(), "CoRM-16");
-        assert_eq!(
-            CompactorKind::Hybrid { id_bits: 8 }.name(),
-            "CoRM-0+CoRM-8"
-        );
+        assert_eq!(CompactorKind::Hybrid { id_bits: 8 }.name(), "CoRM-0+CoRM-8");
     }
 
     #[test]
@@ -222,9 +213,8 @@ mod tests {
     #[test]
     fn ideal_repacks_perfectly() {
         let mut rng = StdRng::seed_from_u64(1);
-        let blocks: Vec<BlockModel> = (0..10)
-            .map(|_| BlockModel::random(&mut rng, 16, 256, 4))
-            .collect();
+        let blocks: Vec<BlockModel> =
+            (0..10).map(|_| BlockModel::random(&mut rng, 16, 256, 4)).collect();
         let rep = apply_strategy(CompactorKind::Ideal, 4096, 16, blocks);
         assert_eq!(rep.live_objects, 40);
         assert_eq!(rep.blocks_after, 3); // ceil(40/16)
@@ -234,9 +224,8 @@ mod tests {
     #[test]
     fn no_compaction_keeps_every_nonempty_block() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut blocks: Vec<BlockModel> = (0..5)
-            .map(|_| BlockModel::random(&mut rng, 16, 256, 1))
-            .collect();
+        let mut blocks: Vec<BlockModel> =
+            (0..5).map(|_| BlockModel::random(&mut rng, 16, 256, 1)).collect();
         blocks.push(BlockModel::new(16, 256)); // empty → droppable
         let rep = apply_strategy(CompactorKind::NoCompaction, 4096, 16, blocks);
         assert_eq!(rep.blocks_after, 5);
@@ -247,13 +236,11 @@ mod tests {
     fn strategy_ordering_ideal_corm_mesh_no() {
         // On a low-occupancy population: Ideal ≤ CoRM-16 ≤ Mesh ≤ No.
         let mut rng = StdRng::seed_from_u64(5);
-        let mk_corm: Vec<BlockModel> = (0..30)
-            .map(|_| BlockModel::random(&mut rng, 64, 1 << 16, 8))
-            .collect();
+        let mk_corm: Vec<BlockModel> =
+            (0..30).map(|_| BlockModel::random(&mut rng, 64, 1 << 16, 8)).collect();
         let mut rng2 = StdRng::seed_from_u64(5);
-        let mk_mesh: Vec<BlockModel> = (0..30)
-            .map(|_| BlockModel::random_mesh(&mut rng2, 64, 8))
-            .collect();
+        let mk_mesh: Vec<BlockModel> =
+            (0..30).map(|_| BlockModel::random_mesh(&mut rng2, 64, 8)).collect();
         let ideal = apply_strategy(CompactorKind::Ideal, 4096, 64, mk_corm.clone());
         let corm = apply_strategy(CompactorKind::Corm { id_bits: 16 }, 4096, 64, mk_corm.clone());
         let mesh = apply_strategy(CompactorKind::Mesh, 4096, 64, mk_mesh);

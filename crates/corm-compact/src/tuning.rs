@@ -46,11 +46,7 @@ pub struct TunerPolicy {
 
 impl Default for TunerPolicy {
     fn default() -> Self {
-        TunerPolicy {
-            target_merge_probability: 0.5,
-            hot_churn_threshold: 4.0,
-            max_bits: 16,
-        }
+        TunerPolicy { target_merge_probability: 0.5, hot_churn_threshold: 4.0, max_bits: 16 }
     }
 }
 
@@ -94,18 +90,13 @@ pub fn recommend(usage: ClassUsage, policy: TunerPolicy) -> Recommendation {
     // Target unreachable even at max width: recommend the widest only if
     // it still helps at all, else fall back to offsets.
     match best {
-        Some((bits, p)) if p > 0.0 => {
-            Recommendation { id_bits: Some(bits), merge_probability: p }
-        }
+        Some((bits, p)) if p > 0.0 => Recommendation { id_bits: Some(bits), merge_probability: p },
         _ => Recommendation { id_bits: None, merge_probability: 0.0 },
     }
 }
 
 /// Tunes a whole class table at once.
-pub fn recommend_all(
-    usages: &[ClassUsage],
-    policy: TunerPolicy,
-) -> Vec<Recommendation> {
+pub fn recommend_all(usages: &[ClassUsage], policy: TunerPolicy) -> Vec<Recommendation> {
     usages.iter().map(|&u| recommend(u, policy)).collect()
 }
 

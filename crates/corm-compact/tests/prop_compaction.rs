@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use corm_compact::{
-    compaction_probability, compact_blocks, BlockModel, CompactorKind, ConflictRule,
+    compact_blocks, compaction_probability, BlockModel, CompactorKind, ConflictRule,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -38,10 +38,7 @@ impl<E> Eq for Scheduled<E> {}
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the earliest event first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<E> PartialOrd for Scheduled<E> {
@@ -59,11 +56,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
     }
 
     /// The timestamp of the most recently popped event (time zero initially).
@@ -88,11 +81,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current simulation time, which
     /// would break causality.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "cannot schedule event in the past: at={at} now={}",
-            self.now
-        );
+        assert!(at >= self.now, "cannot schedule event in the past: at={at} now={}", self.now);
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });

@@ -60,12 +60,8 @@ impl FifoResource {
         let now = now.max(self.last_admit);
         self.last_admit = now;
         // Pick the earliest-free server: FIFO among ordered arrivals.
-        let (idx, &free) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("at least one server");
+        let (idx, &free) =
+            self.free_at.iter().enumerate().min_by_key(|(_, &t)| t).expect("at least one server");
         let start = free.max(now);
         let done = start + service;
         self.free_at[idx] = done;

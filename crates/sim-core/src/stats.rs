@@ -21,12 +21,7 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        OnlineStats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Records one sample.
@@ -79,9 +74,7 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram {
-            samples: Vec::new(),
-        }
+        Histogram { samples: Vec::new() }
     }
 
     /// Records one sample.
@@ -147,10 +140,7 @@ impl TimeSeries {
     /// Panics if `bucket` is zero.
     pub fn new(bucket: SimDuration) -> Self {
         assert!(bucket > SimDuration::ZERO, "bucket width must be positive");
-        TimeSeries {
-            bucket,
-            counts: Vec::new(),
-        }
+        TimeSeries { bucket, counts: Vec::new() }
     }
 
     /// Records one event at instant `t`.
@@ -175,11 +165,7 @@ impl TimeSeries {
     /// Per-bucket rates in events/second, with bucket start times in seconds.
     pub fn rates(&self) -> Vec<(f64, f64)> {
         let w = self.bucket.as_secs_f64();
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (i as f64 * w, c as f64 / w))
-            .collect()
+        self.counts.iter().enumerate().map(|(i, &c)| (i as f64 * w, c as f64 / w)).collect()
     }
 
     /// Total events recorded.

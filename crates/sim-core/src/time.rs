@@ -130,10 +130,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        assert!(
-            self.0 >= rhs.0,
-            "SimTime subtraction underflow: {self} - {rhs}"
-        );
+        assert!(self.0 >= rhs.0, "SimTime subtraction underflow: {self} - {rhs}");
         SimDuration(self.0 - rhs.0)
     }
 }
@@ -154,10 +151,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        assert!(
-            self.0 >= rhs.0,
-            "SimDuration subtraction underflow: {self} - {rhs}"
-        );
+        assert!(self.0 >= rhs.0, "SimDuration subtraction underflow: {self} - {rhs}");
         SimDuration(self.0 - rhs.0)
     }
 }

@@ -32,10 +32,7 @@ impl MemFile {
     /// Creates an anonymous file of `pages` pages backed by fresh frames.
     pub fn create(phys: &PhysicalMemory, pages: usize) -> Result<Self, MemError> {
         let frames = phys.alloc_n(pages)?;
-        Ok(MemFile {
-            id: FileId(NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)),
-            frames,
-        })
+        Ok(MemFile { id: FileId(NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)), frames })
     }
 
     /// The file's descriptor.

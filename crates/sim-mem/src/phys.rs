@@ -6,7 +6,7 @@
 //! of silently looking valid.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -127,10 +127,7 @@ impl PhysicalMemory {
     /// beyond the cap fails with [`MemError::OutOfMemory`] — the trigger for
     /// CoRM's allocation-failure compaction policy.
     pub fn with_capacity(frames: usize) -> Self {
-        PhysicalMemory {
-            capacity: Some(frames),
-            ..Self::new()
-        }
+        PhysicalMemory { capacity: Some(frames), ..Self::new() }
     }
 
     /// Allocates a zeroed frame.
@@ -213,11 +210,7 @@ impl PhysicalMemory {
 
     /// Current reference count of a frame (0 if freed).
     pub fn ref_count(&self, id: FrameId) -> u32 {
-        self.frames
-            .read()
-            .get(id.0 as usize)
-            .map(|f| f.refs)
-            .unwrap_or(0)
+        self.frames.read().get(id.0 as usize).map(|f| f.refs).unwrap_or(0)
     }
 
     /// Reads `buf.len()` bytes at `offset` within the frame.
@@ -353,14 +346,8 @@ mod tests {
         let pm = PhysicalMemory::new();
         let f = pm.alloc().unwrap();
         let mut buf = [0u8; 8];
-        assert!(matches!(
-            pm.read(f, PAGE_SIZE - 4, &mut buf),
-            Err(MemError::FrameBounds { .. })
-        ));
-        assert!(matches!(
-            pm.write(f, PAGE_SIZE, b"x"),
-            Err(MemError::FrameBounds { .. })
-        ));
+        assert!(matches!(pm.read(f, PAGE_SIZE - 4, &mut buf), Err(MemError::FrameBounds { .. })));
+        assert!(matches!(pm.write(f, PAGE_SIZE, b"x"), Err(MemError::FrameBounds { .. })));
     }
 
     #[test]

@@ -151,9 +151,7 @@ impl AddressSpace {
         for (i, &frame) in new_frames.iter().enumerate() {
             self.phys.add_ref(frame)?;
             let epoch = self.epoch_counter.fetch_add(1, Ordering::Relaxed);
-            let old = table
-                .insert(base + i as u64, Pte { frame, epoch })
-                .expect("validated above");
+            let old = table.insert(base + i as u64, Pte { frame, epoch }).expect("validated above");
             self.phys.release(old.frame);
         }
         self.remaps.fetch_add(1, Ordering::Relaxed);
@@ -164,10 +162,7 @@ impl AddressSpace {
     pub fn translate(&self, va: u64) -> Result<Translation, MemError> {
         let table = self.table.read();
         let pte = table.get(&Self::page_of(va)).ok_or(MemError::Unmapped(va))?;
-        Ok(Translation {
-            frame: pte.frame,
-            epoch: pte.epoch,
-        })
+        Ok(Translation { frame: pte.frame, epoch: pte.epoch })
     }
 
     /// Whether the page containing `va` is mapped.
@@ -259,10 +254,7 @@ mod tests {
         let va = aspace.mmap(&frames).unwrap();
         assert_eq!(va % PAGE_SIZE as u64, 0);
         assert_eq!(aspace.translate(va).unwrap().frame, frames[0]);
-        assert_eq!(
-            aspace.translate(va + PAGE_SIZE as u64).unwrap().frame,
-            frames[1]
-        );
+        assert_eq!(aspace.translate(va + PAGE_SIZE as u64).unwrap().frame, frames[1]);
         aspace.write(va + 10, b"corm").unwrap();
         let mut buf = [0u8; 4];
         aspace.read(va + 10, &mut buf).unwrap();
@@ -330,14 +322,8 @@ mod tests {
     fn mmap_fixed_rejects_overlap_and_misalignment() {
         let (_pm, aspace, frames) = setup(2);
         let va = aspace.mmap(&frames[..1]).unwrap();
-        assert!(matches!(
-            aspace.mmap_fixed(va, &frames[1..]),
-            Err(MemError::AlreadyMapped(_))
-        ));
-        assert!(matches!(
-            aspace.mmap_fixed(va + 1, &frames[1..]),
-            Err(MemError::Unaligned(_))
-        ));
+        assert!(matches!(aspace.mmap_fixed(va, &frames[1..]), Err(MemError::AlreadyMapped(_))));
+        assert!(matches!(aspace.mmap_fixed(va + 1, &frames[1..]), Err(MemError::Unaligned(_))));
     }
 
     #[test]

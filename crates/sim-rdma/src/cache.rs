@@ -113,21 +113,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.slab[i] = Node {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                };
+                self.slab[i] = Node { key: key.clone(), value, prev: NIL, next: NIL };
                 i
             }
             None => {
-                self.slab.push(Node {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                });
+                self.slab.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
                 self.slab.len() - 1
             }
         };

@@ -370,10 +370,7 @@ mod tests {
         assert!((62.0..=65.0).contains(&m.odp_miss.unwrap().as_micros_f64()));
         let advise = m.advise_cost(1).as_micros_f64();
         assert!((4.4..=4.7).contains(&advise), "advise={advise}");
-        assert_eq!(
-            m.mtt_update_cost(MttUpdateStrategy::Odp, 4),
-            SimDuration::ZERO
-        );
+        assert_eq!(m.mtt_update_cost(MttUpdateStrategy::Odp, 4), SimDuration::ZERO);
         assert!(LatencyModel::connectx3().odp_miss.is_none());
         assert!(MttUpdateStrategy::Odp.needs_odp());
         assert!(!MttUpdateStrategy::Rereg.needs_odp());
@@ -403,9 +400,7 @@ mod tests {
     #[test]
     fn per_block_compaction_near_100us_on_cx3() {
         let m = LatencyModel::connectx3();
-        let c = m
-            .block_compaction_cost(MttUpdateStrategy::Rereg, 1, 32, 1)
-            .as_micros_f64();
+        let c = m.block_compaction_cost(MttUpdateStrategy::Rereg, 1, 32, 1).as_micros_f64();
         assert!((90.0..=110.0).contains(&c), "cx3 block compaction={c}");
     }
 
@@ -414,8 +409,7 @@ mod tests {
         // §4.2.1: FaRM/CoRM are ~1.33x slower than memcpy for small objects
         // and converge for large (memory-bound) ones.
         let m = LatencyModel::connectx5();
-        let small_ratio =
-            m.local_read_cost(8).as_micros_f64() / m.memcpy_cost(8).as_micros_f64();
+        let small_ratio = m.local_read_cost(8).as_micros_f64() / m.memcpy_cost(8).as_micros_f64();
         assert!((1.2..=1.5).contains(&small_ratio), "ratio={small_ratio}");
         let large_ratio =
             m.local_read_cost(8192).as_micros_f64() / m.memcpy_cost(8192).as_micros_f64();

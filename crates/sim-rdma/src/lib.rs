@@ -29,12 +29,14 @@
 //!   threaded CoRM server.
 
 pub mod cache;
+pub mod fault;
 pub mod latency;
 pub mod qp;
 pub mod rnic;
 pub mod rpc;
 
 pub use cache::LruCache;
+pub use fault::{FaultConfig, FaultInjector, FaultKind, ScheduledFault};
 pub use latency::{CpuKind, DeviceKind, LatencyModel, MttUpdateStrategy};
 pub use qp::{QpState, QueuePair};
 pub use rnic::{MemoryRegion, RdmaError, Rnic, RnicConfig};

@@ -35,9 +35,7 @@ pub struct QueuePair {
 
 impl std::fmt::Debug for QueuePair {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("QueuePair")
-            .field("state", &*self.state.lock())
-            .finish()
+        f.debug_struct("QueuePair").field("state", &*self.state.lock()).finish()
     }
 }
 
@@ -84,10 +82,7 @@ impl QueuePair {
         self.guarded(|| self.rnic.write(rkey, va, data, now))
     }
 
-    fn guarded<T>(
-        &self,
-        f: impl FnOnce() -> Result<T, RdmaError>,
-    ) -> Result<T, RdmaError> {
+    fn guarded<T>(&self, f: impl FnOnce() -> Result<T, RdmaError>) -> Result<T, RdmaError> {
         {
             let state = self.state.lock();
             if *state == QpState::Error {
@@ -166,10 +161,7 @@ mod tests {
         ));
         assert_eq!(qp.state(), QpState::Error);
         // Further ops — even valid ones — fail until reconnect.
-        assert_eq!(
-            qp.read(mr.rkey, va, &mut buf, SimTime::ZERO),
-            Err(RdmaError::QpBroken)
-        );
+        assert_eq!(qp.read(mr.rkey, va, &mut buf, SimTime::ZERO), Err(RdmaError::QpBroken));
         let cost = qp.reconnect();
         assert!(cost.as_secs_f64() >= 0.001, "reconnect should cost ms");
         qp.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
@@ -188,10 +180,7 @@ mod tests {
         let t0 = SimTime::from_micros(10);
         rnic.rereg(mr.rkey, t0).unwrap();
         let mut buf = [0u8; 4];
-        assert!(matches!(
-            qp.read(mr.rkey, va, &mut buf, t0),
-            Err(RdmaError::RegionBusy(_))
-        ));
+        assert!(matches!(qp.read(mr.rkey, va, &mut buf, t0), Err(RdmaError::RegionBusy(_))));
         assert_eq!(qp.state(), QpState::Error);
     }
 }

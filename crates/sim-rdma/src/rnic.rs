@@ -19,6 +19,7 @@ use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_mem::{AddressSpace, FrameId, MemError, PAGE_SIZE};
 
 use crate::cache::LruCache;
+use crate::fault::{FaultConfig, FaultInjector, FaultKind};
 use crate::latency::LatencyModel;
 
 /// Errors surfaced by RNIC verbs. Any error on a one-sided access breaks
@@ -47,6 +48,9 @@ pub enum RdmaError {
     Mem(MemError),
     /// The queue pair is in the error state and must be reconnected.
     QpBroken,
+    /// A transient NIC/PCIe fault injected by the fault layer. The region
+    /// and data are intact; a reconnect fully recovers.
+    InjectedFault,
 }
 
 impl fmt::Display for RdmaError {
@@ -61,6 +65,7 @@ impl fmt::Display for RdmaError {
             RdmaError::OdpFault(va) => write!(f, "ODP fault: va {va:#x} unmapped"),
             RdmaError::Mem(e) => write!(f, "memory error: {e}"),
             RdmaError::QpBroken => write!(f, "queue pair in error state"),
+            RdmaError::InjectedFault => write!(f, "transient NIC/PCIe fault (injected)"),
         }
     }
 }
@@ -103,14 +108,14 @@ pub struct RnicConfig {
     pub model: LatencyModel,
     /// Capacity of the on-chip MTT translation cache, in page entries.
     pub cache_entries: usize,
+    /// Deterministic fault injection. `None` (the default) disables it
+    /// entirely: the NIC behaves bit-identically to a fault-free build.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for RnicConfig {
     fn default() -> Self {
-        RnicConfig {
-            model: LatencyModel::default(),
-            cache_entries: 16 * 1024,
-        }
+        RnicConfig { model: LatencyModel::default(), cache_entries: 16 * 1024, faults: None }
     }
 }
 
@@ -156,6 +161,16 @@ pub struct RnicStats {
     pub reregs: AtomicU64,
     /// `advise_mr` calls.
     pub advises: AtomicU64,
+    /// Injected transient NIC/PCIe faults (verbs failed).
+    pub injected_faults: AtomicU64,
+    /// Injected QP breaks (verbs failed with `QpBroken`).
+    pub injected_qp_breaks: AtomicU64,
+    /// Injected latency spikes (verbs delayed).
+    pub injected_delays: AtomicU64,
+    /// Virtual time added by injected latency spikes, in nanoseconds.
+    pub injected_delay_ns: AtomicU64,
+    /// Verbs forced down the MTT-cache-miss path.
+    pub forced_cache_misses: AtomicU64,
 }
 
 /// The simulated RDMA-capable NIC.
@@ -163,15 +178,14 @@ pub struct Rnic {
     aspace: Arc<AddressSpace>,
     inner: Mutex<Inner>,
     config: RnicConfig,
+    faults: Option<FaultInjector>,
     /// Public counters.
     pub stats: RnicStats,
 }
 
 impl fmt::Debug for Rnic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Rnic")
-            .field("device", &self.config.model.device)
-            .finish()
+        f.debug_struct("Rnic").field("device", &self.config.model.device).finish()
     }
 }
 
@@ -179,6 +193,7 @@ impl Rnic {
     /// Creates a NIC attached to `aspace`.
     pub fn new(aspace: Arc<AddressSpace>, config: RnicConfig) -> Self {
         let cache_entries = config.cache_entries;
+        let faults = config.faults.clone().map(FaultInjector::new);
         Rnic {
             aspace,
             inner: Mutex::new(Inner {
@@ -189,8 +204,19 @@ impl Rnic {
                 next_key: 0x1000,
             }),
             config,
+            faults,
             stats: RnicStats::default(),
         }
+    }
+
+    /// The fault injector, if fault injection is enabled.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// The replay log of injected faults (empty when injection is off).
+    pub fn fault_log(&self) -> Vec<(u64, FaultKind)> {
+        self.faults.as_ref().map(|f| f.fired()).unwrap_or_default()
     }
 
     /// The latency model in force.
@@ -304,9 +330,7 @@ impl Rnic {
     ) -> Result<VerbOutcome, RdmaError> {
         let outcome = self.access(rkey, va, buf.len(), now, AccessDir::Read(buf))?;
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_read
-            .fetch_add(outcome.1 as u64, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(outcome.1 as u64, Ordering::Relaxed);
         Ok(outcome.0)
     }
 
@@ -331,6 +355,34 @@ impl Rnic {
         now: SimTime,
         mut dir: AccessDir<'_>,
     ) -> Result<(VerbOutcome, usize), RdmaError> {
+        // Consult the fault layer first: injected failures model the NIC or
+        // the fabric going wrong before the verb touches any state.
+        let mut injected_delay = SimDuration::ZERO;
+        let mut forced_miss = false;
+        if let Some(inj) = &self.faults {
+            match inj.decide() {
+                Some(FaultKind::QpBreak) => {
+                    self.stats.injected_qp_breaks.fetch_add(1, Ordering::Relaxed);
+                    return Err(RdmaError::QpBroken);
+                }
+                Some(FaultKind::Transient) => {
+                    self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+                    return Err(RdmaError::InjectedFault);
+                }
+                Some(FaultKind::DelaySpike) => {
+                    injected_delay = inj.delay_spike();
+                    self.stats.injected_delays.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .injected_delay_ns
+                        .fetch_add(injected_delay.as_nanos(), Ordering::Relaxed);
+                }
+                Some(FaultKind::CacheMiss) => {
+                    forced_miss = true;
+                    self.stats.forced_cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+        }
         let mut inner = self.inner.lock();
         let mr = *inner.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
         if !mr.covers(va, len) {
@@ -344,6 +396,13 @@ impl Rnic {
         // Resolve the translation of every page the access touches.
         let first_vpn = va / PAGE_SIZE as u64;
         let last_vpn = (va + len.max(1) as u64 - 1) / PAGE_SIZE as u64;
+        if forced_miss {
+            // A forced MTT-cache-miss fault evicts the access's translations
+            // so the normal lookup below takes genuine misses.
+            for vpn in first_vpn..=last_vpn {
+                inner.cache.remove(&vpn);
+            }
+        }
         let mut all_hit = true;
         let mut odp_misses = 0u32;
         let mut frames = Vec::with_capacity((last_vpn - first_vpn + 1) as usize);
@@ -403,10 +462,8 @@ impl Rnic {
         if odp_misses > 0 {
             latency += model.odp_miss.unwrap_or(SimDuration::ZERO) * odp_misses as u64;
         }
-        Ok((
-            VerbOutcome { latency, cache_hit: all_hit, odp_misses },
-            len,
-        ))
+        latency += injected_delay;
+        Ok((VerbOutcome { latency, cache_hit: all_hit, odp_misses }, len))
     }
 
     /// Cache hit/miss counters of the translation cache.
@@ -527,10 +584,7 @@ mod tests {
         let cost = rnic.rereg(mr.rkey, t0).unwrap();
         // Access inside the window breaks (RegionBusy).
         let mut buf = [0u8; 4];
-        assert_eq!(
-            rnic.read(mr.rkey, va, &mut buf, t0),
-            Err(RdmaError::RegionBusy(mr.rkey))
-        );
+        assert_eq!(rnic.read(mr.rkey, va, &mut buf, t0), Err(RdmaError::RegionBusy(mr.rkey)));
         // After the window, reads see the new frame with the same rkey.
         let after = t0 + cost;
         rnic.read(mr.rkey, va, &mut buf, after).unwrap();
@@ -627,6 +681,65 @@ mod tests {
             rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO),
             Err(RdmaError::InvalidKey(mr.rkey))
         );
+    }
+
+    fn faulty_setup(cfg: FaultConfig) -> (Arc<AddressSpace>, Rnic, u64) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let rnic =
+            Rnic::new(aspace.clone(), RnicConfig { faults: Some(cfg), ..RnicConfig::default() });
+        (aspace, rnic, va)
+    }
+
+    #[test]
+    fn scripted_faults_fail_delay_and_miss_verbs() {
+        use crate::fault::{FaultKind, ScheduledFault};
+        let (_aspace, rnic, va) = faulty_setup(FaultConfig::scripted(vec![
+            ScheduledFault { at_op: 0, kind: FaultKind::QpBreak },
+            ScheduledFault { at_op: 1, kind: FaultKind::Transient },
+            ScheduledFault { at_op: 4, kind: FaultKind::DelaySpike },
+            ScheduledFault { at_op: 6, kind: FaultKind::CacheMiss },
+        ]));
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let mut buf = [0u8; 8];
+        // op 0: QP break; op 1: transient fault.
+        assert_eq!(rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO), Err(RdmaError::QpBroken));
+        assert_eq!(rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO), Err(RdmaError::InjectedFault));
+        // op 2 warms the cache, op 3 is the warm baseline, op 4 is delayed.
+        rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        let clean = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        let spiked = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        let spike = rnic.fault_injector().unwrap().delay_spike();
+        assert_eq!(spiked.latency, clean.latency + spike);
+        // op 5 warm again; op 6 is forced down the miss path.
+        let warm = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert!(warm.cache_hit);
+        let missed = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert!(!missed.cache_hit, "forced miss must evict the translation");
+        assert!(missed.latency > warm.latency);
+
+        assert_eq!(rnic.stats.injected_qp_breaks.load(Ordering::Relaxed), 1);
+        assert_eq!(rnic.stats.injected_faults.load(Ordering::Relaxed), 1);
+        assert_eq!(rnic.stats.injected_delays.load(Ordering::Relaxed), 1);
+        assert_eq!(rnic.stats.forced_cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(rnic.stats.injected_delay_ns.load(Ordering::Relaxed), spike.as_nanos());
+        assert_eq!(rnic.fault_log().len(), 4);
+    }
+
+    #[test]
+    fn failed_verbs_do_not_count_as_served() {
+        use crate::fault::{FaultKind, ScheduledFault};
+        let (_aspace, rnic, va) = faulty_setup(FaultConfig::scripted(vec![ScheduledFault {
+            at_op: 0,
+            kind: FaultKind::Transient,
+        }]));
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).is_err());
+        rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(rnic.stats.reads.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -165,10 +165,7 @@ mod tests {
     fn timeout_when_server_ignores() {
         let (client, _queue) = rpc_channel::<u8, u8>();
         // Server never polls; keep _queue alive so send succeeds.
-        assert_eq!(
-            client.call_timeout(1, Duration::from_millis(50)),
-            Err(RpcError::Timeout)
-        );
+        assert_eq!(client.call_timeout(1, Duration::from_millis(50)), Err(RpcError::Timeout));
     }
 
     #[test]

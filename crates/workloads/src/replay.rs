@@ -154,8 +154,7 @@ impl ModelHeap {
                 // fallback); one refinement round converges because the
                 // header only shrinks.
                 let kind_bits = self.kind.class_id_bits(usize::MAX);
-                let mut gross =
-                    (payload + corm_compact::header_bytes(kind_bits)).div_ceil(8) * 8;
+                let mut gross = (payload + corm_compact::header_bytes(kind_bits)).div_ceil(8) * 8;
                 let slots = (self.block_bytes / gross).max(1);
                 let bits = self.kind.class_id_bits(slots);
                 gross = (payload + corm_compact::header_bytes(bits)).div_ceil(8) * 8;
@@ -196,10 +195,8 @@ impl ModelHeap {
         let gross = self.gross_for(size);
         let slots = (self.block_bytes / gross).max(1);
         let id_space = self.kind.id_space(slots);
-        let offset_identified = matches!(
-            self.kind.class_rule(slots),
-            Some(ConflictRule::Offsets) | None
-        );
+        let offset_identified =
+            matches!(self.kind.class_rule(slots), Some(ConflictRule::Offsets) | None);
         let thread = self.rng.gen_range(0..self.bins.len());
         let bin = self.bins[thread].entry(gross).or_default();
         // Newest block first, then older partials (matches the data-path
@@ -243,10 +240,8 @@ impl ModelHeap {
     }
 
     fn free(&mut self, key: u64) {
-        let p = self
-            .placements
-            .remove(&key)
-            .unwrap_or_else(|| panic!("free of unallocated key {key}"));
+        let p =
+            self.placements.remove(&key).unwrap_or_else(|| panic!("free of unallocated key {key}"));
         let block = &mut self.bins[p.thread as usize]
             .get_mut(&(p.gross as usize))
             .expect("class exists")[p.block_idx as usize];
@@ -263,12 +258,7 @@ impl ModelHeap {
 
     /// Non-empty blocks across all threads and classes.
     pub fn blocks_in_use(&self) -> usize {
-        self.bins
-            .iter()
-            .flat_map(|t| t.values())
-            .flatten()
-            .filter(|b| !b.is_empty())
-            .count()
+        self.bins.iter().flat_map(|t| t.values()).flatten().filter(|b| !b.is_empty()).count()
     }
 
     /// Finishes the replay: applies the strategy per class and reports
@@ -348,8 +338,7 @@ mod tests {
     fn corm16_compacts_more_than_no_compaction() {
         let trace = trace_alloc_free(20_000, 2048, 2);
         let run = |kind| {
-            let mut h =
-                ModelHeap::with_policy(kind, 1 << 20, 4, 7, ClassPolicy::Dedicated);
+            let mut h = ModelHeap::with_policy(kind, 1 << 20, 4, 7, ClassPolicy::Dedicated);
             h.replay(&trace);
             h.finish()
         };
@@ -367,16 +356,26 @@ mod tests {
     fn dedicated_classes_fit_snugly() {
         // 2048-byte objects under CoRM-16: gross = 2048 + 6 → 2056; the
         // slot count loses only a fraction of a percent vs Mesh.
-        let corm =
-            ModelHeap::with_policy(CompactorKind::Corm { id_bits: 16 }, 1 << 20, 1, 1, ClassPolicy::Dedicated);
+        let corm = ModelHeap::with_policy(
+            CompactorKind::Corm { id_bits: 16 },
+            1 << 20,
+            1,
+            1,
+            ClassPolicy::Dedicated,
+        );
         assert_eq!(corm.gross_for(2048), 2056);
         let mesh =
             ModelHeap::with_policy(CompactorKind::Mesh, 1 << 20, 1, 1, ClassPolicy::Dedicated);
         assert_eq!(mesh.gross_for(2048), 2048);
         // Hybrid fallback shrinks the header where the ID space is too
         // small: 16-byte objects with 8-bit IDs in 1 MiB blocks.
-        let hybrid =
-            ModelHeap::with_policy(CompactorKind::Hybrid { id_bits: 8 }, 1 << 20, 1, 1, ClassPolicy::Dedicated);
+        let hybrid = ModelHeap::with_policy(
+            CompactorKind::Hybrid { id_bits: 8 },
+            1 << 20,
+            1,
+            1,
+            ClassPolicy::Dedicated,
+        );
         // 65536 slots > 256 → falls back to CoRM-0 (4-byte header).
         assert_eq!(hybrid.gross_for(8), 16);
     }

@@ -27,9 +27,8 @@ pub struct SyntheticSpec {
 /// random `dealloc_rate` fraction of frees.
 pub fn synthetic_trace(spec: &SyntheticSpec) -> Vec<TraceOp> {
     assert!((0.0..=1.0).contains(&spec.dealloc_rate));
-    let mut ops: Vec<TraceOp> = (0..spec.objects)
-        .map(|key| TraceOp::Alloc { key, size: spec.size })
-        .collect();
+    let mut ops: Vec<TraceOp> =
+        (0..spec.objects).map(|key| TraceOp::Alloc { key, size: spec.size }).collect();
     // Partial Fisher–Yates to pick the deallocated subset.
     let k = (spec.objects as f64 * spec.dealloc_rate).round() as u64;
     let mut keys: Vec<u64> = (0..spec.objects).collect();
@@ -75,8 +74,7 @@ mod tests {
     fn fig17_shape_corm16_near_ideal_for_2kib_high_dealloc() {
         // Fig. 17's headline: for 2 KiB objects CoRM-16 tracks the ideal
         // compactor closely, while No stays near the allocation peak.
-        let spec =
-            SyntheticSpec { objects: 20_000, size: 2048, dealloc_rate: 0.8, seed: 42 };
+        let spec = SyntheticSpec { objects: 20_000, size: 2048, dealloc_rate: 0.8, seed: 42 };
         let ops = synthetic_trace(&spec);
         let run = |kind| {
             let mut heap = ModelHeap::new(kind, 1 << 20, 1, 5);

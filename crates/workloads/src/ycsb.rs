@@ -189,13 +189,7 @@ mod tests {
 
     #[test]
     fn dist_labels() {
-        assert_eq!(
-            Workload::new(10, KeyDist::Uniform, Mix::BALANCED).dist_label(),
-            "uniform"
-        );
-        assert_eq!(
-            Workload::new(10, KeyDist::Zipf(0.99), Mix::BALANCED).dist_label(),
-            "zipf-0.99"
-        );
+        assert_eq!(Workload::new(10, KeyDist::Uniform, Mix::BALANCED).dist_label(), "uniform");
+        assert_eq!(Workload::new(10, KeyDist::Zipf(0.99), Mix::BALANCED).dist_label(), "zipf-0.99");
     }
 }

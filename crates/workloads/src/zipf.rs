@@ -136,10 +136,7 @@ mod tests {
         for k in 0..2u64 {
             let expect = z.pmf(k);
             let got = counts[k as usize] as f64 / trials as f64;
-            assert!(
-                (got - expect).abs() / expect < 0.1,
-                "rank {k}: got {got}, expect {expect}"
-            );
+            assert!((got - expect).abs() / expect < 0.1, "rank {k}: got {got}, expect {expect}");
         }
         for k in 1..8 {
             assert!(

@@ -38,9 +38,7 @@ fn main() {
             client.free(p).unwrap();
         }
     }
-    println!(
-        "   two blocks, occupancies 1/{slots} and 2/{slots}; offsets collide at slot 0"
-    );
+    println!("   two blocks, occupancies 1/{slots} and 2/{slots}; offsets collide at slot 0");
     println!(
         "   theory (§3.4): p(mesh merge) = {:.4}, p(CoRM-16 merge) = {:.4}",
         mesh_probability(slots as u64, 1, 2),

@@ -28,10 +28,7 @@ fn main() {
         records.push((i, ptr));
     }
     for n in 0..4u8 {
-        println!(
-            "node {n}: {} KiB active",
-            cluster.node(NodeId(n)).active_bytes() / 1024
-        );
+        println!("node {n}: {} KiB active", cluster.node(NodeId(n)).active_bytes() / 1024);
     }
 
     // Churn: delete 80% of rows (a table truncation / TTL sweep).
@@ -63,19 +60,12 @@ fn main() {
             .direct_read_with_recovery(ptr, &mut buf, SimTime::from_millis(1))
             .expect("read after compaction")
             .value;
-        assert!(
-            buf[..n].starts_with(format!("row-{i:06}").as_bytes()),
-            "row {i} corrupted"
-        );
+        assert!(buf[..n].starts_with(format!("row-{i:06}").as_bytes()), "row {i} corrupted");
     }
     println!("verified {} surviving rows across 4 nodes", records.len());
     let corrections: u64 = (0..4u8)
         .map(|n| {
-            cluster
-                .node(NodeId(n))
-                .stats
-                .corrections
-                .load(std::sync::atomic::Ordering::Relaxed)
+            cluster.node(NodeId(n)).stats.corrections.load(std::sync::atomic::Ordering::Relaxed)
         })
         .sum();
     println!("server-side pointer corrections: {corrections}");

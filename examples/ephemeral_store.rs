@@ -16,10 +16,7 @@ use corm::core::server::threaded::{Request, Response, ThreadedServer};
 use corm::core::server::{CormServer, ServerConfig};
 
 fn main() {
-    let server = Arc::new(CormServer::new(ServerConfig {
-        workers: 4,
-        ..ServerConfig::default()
-    }));
+    let server = Arc::new(CormServer::new(ServerConfig { workers: 4, ..ServerConfig::default() }));
     let node = ThreadedServer::start(server.clone());
 
     // Producers: each writes a burst of intermediate results.
@@ -73,16 +70,9 @@ fn main() {
             kept
         }));
     }
-    let survivors: Vec<_> = consumers
-        .into_iter()
-        .flat_map(|c| c.join().unwrap())
-        .collect();
+    let survivors: Vec<_> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
     let before = server.active_bytes();
-    println!(
-        "consumed: {} survivors, active memory {} KiB",
-        survivors.len(),
-        before / 1024
-    );
+    println!("consumed: {} survivors, active memory {} KiB", survivors.len(), before / 1024);
 
     // Compact every fragmented class while the node keeps serving.
     let frag = server.fragmentation_report();

@@ -19,33 +19,26 @@ fn main() {
 
     // Alloc + Write.
     let mut ptr = client.alloc(48).expect("alloc").value;
-    client
-        .write(&mut ptr, b"CoRM: compactable remote memory")
-        .expect("write");
+    client.write(&mut ptr, b"CoRM: compactable remote memory").expect("write");
     println!("allocated object: id={:#06x} vaddr={:#x}", ptr.obj_id, ptr.vaddr);
 
     // Read via RPC and via one-sided RDMA (DirectRead).
     let mut buf = [0u8; 31];
     let rpc = client.read(&mut ptr, &mut buf).expect("rpc read");
     println!("RPC read      : {:?} ({})", str::from_utf8(&buf).unwrap(), rpc.cost);
-    let direct = client
-        .direct_read_with_recovery(&mut ptr, &mut buf, SimTime::ZERO)
-        .expect("direct read");
+    let direct =
+        client.direct_read_with_recovery(&mut ptr, &mut buf, SimTime::ZERO).expect("direct read");
     println!("DirectRead    : {:?} ({})", str::from_utf8(&buf).unwrap(), direct.cost);
 
     // Fragment: allocate a burst, free most of it.
-    let mut burst: Vec<_> = (0..512)
-        .map(|_| client.alloc(48).expect("alloc").value)
-        .collect();
+    let mut burst: Vec<_> = (0..512).map(|_| client.alloc(48).expect("alloc").value).collect();
     for p in burst.iter_mut().skip(1) {
         client.free(p).expect("free");
     }
     let before = server.active_bytes();
 
     // Compact every fragmented class.
-    let reports = server
-        .compact_if_fragmented(SimTime::ZERO)
-        .expect("compaction");
+    let reports = server.compact_if_fragmented(SimTime::ZERO).expect("compaction");
     let after = server.active_bytes();
     for r in &reports {
         println!(

@@ -20,9 +20,7 @@ fn main() {
     let mut records = Vec::new();
     for i in 0..600u32 {
         let mut h = store.alloc(48).expect("alloc").value;
-        store
-            .write(&mut h, format!("record-{i:04}-v1").as_bytes())
-            .expect("write");
+        store.write(&mut h, format!("record-{i:04}-v1").as_bytes()).expect("write");
         records.push((i, h));
     }
     println!(
@@ -33,9 +31,7 @@ fn main() {
     // Update a third, then delete 75% — the fragmentation spike.
     for (i, h) in records.iter_mut() {
         if *i % 3 == 0 {
-            store
-                .write(h, format!("record-{i:04}-v2").as_bytes())
-                .expect("update");
+            store.write(h, format!("record-{i:04}-v2").as_bytes()).expect("update");
         }
     }
     for (i, h) in records.iter_mut() {
@@ -66,10 +62,7 @@ fn main() {
         if h.copies[0].node() == NodeId(0) {
             failovers += 1;
         }
-        let n = store
-            .read(h, &mut buf, SimTime::from_millis(1))
-            .expect("failover read")
-            .value;
+        let n = store.read(h, &mut buf, SimTime::from_millis(1)).expect("failover read").value;
         let version = if *i % 3 == 0 { "v2" } else { "v1" };
         assert!(
             buf[..n].starts_with(format!("record-{i:04}-{version}").as_bytes()),

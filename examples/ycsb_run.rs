@@ -38,9 +38,8 @@ fn main() {
         match workload.next_op(&mut rng) {
             Op::Read(k) => {
                 let mut p = ptrs[k as usize];
-                let direct = client
-                    .direct_read_with_recovery(&mut p, &mut buf, SimTime::ZERO)
-                    .unwrap();
+                let direct =
+                    client.direct_read_with_recovery(&mut p, &mut buf, SimTime::ZERO).unwrap();
                 rdma_lat.record_duration(direct.cost);
                 let rpc = client.read(&mut p, &mut buf).unwrap();
                 rpc_lat.record_duration(rpc.cost);

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use corm::baselines::FarmServer;
 use corm::core::client::{ClientConfig, CormClient, FixStrategy};
 use corm::core::server::{CormServer, CorrectionStrategy, ServerConfig};
-use corm::sim_core::time::SimTime;
-use corm::sim_rdma::MttUpdateStrategy;
+use corm::sim_core::time::{SimDuration, SimTime};
+use corm::sim_rdma::{FaultConfig, FaultKind, MttUpdateStrategy, RnicConfig, ScheduledFault};
 use corm::workloads::ycsb::{KeyDist, Mix, Workload};
 
 fn config() -> ServerConfig {
@@ -39,9 +39,7 @@ fn ycsb_workload_over_live_server_with_periodic_compaction() {
                 assert!(n >= 5);
             }
             corm::workloads::ycsb::Op::Write(k) => {
-                client
-                    .write(&mut ptrs[k as usize], format!("w{step:05}").as_bytes())
-                    .unwrap();
+                client.write(&mut ptrs[k as usize], format!("w{step:05}").as_bytes()).unwrap();
             }
         }
         if step % 5_000 == 4_999 {
@@ -91,18 +89,15 @@ fn corm_beats_farm_on_active_memory_after_spike() {
     );
     // And the surviving FaRM/CoRM objects both still read fine.
     let mut buf = [0u8; 8];
-    cc.direct_read_with_recovery(&mut corm_ptrs[0], &mut buf, SimTime::from_millis(1))
-        .unwrap();
+    cc.direct_read_with_recovery(&mut corm_ptrs[0], &mut buf, SimTime::from_millis(1)).unwrap();
     fc.read(&mut farm_ptrs[0], &mut buf, SimTime::from_millis(1)).unwrap();
 }
 
 #[test]
 fn all_mtt_strategies_preserve_objects_across_compaction() {
-    for strategy in [
-        MttUpdateStrategy::Rereg,
-        MttUpdateStrategy::Odp,
-        MttUpdateStrategy::OdpPrefetch,
-    ] {
+    for strategy in
+        [MttUpdateStrategy::Rereg, MttUpdateStrategy::Odp, MttUpdateStrategy::OdpPrefetch]
+    {
         let server = Arc::new(CormServer::new(ServerConfig {
             workers: 1,
             mtt_strategy: strategy,
@@ -130,15 +125,166 @@ fn all_mtt_strategies_preserve_objects_across_compaction() {
         let after = SimTime::ZERO + t.cost + corm::sim_core::time::SimDuration::from_millis(10);
         for i in (0..256).step_by(16) {
             let mut buf = [0u8; 8];
-            let n = client
-                .direct_read_with_recovery(&mut ptrs[i], &mut buf, after)
-                .unwrap()
-                .value;
+            let n = client.direct_read_with_recovery(&mut ptrs[i], &mut buf, after).unwrap().value;
             let expect = format!("obj{i}");
             let m = expect.len().min(n);
             assert_eq!(&buf[..m], expect.as_bytes(), "{strategy:?}");
         }
     }
+}
+
+/// §3.5 end to end: a client reading *inside* the compaction's MTT-repair
+/// window. Under `rereg_mr` the region is busy, the verb fails, the QP
+/// breaks — and the recovery loop reconnects (charging the §3.5 cost to
+/// virtual time) and still returns the right bytes. Under both ODP
+/// variants the same reads never break a QP.
+#[test]
+fn reads_inside_mtt_repair_window_recover_per_strategy() {
+    for strategy in
+        [MttUpdateStrategy::Rereg, MttUpdateStrategy::Odp, MttUpdateStrategy::OdpPrefetch]
+    {
+        let server = Arc::new(CormServer::new(ServerConfig {
+            workers: 1,
+            mtt_strategy: strategy,
+            ..ServerConfig::default()
+        }));
+        let mut client = CormClient::connect_with(
+            server.clone(),
+            ClientConfig { fix_strategy: FixStrategy::ScanRead, ..Default::default() },
+        );
+        let size = 48;
+        let mut ptrs: Vec<_> = (0..256)
+            .map(|i| {
+                let mut p = client.alloc(size).unwrap().value;
+                client.write(&mut p, &vec![i as u8; size]).unwrap();
+                p
+            })
+            .collect();
+        for (i, p) in ptrs.iter_mut().enumerate() {
+            if i % 16 != 0 {
+                client.free(p).unwrap();
+            }
+        }
+        let class = corm::core::consistency::class_for_payload(server.classes(), size).unwrap();
+        server.compact_class(class, SimTime::ZERO).unwrap();
+        // Read at the compaction timestamp itself: still inside every
+        // `rereg_mr` busy window the pass opened.
+        let mut vtime = SimDuration::ZERO;
+        let mut buf = vec![0u8; size];
+        for i in (0..256).step_by(16) {
+            let t =
+                client.direct_read_with_recovery(&mut ptrs[i], &mut buf, SimTime::ZERO).unwrap();
+            assert!(
+                buf[..t.value].iter().all(|&b| b == i as u8),
+                "object {i} corrupt under {strategy:?}"
+            );
+            vtime += t.cost;
+        }
+        let breaks = client.qp().breaks();
+        match strategy {
+            MttUpdateStrategy::Rereg => {
+                assert!(breaks > 0, "reads inside the rereg window must break the QP");
+                assert_eq!(client.qp().reconnects(), breaks, "every break must be healed");
+                assert_eq!(client.qp_recoveries, client.qp().reconnects());
+                // Each reconnect charges at least the §3.5 cost to the op.
+                assert!(
+                    vtime >= server.model().qp_reconnect * breaks,
+                    "recovery time uncharged: {vtime:?} for {breaks} breaks"
+                );
+            }
+            MttUpdateStrategy::Odp | MttUpdateStrategy::OdpPrefetch => {
+                assert_eq!(breaks, 0, "{strategy:?} must never break QPs");
+            }
+        }
+    }
+}
+
+/// One full faulted run: a client surviving ≥1000 DirectReads against a NIC
+/// injecting scripted + probabilistic faults. Returns everything observable
+/// so the caller can assert byte-for-byte reproducibility.
+fn faulted_run(seed: u64) -> (Vec<(u64, FaultKind)>, SimDuration, u64, u64, u64) {
+    let server = Arc::new(CormServer::new(ServerConfig {
+        workers: 2,
+        rnic: RnicConfig {
+            faults: Some(FaultConfig {
+                seed,
+                transient_prob: 0.01,
+                delay_prob: 0.01,
+                cache_miss_prob: 0.02,
+                qp_break_prob: 0.005,
+                // Scripted faults pin down exact ops regardless of the
+                // probabilistic draws.
+                schedule: vec![
+                    ScheduledFault { at_op: 5, kind: FaultKind::QpBreak },
+                    ScheduledFault { at_op: 17, kind: FaultKind::Transient },
+                ],
+                ..FaultConfig::default()
+            }),
+            ..RnicConfig::default()
+        },
+        ..ServerConfig::default()
+    }));
+    let mut client = CormClient::connect(server.clone());
+    let size = 32;
+    let n = 64usize;
+    // Population goes over RPC: it consumes no one-sided verbs, so the
+    // fault stream starts exactly at the first DirectRead.
+    let mut ptrs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut p = client.alloc(size).unwrap().value;
+            client.write(&mut p, &vec![i as u8; size]).unwrap();
+            p
+        })
+        .collect();
+    let mut now = SimTime::ZERO;
+    let mut vtime = SimDuration::ZERO;
+    let mut buf = vec![0u8; size];
+    for op in 0..1_000usize {
+        let i = (op * 31) % n;
+        let t = client.direct_read_with_recovery(&mut ptrs[i], &mut buf, now).unwrap();
+        assert!(
+            buf[..t.value].iter().all(|&b| b == i as u8),
+            "op {op}: object {i} corrupted by fault recovery"
+        );
+        vtime += t.cost;
+        now += t.cost;
+    }
+    (
+        server.rnic().fault_log(),
+        vtime,
+        client.qp().breaks(),
+        client.qp().reconnects(),
+        client.qp_recoveries,
+    )
+}
+
+/// The acceptance bar for the fault substrate: ≥1000 client ops survive
+/// injected QP breaks with zero corruption, every recovery is charged to
+/// virtual time, and the whole run — fault log included — replays
+/// byte-for-byte from the seed.
+#[test]
+fn seeded_fault_schedule_survives_1000_ops_and_replays() {
+    let (log, vtime, breaks, reconnects, recoveries) = faulted_run(7);
+    assert!(breaks > 0, "the schedule guarantees at least one QP break");
+    assert_eq!(reconnects, breaks, "every QP break must be healed");
+    assert_eq!(recoveries, reconnects);
+    assert!(
+        vtime >= SimDuration::from_millis(3) * breaks,
+        "reconnects uncharged: {vtime:?} for {breaks} breaks"
+    );
+    // Scripted entries land at their exact verb indices.
+    assert!(log.contains(&(5, FaultKind::QpBreak)), "scripted break missing: {log:?}");
+    assert!(log.contains(&(17, FaultKind::Transient)), "scripted transient missing");
+    // Same seed: the full fault schedule and all costs replay identically.
+    let rerun = faulted_run(7);
+    assert_eq!(rerun.0, log, "fault log must replay byte-for-byte");
+    assert_eq!(rerun.1, vtime);
+    assert_eq!((rerun.2, rerun.3, rerun.4), (breaks, reconnects, recoveries));
+    // A different seed shifts the probabilistic stream (the scripted
+    // entries stay pinned).
+    let other = faulted_run(8);
+    assert!(other.0.contains(&(5, FaultKind::QpBreak)));
+    assert_ne!(other.0, log, "different seeds must differ");
 }
 
 #[test]

@@ -17,10 +17,7 @@ use corm::sim_core::time::SimTime;
 /// version check, never returned.
 #[test]
 fn direct_reads_never_observe_torn_writes() {
-    let server = Arc::new(CormServer::new(ServerConfig {
-        workers: 2,
-        ..ServerConfig::default()
-    }));
+    let server = Arc::new(CormServer::new(ServerConfig { workers: 2, ..ServerConfig::default() }));
     let mut setup = CormClient::connect(server.clone());
     // 192-byte payload spans several cachelines — plenty of torn windows.
     let size = 180;
@@ -94,10 +91,7 @@ fn direct_reads_never_observe_torn_writes() {
 /// never wrong bytes.
 #[test]
 fn direct_reads_race_compaction_safely() {
-    let server = Arc::new(CormServer::new(ServerConfig {
-        workers: 2,
-        ..ServerConfig::default()
-    }));
+    let server = Arc::new(CormServer::new(ServerConfig { workers: 2, ..ServerConfig::default() }));
     let mut setup = CormClient::connect(server.clone());
     let size = 100;
     let mut ptrs: Vec<_> = (0..512)
@@ -156,11 +150,93 @@ fn direct_reads_race_compaction_safely() {
     let mut client = CormClient::connect(server);
     let mut buf = vec![0u8; size];
     for (i, mut ptr) in survivors {
-        let n = client
-            .direct_read_with_recovery(&mut ptr, &mut buf, now)
-            .unwrap()
-            .value;
+        let n = client.direct_read_with_recovery(&mut ptr, &mut buf, now).unwrap().value;
         assert!(buf[..n].iter().all(|&b| b == i as u8));
+    }
+}
+
+/// Real-thread readers using full §3.5 recovery racing repeated compaction
+/// passes under the `rereg_mr` strategy — the one strategy whose MTT repair
+/// genuinely breaks QPs. Every break the readers hit must be healed by a
+/// reconnect, and no accepted read may ever carry foreign bytes.
+#[test]
+fn recovering_readers_race_rereg_compaction() {
+    use corm::sim_rdma::MttUpdateStrategy;
+    let server = Arc::new(CormServer::new(ServerConfig {
+        workers: 2,
+        mtt_strategy: MttUpdateStrategy::Rereg,
+        ..ServerConfig::default()
+    }));
+    let mut setup = CormClient::connect(server.clone());
+    let size = 100;
+    let mut ptrs: Vec<_> = (0..512)
+        .map(|i| {
+            let mut p = setup.alloc(size).unwrap().value;
+            setup.write(&mut p, &vec![i as u8; size]).unwrap();
+            p
+        })
+        .collect();
+    for (i, p) in ptrs.iter_mut().enumerate() {
+        if i % 4 != 0 {
+            setup.free(p).unwrap();
+        }
+    }
+    let survivors: Vec<(usize, corm::core::GlobalPtr)> =
+        (0..512).step_by(4).map(|i| (i, ptrs[i])).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let server = server.clone();
+        let stop = stop.clone();
+        let mut mine = survivors.clone();
+        std::thread::spawn(move || {
+            let mut client = CormClient::connect(server);
+            let mut buf = vec![0u8; size];
+            let mut now = SimTime::ZERO;
+            let mut checked = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for (i, ptr) in mine.iter_mut() {
+                    match client.direct_read_with_recovery(ptr, &mut buf, now) {
+                        Ok(t) => {
+                            assert!(
+                                buf[..t.value].iter().all(|&b| b == *i as u8),
+                                "object {i} returned foreign bytes"
+                            );
+                            checked += 1;
+                            now += t.cost;
+                        }
+                        // Mid-move an object can stay locked or unlocatable
+                        // past the retry budget; recovery surfaces that as a
+                        // retryable error, never as wrong data.
+                        Err(corm::core::CormError::ObjectLocked)
+                        | Err(corm::core::CormError::ObjectNotFound) => {}
+                        Err(e) => panic!("unrecoverable client error: {e}"),
+                    }
+                }
+            }
+            (checked, client.qp().breaks(), client.qp().reconnects(), client.qp_recoveries)
+        })
+    };
+
+    let class = corm::core::consistency::class_for_payload(server.classes(), size).unwrap();
+    let mut now = SimTime::ZERO;
+    for _ in 0..4 {
+        let t = server.compact_class(class, now).unwrap();
+        now = now + t.cost + corm::sim_core::time::SimDuration::from_millis(1);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (checked, breaks, reconnects, recoveries) = reader.join().unwrap();
+    assert!(checked > 0, "reader never validated an object");
+    assert_eq!(breaks, reconnects, "every QP break must be healed by a reconnect");
+    assert_eq!(recoveries, reconnects, "client recovery counter tracks reconnects");
+
+    // Afterwards every survivor is intact and readable with recovery.
+    let mut client = CormClient::connect(server);
+    let mut buf = vec![0u8; size];
+    for (i, mut ptr) in survivors {
+        let n = client.direct_read_with_recovery(&mut ptr, &mut buf, now).unwrap().value;
+        assert!(buf[..n].iter().all(|&b| b == i as u8), "object {i} lost or corrupt");
     }
 }
 
@@ -169,10 +245,7 @@ fn direct_reads_race_compaction_safely() {
 #[test]
 fn concurrent_allocations_never_overlap() {
     use corm::core::server::threaded::{Request, Response, ThreadedServer};
-    let server = Arc::new(CormServer::new(ServerConfig {
-        workers: 4,
-        ..ServerConfig::default()
-    }));
+    let server = Arc::new(CormServer::new(ServerConfig { workers: 4, ..ServerConfig::default() }));
     let node = ThreadedServer::start(server.clone());
     let mut handles = Vec::new();
     for _ in 0..8 {
@@ -207,10 +280,7 @@ fn concurrent_allocations_never_overlap() {
 #[test]
 fn threaded_server_compacts_under_live_rpc_traffic() {
     use corm::core::server::threaded::{Request, Response, ThreadedServer};
-    let server = Arc::new(CormServer::new(ServerConfig {
-        workers: 4,
-        ..ServerConfig::default()
-    }));
+    let server = Arc::new(CormServer::new(ServerConfig { workers: 4, ..ServerConfig::default() }));
     let node = ThreadedServer::start(server.clone());
     // Populate + fragment through RPC.
     let rpc = node.rpc_client();
