@@ -48,6 +48,31 @@ fn bench_reads(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_read_batch(c: &mut Criterion) {
+    let server = Arc::new(CormServer::new(ServerConfig::default()));
+    let mut client = CormClient::connect(server);
+    let mut ptrs: Vec<_> = (0..64).map(|_| client.alloc(64).unwrap().value).collect();
+    for p in ptrs.iter_mut() {
+        client.write(p, &[3u8; 64]).unwrap();
+    }
+    let mut g = c.benchmark_group("read_batch");
+    // The engine clamps admissions to its last admit time, so the virtual
+    // clock must keep advancing across iterations.
+    let mut clock = SimTime::ZERO;
+    for depth in [1usize, 8, 32] {
+        g.throughput(Throughput::Elements(depth as u64));
+        g.bench_function(&format!("multi_get_64B_depth{depth}"), |b| {
+            let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 64]; depth];
+            b.iter(|| {
+                let mut bptrs: Vec<_> = ptrs[..depth].to_vec();
+                let t = client.read_batch(&mut bptrs, &mut bufs, clock).unwrap();
+                clock += t.cost;
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_scatter_gather(c: &mut Criterion) {
     let header = ObjectHeader::new(42, 3, 7);
     let payload = vec![0xEEu8; consistency::layout(2048).capacity];
@@ -141,6 +166,7 @@ criterion_group!(
     config = Criterion::default().sample_size(30);
     targets = bench_alloc_free,
     bench_reads,
+    bench_read_batch,
     bench_scatter_gather,
     bench_compaction,
     bench_conflict_checks,

@@ -97,14 +97,21 @@ fn main() {
         let mut buf = vec![0u8; size];
         let (stale, _fixed) = moved[0];
 
+        // Start past the compaction's rereg window, then advance the
+        // virtual clock with every measured op.
+        let mut clock = SimTime::from_millis(1);
         for _ in 0..200 {
             // RPC read/write through the *stale* pointer: correction is
             // transparent; re-use a fresh stale copy every time.
             let mut p = stale;
             let mut c = CormClient::connect(server.clone());
-            h_read.record_duration(c.read(&mut p, &mut buf).expect("read").cost);
+            let read_cost = c.read(&mut p, &mut buf).expect("read").cost;
+            h_read.record_duration(read_cost);
+            clock += read_cost;
             let mut p = stale;
-            h_write.record_duration(c.write(&mut p, &payload).expect("write").cost);
+            let write_cost = c.write(&mut p, &payload).expect("write").cost;
+            h_write.record_duration(write_cost);
+            clock += write_cost;
 
             // DirectRead + RPC-read recovery.
             let mut c = CormClient::connect_with(
@@ -112,11 +119,10 @@ fn main() {
                 ClientConfig { fix_strategy: FixStrategy::RpcRead, ..Default::default() },
             );
             let mut p = stale;
-            h_fix_rpc.record_duration(
-                c.direct_read_with_recovery(&mut p, &mut buf, SimTime::from_millis(1))
-                    .expect("recovery")
-                    .cost,
-            );
+            let fix_rpc_cost =
+                c.direct_read_with_recovery(&mut p, &mut buf, clock).expect("recovery").cost;
+            h_fix_rpc.record_duration(fix_rpc_cost);
+            clock += fix_rpc_cost;
 
             // DirectRead + ScanRead recovery.
             let mut c = CormClient::connect_with(
@@ -124,11 +130,10 @@ fn main() {
                 ClientConfig { fix_strategy: FixStrategy::ScanRead, ..Default::default() },
             );
             let mut p = stale;
-            h_fix_scan.record_duration(
-                c.direct_read_with_recovery(&mut p, &mut buf, SimTime::from_millis(1))
-                    .expect("recovery")
-                    .cost,
-            );
+            let fix_scan_cost =
+                c.direct_read_with_recovery(&mut p, &mut buf, clock).expect("recovery").cost;
+            h_fix_scan.record_duration(fix_scan_cost);
+            clock += fix_scan_cost;
         }
 
         // ReleasePtr permanently re-homes the object (and may release the

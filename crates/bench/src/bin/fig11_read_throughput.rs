@@ -78,24 +78,29 @@ fn main() {
         let mut h_farm_local = Histogram::new();
         let mut buf = vec![0u8; size];
 
-        // Uniform random keys (uncorrelated pages, like the paper).
+        // Uniform random keys (uncorrelated pages, like the paper). The
+        // virtual clock advances with every op, so NIC busy windows and
+        // time-based fault schedules see genuine arrival times instead of
+        // a wall of requests at t=0.
         let mut rng = corm_sim_core::rng::root_rng(0xF11 + size as u64);
+        let mut clock = SimTime::ZERO;
         for _ in 0..OPS {
             let key = rand::Rng::gen_range(&mut rng, 0..objects);
             let ptr = store.ptrs[key];
-            let d = client.direct_read(&ptr, &mut buf, SimTime::ZERO).expect("qp");
+            let d = client.direct_read(&ptr, &mut buf, clock).expect("qp");
             assert!(matches!(d.value, ReadOutcome::Ok(_)));
             h_corm.record_duration(d.cost);
+            clock += d.cost;
             // Raw reads draw their own keys so the CoRM read has not just
             // warmed the page's translation.
             let raw_key = rand::Rng::gen_range(&mut rng, 0..objects);
-            h_raw.record_duration(
-                raw.read_ptr(&store.ptrs[raw_key], &mut buf, SimTime::ZERO).expect("raw").cost,
-            );
+            let raw_cost = raw.read_ptr(&store.ptrs[raw_key], &mut buf, clock).expect("raw").cost;
+            h_raw.record_duration(raw_cost);
+            clock += raw_cost;
             let mut fp = farm_ptrs[key];
-            h_farm.record_duration(
-                farm_client.read(&mut fp, &mut buf, SimTime::ZERO).expect("farm").cost,
-            );
+            let farm_cost = farm_client.read(&mut fp, &mut buf, clock).expect("farm").cost;
+            h_farm.record_duration(farm_cost);
+            clock += farm_cost;
             let mut lp = store.ptrs[key];
             h_local.record_duration(client.local_read(&mut lp, &mut buf).expect("local").cost);
             let mut flp = farm_ptrs[key];

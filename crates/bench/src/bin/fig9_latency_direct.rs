@@ -42,9 +42,15 @@ fn main() {
         let mut buf = vec![0u8; size];
         let payload = vec![0x5Au8; size];
 
+        // The virtual clock advances with every issued op so the NIC sees
+        // genuine arrival times rather than a wall of requests at t=0.
+        let mut clock = SimTime::ZERO;
+
         // Prime the NIC translation cache like the paper's warmup phase.
         for ptr in store.ptrs.iter().take(256) {
-            let _ = raw.read_ptr(ptr, &mut buf, SimTime::ZERO);
+            if let Ok(t) = raw.read_ptr(ptr, &mut buf, clock) {
+                clock += t.cost;
+            }
         }
 
         for i in 0..OPS {
@@ -52,16 +58,26 @@ fn main() {
             // Alloc + Free pair (state-neutral).
             let alloc = client.alloc(size).expect("alloc");
             h_alloc.record_duration(alloc.cost);
+            clock += alloc.cost;
             let mut p = alloc.value;
-            h_free.record_duration(client.free(&mut p).expect("free").cost);
+            let free_cost = client.free(&mut p).expect("free").cost;
+            h_free.record_duration(free_cost);
+            clock += free_cost;
 
             let mut ptr = store.ptrs[key];
-            h_read.record_duration(client.read(&mut ptr, &mut buf).expect("read").cost);
-            h_write.record_duration(client.write(&mut ptr, &payload).expect("write").cost);
-            let d = client.direct_read(&ptr, &mut buf, SimTime::ZERO).expect("qp");
+            let read_cost = client.read(&mut ptr, &mut buf).expect("read").cost;
+            h_read.record_duration(read_cost);
+            clock += read_cost;
+            let write_cost = client.write(&mut ptr, &payload).expect("write").cost;
+            h_write.record_duration(write_cost);
+            clock += write_cost;
+            let d = client.direct_read(&ptr, &mut buf, clock).expect("qp");
             assert!(matches!(d.value, ReadOutcome::Ok(_)), "direct pointers only");
             h_direct.record_duration(d.cost);
-            h_raw.record_duration(raw.read_ptr(&ptr, &mut buf, SimTime::ZERO).expect("raw").cost);
+            clock += d.cost;
+            let raw_cost = raw.read_ptr(&ptr, &mut buf, clock).expect("raw").cost;
+            h_raw.record_duration(raw_cost);
+            clock += raw_cost;
         }
 
         // Client-API costs are already end-to-end round trips.

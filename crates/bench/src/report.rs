@@ -10,7 +10,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use corm_sim_rdma::{FaultKind, Rnic};
+use corm_sim_core::time::SimTime;
+use corm_sim_rdma::{FaultKind, QueuePair, Rnic};
 
 /// A simple column-aligned table.
 #[derive(Debug, Clone)]
@@ -286,6 +287,31 @@ pub fn fault_metrics(
         .build()
 }
 
+/// Snapshot of the NIC inbound verb engine and a QP's queue-depth
+/// counters as a JSON object — exported next to `fault_metrics` so runs
+/// can correlate batching behaviour with fault/recovery activity.
+///
+/// `elapsed` is the virtual-time horizon the run covered (its final clock
+/// minus its starting clock); utilization is engine busy time over that
+/// window.
+pub fn engine_metrics(rnic: &Rnic, qp: &QueuePair, elapsed: SimTime) -> Json {
+    use std::sync::atomic::Ordering::Relaxed;
+    let s = &rnic.stats;
+    let d = qp.depth_stats();
+    JsonObject::new()
+        .uint("doorbells", s.doorbells.load(Relaxed))
+        .uint("wqes", s.wqes.load(Relaxed))
+        .uint("engine_admitted", rnic.engine_admitted())
+        .uint("engine_busy_ns", rnic.engine_busy().as_nanos())
+        .float("engine_utilization", rnic.engine_utilization(elapsed))
+        .uint("qp_posted", d.posted)
+        .uint("qp_completed", d.completed)
+        .uint("qp_doorbells", d.doorbells)
+        .uint("sq_depth_max", d.sq_depth_max)
+        .uint("cq_depth_max", d.cq_depth_max)
+        .build()
+}
+
 /// Writes a JSON document under `results/<name>.json` and returns the path.
 pub fn write_json(name: &str, json: &Json) -> std::io::Result<PathBuf> {
     let dir = results_dir();
@@ -378,6 +404,37 @@ mod tests {
     fn json_escapes_strings() {
         let j = Json::Str("a\"b\\c\nd".into());
         assert_eq!(j.render(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn engine_metrics_snapshot_counts_batch_activity() {
+        use std::sync::Arc;
+
+        use corm_sim_mem::{AddressSpace, PhysicalMemory};
+        use corm_sim_rdma::RnicConfig;
+
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let rnic = Arc::new(Rnic::new(aspace.clone(), RnicConfig::default()));
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        aspace.write(va, &[9u8; 128]).unwrap();
+
+        let qp = QueuePair::connect(rnic.clone());
+        for i in 0..4u64 {
+            qp.post_read(mr.rkey, va + i * 32, 32, i);
+        }
+        qp.ring_doorbell(SimTime::ZERO);
+        let end = qp.poll_cq(usize::MAX).last().unwrap().completed_at;
+
+        let j = engine_metrics(&rnic, &qp, end).render();
+        assert!(j.contains("\"doorbells\":1"), "{j}");
+        assert!(j.contains("\"wqes\":4"), "{j}");
+        assert!(j.contains("\"engine_admitted\":4"), "{j}");
+        assert!(j.contains("\"qp_posted\":4"), "{j}");
+        assert!(j.contains("\"sq_depth_max\":4"), "{j}");
+        assert!(j.contains("\"engine_utilization\":0."), "{j}");
     }
 
     #[test]

@@ -383,6 +383,155 @@ impl CormClient {
         Err(if locked_last { CormError::ObjectLocked } else { CormError::ObjectNotFound })
     }
 
+    /// Batched DirectRead (multi-get, the FaRM-style client pattern CoRM
+    /// §4.2 benchmarks against): posts one READ WQE per pointer, rings a
+    /// single doorbell so the whole batch shares one doorbell cost and
+    /// pipelines through the RNIC inbound engine, then polls the CQ and
+    /// validates every completion per §3.2.2–§3.2.3.
+    ///
+    /// Only failed entries are repaired, and each failure class keeps its
+    /// sequential-path semantics:
+    /// - torn/locked entries are re-posted after the §3.2.3 backoff;
+    /// - relocated entries (ID mismatch / vacant slot, including corrupt
+    ///   class bytes) are repaired through **one batched RPC**
+    ///   ([`CormServer::read_many`]) that corrects their pointers in place;
+    /// - verb failures reconnect the QP once and re-post every failed and
+    ///   flushed WQE in posting order — flushed WQEs never reached the NIC,
+    ///   so the fault-injector draw sequence is byte-identical to the
+    ///   sequential recovery loop.
+    ///
+    /// Returns the per-entry payload lengths. The charged cost is the
+    /// batch *makespan* (last completion) plus validation, repair, backoff,
+    /// and reconnect costs — not the sum of per-entry latencies, which is
+    /// exactly why multi-get beats `ptrs.len()` sequential DirectReads.
+    pub fn read_batch(
+        &mut self,
+        ptrs: &mut [GlobalPtr],
+        bufs: &mut [Vec<u8>],
+        now: SimTime,
+    ) -> Result<Timed<Vec<usize>>, CormError> {
+        assert_eq!(ptrs.len(), bufs.len(), "one buffer per pointer");
+        let n = ptrs.len();
+        let mut lens = vec![0usize; n];
+        if n == 0 {
+            return Ok(Timed::new(lens, SimDuration::ZERO));
+        }
+        let model = self.server.model().clone();
+        let mut total = SimDuration::ZERO;
+        let mut clock = now;
+        let mut reconnects = 0usize;
+        let mut locked_last = false;
+        let mut pending: Vec<usize> = (0..n).collect();
+        for _ in 0..self.config.max_retries {
+            // A corrupt class byte can never match a live object: such
+            // entries skip the wire and go straight to the repair RPC,
+            // like the sequential path's NotValid route.
+            let mut repair: Vec<usize> = Vec::new();
+            let mut posted = 0usize;
+            for &i in pending.iter() {
+                match self.slot_bytes(&ptrs[i]) {
+                    Ok(slot_bytes) => {
+                        self.qp.post_read(ptrs[i].rkey, ptrs[i].vaddr, slot_bytes, i as u64);
+                        posted += 1;
+                    }
+                    Err(_) => {
+                        self.failed_direct_reads += 1;
+                        repair.push(i);
+                    }
+                }
+            }
+            let mut next_pending: Vec<usize> = Vec::new();
+            let mut need_reconnect = false;
+            let mut locked_any = false;
+            if posted > 0 {
+                self.qp.ring_doorbell(clock);
+                let completions = self.qp.poll_cq(usize::MAX);
+                debug_assert_eq!(completions.len(), posted);
+                let mut batch_end = clock;
+                let mut checks = SimDuration::ZERO;
+                for c in completions {
+                    batch_end = batch_end.max(c.completed_at);
+                    let i = c.wr_id as usize;
+                    match c.result {
+                        Err(ref e) if Self::recoverable(e) => {
+                            need_reconnect = true;
+                            next_pending.push(i);
+                        }
+                        Err(e) => return Err(CormError::Rdma(e)),
+                        Ok(_) => {
+                            checks += model.version_check_cost(c.data.len());
+                            match consistency::gather(&c.data, Some(ptrs[i].obj_id), bufs[i].len())
+                            {
+                                Ok((_, payload)) => {
+                                    let m = payload.len().min(bufs[i].len());
+                                    bufs[i][..m].copy_from_slice(&payload[..m]);
+                                    lens[i] = m;
+                                }
+                                Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
+                                    self.failed_direct_reads += 1;
+                                    locked_any = true;
+                                    next_pending.push(i);
+                                }
+                                Err(_) => {
+                                    self.failed_direct_reads += 1;
+                                    repair.push(i);
+                                }
+                            }
+                        }
+                    }
+                }
+                // The client is blocked until the slowest completion lands,
+                // then validates all images back-to-back on the CPU.
+                let makespan = batch_end.saturating_since(clock) + checks;
+                total += makespan;
+                clock += makespan;
+            }
+            if !repair.is_empty() {
+                let w = self.pick_worker();
+                let mut rp: Vec<GlobalPtr> = repair.iter().map(|&i| ptrs[i]).collect();
+                let mut rb: Vec<Vec<u8>> =
+                    repair.iter().map(|&i| vec![0u8; bufs[i].len()]).collect();
+                let t = self.server.read_many(w, &mut rp, &mut rb);
+                // One RPC carries the whole repair batch: a single wire
+                // round trip amortized over every repaired entry.
+                let repaired: usize = t.value.iter().map(|r| *r.as_ref().unwrap_or(&0)).sum();
+                let cost = t.cost + self.rpc_wire(repaired);
+                total += cost;
+                clock += cost;
+                for (k, &i) in repair.iter().enumerate() {
+                    ptrs[i] = rp[k];
+                    match &t.value[k] {
+                        Ok(m) => {
+                            bufs[i][..*m].copy_from_slice(&rb[k][..*m]);
+                            lens[i] = *m;
+                        }
+                        Err(CormError::ObjectLocked) => {
+                            locked_any = true;
+                            next_pending.push(i);
+                        }
+                        Err(e) => return Err(e.clone()),
+                    }
+                }
+            }
+            if need_reconnect {
+                self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+            }
+            if next_pending.is_empty() {
+                return Ok(Timed::new(lens, total));
+            }
+            if locked_any && !need_reconnect {
+                total += self.config.backoff;
+                clock += self.config.backoff;
+            }
+            locked_last = locked_any;
+            // Re-post in posting (index) order so retried WQEs draw from
+            // the fault stream exactly as the sequential loop would.
+            next_pending.sort_unstable();
+            pending = next_pending;
+        }
+        Err(if locked_last { CormError::ObjectLocked } else { CormError::ObjectNotFound })
+    }
+
     /// One-sided write with full recovery: fetches the slot image to learn
     /// the current version, validates it, then writes back the re-scattered
     /// image with a bumped version. Retries locked/torn images after a

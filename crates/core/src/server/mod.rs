@@ -471,6 +471,35 @@ impl CormServer {
         Err(CormError::ObjectLocked)
     }
 
+    /// Batched RPC read (multi-get): one request carries many pointers, so
+    /// the wire/ingress overhead is paid once by the caller while each
+    /// entry still pays the per-object handler work. Outcomes are
+    /// per-entry — one relocated-and-freed or contended object does not
+    /// poison the rest of the batch, which is what lets the batched
+    /// DirectRead client repair only its failed entries. Pointers are
+    /// corrected in place; the cost is the summed handler time of the
+    /// entries that produced an outcome.
+    pub fn read_many(
+        &self,
+        worker: usize,
+        ptrs: &mut [GlobalPtr],
+        bufs: &mut [Vec<u8>],
+    ) -> Timed<Vec<Result<usize, CormError>>> {
+        assert_eq!(ptrs.len(), bufs.len(), "one buffer per pointer");
+        let mut cost = SimDuration::ZERO;
+        let mut outcomes = Vec::with_capacity(ptrs.len());
+        for (ptr, buf) in ptrs.iter_mut().zip(bufs.iter_mut()) {
+            match self.read(worker, ptr, buf) {
+                Ok(t) => {
+                    cost += t.cost;
+                    outcomes.push(Ok(t.value));
+                }
+                Err(e) => outcomes.push(Err(e)),
+            }
+        }
+        Timed::new(outcomes, cost)
+    }
+
     /// Backs off before an RPC handler retries a transiently unreadable
     /// slot. Cheap spin first, then yield so the writer or compaction
     /// leader we are racing gets scheduled.

@@ -86,6 +86,13 @@ impl FifoResource {
         self.admitted
     }
 
+    /// Total busy time accumulated across all servers. Deltas of this
+    /// against a monotonically advancing clock give interval utilization
+    /// without assuming the station started at time zero.
+    pub fn busy(&self) -> SimDuration {
+        self.busy
+    }
+
     /// Mean utilization over `[0, horizon]`.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         if horizon == SimTime::ZERO {

@@ -84,6 +84,13 @@ pub struct LatencyModel {
     pub nic_read_service: SimDuration,
     /// Extra engine occupancy on a cache miss.
     pub nic_miss_service_extra: SimDuration,
+    /// Cost of ringing the doorbell once for a posted batch: the MMIO write
+    /// plus the WQE-fetch DMA the NIC issues in response. Paid once per
+    /// `ring_doorbell`, regardless of how many WQEs the batch carries —
+    /// this is the amortization that lets pipelined postings approach the
+    /// engine's service rate (NP-RDMA measures the per-verb doorbell+fetch
+    /// overhead at a few hundred nanoseconds on ConnectX-class NICs).
+    pub doorbell_cost: SimDuration,
 
     // --- RPC path -------------------------------------------------------
     /// Send/Recv round trip including request handling (small messages).
@@ -175,6 +182,7 @@ impl LatencyModel {
             mtt_miss_extra: SimDuration::from_micros_f64(0.85),
             nic_read_service: SimDuration::from_micros_f64(0.45),
             nic_miss_service_extra: SimDuration::from_micros_f64(0.12),
+            doorbell_cost: SimDuration::from_micros_f64(0.25),
             rpc_rtt: SimDuration::from_micros_f64(2.5),
             rpc_ingress_service: SimDuration::from_micros_f64(1.43),
             rpc_worker_service: SimDuration::from_micros_f64(0.9),

@@ -24,7 +24,11 @@
 //!   an LRU translation cache (the Zipf-locality effect of Fig. 12), and
 //!   one-sided READ/WRITE verbs executed against physical frames.
 //! - [`QueuePair`]: reliable connection semantics — invalid accesses move
-//!   the QP to the error state and reconnecting costs milliseconds.
+//!   the QP to the error state and reconnecting costs milliseconds. QPs
+//!   also expose the asynchronous verb path: `post_read`/`post_write`
+//!   enqueue [`Wqe`]s, `ring_doorbell` admits the batch into the RNIC's
+//!   FIFO inbound engine for one doorbell cost plus per-WQE service, and
+//!   `poll_cq` drains [`Completion`]s in virtual-time order.
 //! - [`rpc`]: a two-sided SEND/RECV fabric (crossbeam channels) used by the
 //!   threaded CoRM server.
 
@@ -34,9 +38,11 @@ pub mod latency;
 pub mod qp;
 pub mod rnic;
 pub mod rpc;
+pub mod wq;
 
 pub use cache::LruCache;
 pub use fault::{FaultConfig, FaultInjector, FaultKind, ScheduledFault};
 pub use latency::{CpuKind, DeviceKind, LatencyModel, MttUpdateStrategy};
-pub use qp::{QpState, QueuePair};
+pub use qp::{QpDepthStats, QpState, QueuePair};
 pub use rnic::{MemoryRegion, RdmaError, Rnic, RnicConfig};
+pub use wq::{Completion, Wqe, WqeOp};

@@ -6,6 +6,7 @@
 //! to the error state, and recovering the connection costs milliseconds
 //! (§3.5). CoRM's whole remapping design exists to never trigger this.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,6 +15,7 @@ use parking_lot::Mutex;
 use corm_sim_core::time::{SimDuration, SimTime};
 
 use crate::rnic::{RdmaError, Rnic, VerbOutcome};
+use crate::wq::{Completion, Wqe, WqeOp};
 
 /// Connection state of a queue pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,12 +27,37 @@ pub enum QpState {
     Error,
 }
 
+/// Work-queue depth statistics for the batched verb path, exported to the
+/// benchmark report next to the fault/recovery metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QpDepthStats {
+    /// WQEs posted to the send queue.
+    pub posted: u64,
+    /// Completions pushed to the completion queue (executed + flushed).
+    pub completed: u64,
+    /// Doorbells rung with a non-empty send queue.
+    pub doorbells: u64,
+    /// High-water mark of the send-queue depth.
+    pub sq_depth_max: u64,
+    /// High-water mark of the completion-queue depth.
+    pub cq_depth_max: u64,
+}
+
 /// A reliable connected queue pair bound to a remote NIC.
 pub struct QueuePair {
     rnic: Arc<Rnic>,
     state: Mutex<QpState>,
     reconnects: AtomicU64,
     breaks: AtomicU64,
+    /// Send queue: WQEs posted but not yet admitted by a doorbell.
+    sq: Mutex<Vec<Wqe>>,
+    /// Completion queue: executed/flushed WQEs awaiting `poll_cq`.
+    cq: Mutex<VecDeque<Completion>>,
+    posted: AtomicU64,
+    completed: AtomicU64,
+    doorbells: AtomicU64,
+    sq_depth_max: AtomicU64,
+    cq_depth_max: AtomicU64,
 }
 
 impl std::fmt::Debug for QueuePair {
@@ -47,6 +74,13 @@ impl QueuePair {
             state: Mutex::new(QpState::Connected),
             reconnects: AtomicU64::new(0),
             breaks: AtomicU64::new(0),
+            sq: Mutex::new(Vec::new()),
+            cq: Mutex::new(VecDeque::new()),
+            posted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            doorbells: AtomicU64::new(0),
+            sq_depth_max: AtomicU64::new(0),
+            cq_depth_max: AtomicU64::new(0),
         }
     }
 
@@ -98,6 +132,91 @@ impl QueuePair {
                 self.breaks.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
+        }
+    }
+
+    /// Enqueues a READ WQE on the send queue. Nothing executes until
+    /// [`QueuePair::ring_doorbell`]; `wr_id` is echoed in the completion.
+    pub fn post_read(&self, rkey: u32, va: u64, len: usize, wr_id: u64) {
+        self.post(Wqe { wr_id, op: WqeOp::Read { rkey, va, len } });
+    }
+
+    /// Enqueues a WRITE WQE on the send queue.
+    pub fn post_write(&self, rkey: u32, va: u64, data: Vec<u8>, wr_id: u64) {
+        self.post(Wqe { wr_id, op: WqeOp::Write { rkey, va, data } });
+    }
+
+    fn post(&self, wqe: Wqe) {
+        let mut sq = self.sq.lock();
+        sq.push(wqe);
+        self.posted.fetch_add(1, Ordering::Relaxed);
+        self.sq_depth_max.fetch_max(sq.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Rings the doorbell: the entire send queue is handed to the NIC as
+    /// one batch, paying a single doorbell cost plus per-WQE engine
+    /// service. Completions (in virtual-time order) are appended to the
+    /// completion queue for [`QueuePair::poll_cq`]. If any WQE fails the
+    /// QP moves to the error state and the rest of the batch is flushed;
+    /// if the QP is *already* broken, every WQE completes flushed without
+    /// reaching the NIC. Returns the number of completions produced.
+    pub fn ring_doorbell(&self, now: SimTime) -> usize {
+        let wqes: Vec<Wqe> = std::mem::take(&mut *self.sq.lock());
+        if wqes.is_empty() {
+            return 0;
+        }
+        self.doorbells.fetch_add(1, Ordering::Relaxed);
+        let completions = if *self.state.lock() == QpState::Error {
+            wqes.into_iter()
+                .map(|w| Completion {
+                    wr_id: w.wr_id,
+                    completed_at: now,
+                    result: Err(RdmaError::QpBroken),
+                    data: Vec::new(),
+                })
+                .collect()
+        } else {
+            let completions = self.rnic.serve_batch(wqes, now);
+            if completions.iter().any(|c| c.result.is_err()) {
+                *self.state.lock() = QpState::Error;
+                self.breaks.fetch_add(1, Ordering::Relaxed);
+            }
+            completions
+        };
+        let n = completions.len();
+        self.completed.fetch_add(n as u64, Ordering::Relaxed);
+        let mut cq = self.cq.lock();
+        cq.extend(completions);
+        self.cq_depth_max.fetch_max(cq.len() as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Drains up to `max` completions from the completion queue, oldest
+    /// (earliest virtual completion time) first.
+    pub fn poll_cq(&self, max: usize) -> Vec<Completion> {
+        let mut cq = self.cq.lock();
+        let k = max.min(cq.len());
+        cq.drain(..k).collect()
+    }
+
+    /// Current send-queue depth (posted WQEs awaiting a doorbell).
+    pub fn sq_depth(&self) -> usize {
+        self.sq.lock().len()
+    }
+
+    /// Current completion-queue depth (completions awaiting `poll_cq`).
+    pub fn cq_depth(&self) -> usize {
+        self.cq.lock().len()
+    }
+
+    /// Work-queue depth statistics accumulated over the QP's lifetime.
+    pub fn depth_stats(&self) -> QpDepthStats {
+        QpDepthStats {
+            posted: self.posted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            doorbells: self.doorbells.load(Ordering::Relaxed),
+            sq_depth_max: self.sq_depth_max.load(Ordering::Relaxed),
+            cq_depth_max: self.cq_depth_max.load(Ordering::Relaxed),
         }
     }
 
@@ -167,6 +286,166 @@ mod tests {
         qp.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
         assert_eq!(qp.reconnects(), 1);
         assert_eq!(qp.breaks(), 1);
+    }
+
+    fn batch_setup(pages: usize) -> (Arc<AddressSpace>, Arc<Rnic>, u64) {
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(pages).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let rnic = Arc::new(Rnic::new(aspace.clone(), RnicConfig::default()));
+        (aspace, rnic, va)
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_data_and_order() {
+        let (aspace, rnic, va) = batch_setup(8);
+        let (mr, _) = rnic.register(va, 8, false).unwrap();
+        let qp = QueuePair::connect(rnic.clone());
+        for i in 0..8u64 {
+            aspace.write(va + i * 4096, &[i as u8; 16]).unwrap();
+            qp.post_read(mr.rkey, va + i * 4096, 16, i);
+        }
+        assert_eq!(qp.sq_depth(), 8);
+        let now = SimTime::from_micros(5);
+        assert_eq!(qp.ring_doorbell(now), 8);
+        assert_eq!(qp.sq_depth(), 0);
+        let comps = qp.poll_cq(usize::MAX);
+        assert_eq!(comps.len(), 8);
+        let mut last = SimTime::ZERO;
+        for c in &comps {
+            assert!(c.is_ok());
+            assert_eq!(c.data, vec![c.wr_id as u8; 16]);
+            assert!(c.completed_at >= last, "completions must be time-ordered");
+            assert!(c.completed_at > now);
+            last = c.completed_at;
+        }
+        let stats = qp.depth_stats();
+        assert_eq!(stats.posted, 8);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.doorbells, 1);
+        assert_eq!(stats.sq_depth_max, 8);
+        assert_eq!(stats.cq_depth_max, 8);
+        assert_eq!(rnic.engine_admitted(), 8);
+        assert!(rnic.engine_busy() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_amortizes_doorbell_and_wire_latency() {
+        // 8 pipelined reads must finish in far less virtual time than 8
+        // sequential round trips: each WQE only adds engine service, not a
+        // full wire RTT.
+        let (_a1, rnic_b, va_b) = batch_setup(1);
+        let (mr_b, _) = rnic_b.register(va_b, 1, false).unwrap();
+        let qp_b = QueuePair::connect(rnic_b.clone());
+        for i in 0..8u64 {
+            qp_b.post_read(mr_b.rkey, va_b, 32, i);
+        }
+        qp_b.ring_doorbell(SimTime::ZERO);
+        let batch_end = qp_b.poll_cq(usize::MAX).iter().map(|c| c.completed_at).max().unwrap();
+
+        let (_a2, rnic_s, va_s) = batch_setup(1);
+        let (mr_s, _) = rnic_s.register(va_s, 1, false).unwrap();
+        let qp_s = QueuePair::connect(rnic_s);
+        let mut seq = SimDuration::ZERO;
+        let mut buf = [0u8; 32];
+        for _ in 0..8 {
+            seq += qp_s.read(mr_s.rkey, va_s, &mut buf, SimTime::ZERO + seq).unwrap().latency;
+        }
+        let batch = batch_end.saturating_since(SimTime::ZERO);
+        assert!(
+            batch.as_nanos() * 2 < seq.as_nanos(),
+            "batch {batch} should be well under half of sequential {seq}"
+        );
+        // But batching is not free: the makespan still covers one full
+        // round trip plus all the engine service.
+        let single = rnic_b.model().rdma_read_latency(32, true);
+        assert!(batch > single, "batch {batch} must exceed one RTT {single}");
+    }
+
+    #[test]
+    fn mid_batch_fault_flushes_rest_without_draws() {
+        use crate::fault::{FaultConfig, FaultKind, ScheduledFault};
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let cfg = RnicConfig {
+            faults: Some(FaultConfig::scripted(vec![ScheduledFault {
+                at_op: 2,
+                kind: FaultKind::Transient,
+            }])),
+            ..RnicConfig::default()
+        };
+        let rnic = Arc::new(Rnic::new(aspace, cfg));
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let qp = QueuePair::connect(rnic.clone());
+        for i in 0..5u64 {
+            qp.post_read(mr.rkey, va, 8, i);
+        }
+        qp.ring_doorbell(SimTime::ZERO);
+        let comps = qp.poll_cq(usize::MAX);
+        assert_eq!(comps.len(), 5);
+        // Failures surface at batch arrival, i.e. before the successes.
+        // (Among the successes, op 1 may overtake op 0: op 0 eats the
+        // cold-cache latency while op 1 rides the warmed translation.)
+        let mut ok: Vec<u64> = comps.iter().filter(|c| c.is_ok()).map(|c| c.wr_id).collect();
+        ok.sort_unstable();
+        assert_eq!(ok, vec![0, 1]);
+        let failed: Vec<_> =
+            comps.iter().filter(|c| !c.is_ok()).map(|c| (c.wr_id, c.result.clone())).collect();
+        assert_eq!(failed[0], (2, Err(RdmaError::InjectedFault)));
+        assert_eq!(failed[1], (3, Err(RdmaError::QpBroken)));
+        assert_eq!(failed[2], (4, Err(RdmaError::QpBroken)));
+        assert_eq!(qp.state(), QpState::Error);
+        assert_eq!(qp.breaks(), 1);
+        // Flushed WQEs never reached the NIC: only ops 0..=2 drew from the
+        // fault stream, so a reconnect-and-repost lands on draw index 3.
+        assert_eq!(rnic.stats.wqes.load(Ordering::Relaxed), 3);
+        qp.reconnect();
+        for (w, i) in [(2u64, 0u64), (3, 1), (4, 2)] {
+            qp.post_read(mr.rkey, va, 8, w);
+            let _ = i;
+        }
+        qp.ring_doorbell(SimTime::from_micros(50));
+        let retry = qp.poll_cq(usize::MAX);
+        assert_eq!(retry.len(), 3);
+        assert!(retry.iter().all(|c| c.is_ok()));
+        assert_eq!(rnic.fault_log(), vec![(2, FaultKind::Transient)]);
+    }
+
+    #[test]
+    fn doorbell_on_broken_qp_flushes_everything() {
+        let (_aspace, rnic, va) = batch_setup(1);
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let qp = QueuePair::connect(rnic.clone());
+        let mut buf = [0u8; 4];
+        assert!(qp.read(0xbad, va, &mut buf, SimTime::ZERO).is_err());
+        assert_eq!(qp.state(), QpState::Error);
+        qp.post_read(mr.rkey, va, 4, 7);
+        qp.post_read(mr.rkey, va, 4, 8);
+        assert_eq!(qp.ring_doorbell(SimTime::ZERO), 2);
+        let comps = qp.poll_cq(usize::MAX);
+        assert!(comps.iter().all(|c| c.result == Err(RdmaError::QpBroken)));
+        // The batch never reached the NIC.
+        assert_eq!(rnic.stats.wqes.load(Ordering::Relaxed), 0);
+        assert_eq!(rnic.stats.doorbells.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn poll_cq_respects_max_and_empty_doorbell_is_noop() {
+        let (_aspace, rnic, va) = batch_setup(1);
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let qp = QueuePair::connect(rnic);
+        assert_eq!(qp.ring_doorbell(SimTime::ZERO), 0);
+        for i in 0..4u64 {
+            qp.post_read(mr.rkey, va, 8, i);
+        }
+        qp.ring_doorbell(SimTime::ZERO);
+        assert_eq!(qp.poll_cq(3).len(), 3);
+        assert_eq!(qp.cq_depth(), 1);
+        assert_eq!(qp.poll_cq(3).len(), 1);
+        assert_eq!(qp.poll_cq(3).len(), 0);
     }
 
     #[test]

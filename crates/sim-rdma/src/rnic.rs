@@ -15,12 +15,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use corm_sim_core::resource::FifoResource;
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_mem::{AddressSpace, FrameId, MemError, PAGE_SIZE};
 
 use crate::cache::LruCache;
 use crate::fault::{FaultConfig, FaultInjector, FaultKind};
 use crate::latency::LatencyModel;
+use crate::wq::{Completion, Wqe, WqeOp};
 
 /// Errors surfaced by RNIC verbs. Any error on a one-sided access breaks
 /// the issuing queue pair, per reliable-connection semantics.
@@ -111,11 +113,21 @@ pub struct RnicConfig {
     /// Deterministic fault injection. `None` (the default) disables it
     /// entirely: the NIC behaves bit-identically to a fault-free build.
     pub faults: Option<FaultConfig>,
+    /// Number of parallel servers in the inbound verb engine that serves
+    /// doorbell-batched WQEs. Real ConnectX processing units pipeline, but
+    /// a single FIFO server calibrated to `nic_read_service` reproduces the
+    /// aggregate plateau; widen for hypothetical multi-engine devices.
+    pub engine_width: usize,
 }
 
 impl Default for RnicConfig {
     fn default() -> Self {
-        RnicConfig { model: LatencyModel::default(), cache_entries: 16 * 1024, faults: None }
+        RnicConfig {
+            model: LatencyModel::default(),
+            cache_entries: 16 * 1024,
+            faults: None,
+            engine_width: 1,
+        }
     }
 }
 
@@ -171,6 +183,11 @@ pub struct RnicStats {
     pub injected_delay_ns: AtomicU64,
     /// Verbs forced down the MTT-cache-miss path.
     pub forced_cache_misses: AtomicU64,
+    /// Doorbells rung (each admits one posted batch).
+    pub doorbells: AtomicU64,
+    /// WQEs executed through the batched path (including failed, excluding
+    /// flushed ones, which never reach the NIC).
+    pub wqes: AtomicU64,
 }
 
 /// The simulated RDMA-capable NIC.
@@ -179,6 +196,8 @@ pub struct Rnic {
     inner: Mutex<Inner>,
     config: RnicConfig,
     faults: Option<FaultInjector>,
+    /// Inbound verb engine serving doorbell-batched WQEs in FIFO order.
+    engine: Mutex<FifoResource>,
     /// Public counters.
     pub stats: RnicStats,
 }
@@ -194,6 +213,7 @@ impl Rnic {
     pub fn new(aspace: Arc<AddressSpace>, config: RnicConfig) -> Self {
         let cache_entries = config.cache_entries;
         let faults = config.faults.clone().map(FaultInjector::new);
+        let engine = FifoResource::new(config.engine_width.max(1));
         Rnic {
             aspace,
             inner: Mutex::new(Inner {
@@ -205,6 +225,7 @@ impl Rnic {
             }),
             config,
             faults,
+            engine: Mutex::new(engine),
             stats: RnicStats::default(),
         }
     }
@@ -345,6 +366,99 @@ impl Rnic {
         let outcome = self.access(rkey, va, data.len(), now, AccessDir::Write(data))?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         Ok(outcome.0)
+    }
+
+    /// Executes a doorbell-rung batch of WQEs through the inbound engine.
+    ///
+    /// The batch arrives at `now + doorbell_cost` — one doorbell pays for
+    /// the whole batch. Each WQE then runs the full verb path (fault draw,
+    /// region checks, per-page MTT/cache lookup, DMA) and is admitted into
+    /// the FIFO engine for its service time; its completion lands at
+    /// `engine_done + (end_to_end_latency − service)`, the same composition
+    /// the closed-loop simulations use. The first failing WQE stops
+    /// execution: the remaining WQEs are *flushed* with
+    /// [`RdmaError::QpBroken`] and consume no fault draws, mirroring the
+    /// sequential path where a broken QP rejects follow-up verbs before
+    /// they reach the NIC.
+    ///
+    /// Completions are returned sorted by completion time (stable, so ties
+    /// keep posting order). Callers ([`crate::QueuePair::ring_doorbell`])
+    /// are responsible for moving the QP to the error state on failure.
+    pub(crate) fn serve_batch(&self, wqes: Vec<Wqe>, now: SimTime) -> Vec<Completion> {
+        let model = &self.config.model;
+        let arrival = now + model.doorbell_cost;
+        self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
+        let mut completions = Vec::with_capacity(wqes.len());
+        let mut failed = false;
+        let mut iter = wqes.into_iter();
+        for wqe in iter.by_ref() {
+            let Wqe { wr_id, op } = wqe;
+            self.stats.wqes.fetch_add(1, Ordering::Relaxed);
+            let (len, outcome, data) = match op {
+                WqeOp::Read { rkey, va, len } => {
+                    let mut buf = vec![0u8; len];
+                    match self.read(rkey, va, &mut buf, arrival) {
+                        Ok(v) => (len, Ok(v), buf),
+                        Err(e) => (len, Err(e), Vec::new()),
+                    }
+                }
+                WqeOp::Write { rkey, va, data } => {
+                    let len = data.len();
+                    (len, self.write(rkey, va, &data, arrival), Vec::new())
+                }
+            };
+            match outcome {
+                Ok(verb) => {
+                    let mut service = model.rdma_read_service(len, verb.cache_hit);
+                    if verb.odp_misses > 0 {
+                        service +=
+                            model.odp_miss.unwrap_or(SimDuration::ZERO) * verb.odp_misses as u64;
+                    }
+                    let done = self.engine.lock().admit(arrival, service);
+                    let completed_at = done + verb.latency.saturating_sub(service);
+                    completions.push(Completion { wr_id, completed_at, result: Ok(verb), data });
+                }
+                Err(e) => {
+                    completions.push(Completion {
+                        wr_id,
+                        completed_at: arrival,
+                        result: Err(e),
+                        data: Vec::new(),
+                    });
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            for wqe in iter {
+                completions.push(Completion {
+                    wr_id: wqe.wr_id,
+                    completed_at: arrival,
+                    result: Err(RdmaError::QpBroken),
+                    data: Vec::new(),
+                });
+            }
+        }
+        completions.sort_by_key(|c| c.completed_at);
+        completions
+    }
+
+    /// Total WQEs admitted into the inbound verb engine.
+    pub fn engine_admitted(&self) -> u64 {
+        self.engine.lock().admitted()
+    }
+
+    /// Cumulative busy time of the inbound verb engine. Differences of this
+    /// across a measurement window, divided by the window length, give the
+    /// engine utilization over that window.
+    pub fn engine_busy(&self) -> SimDuration {
+        self.engine.lock().busy()
+    }
+
+    /// Mean inbound-engine utilization over `[0, horizon]`.
+    pub fn engine_utilization(&self, horizon: SimTime) -> f64 {
+        self.engine.lock().utilization(horizon)
     }
 
     fn access(
