@@ -1,0 +1,247 @@
+//! Fig. 13 companion: wall-clock scalability of the sharded hot path.
+//!
+//! CoRM's §4 scaling results assume the NIC and the block metadata do not
+//! serialize CPU workers against one-sided readers. This sweep measures
+//! the two axes the sharding PR actually moves:
+//!
+//! **RPC workers** — client threads spray Read RPCs across the per-worker
+//! queues of a real [`ThreadedServer`] running with [`Pacing::Virtual`]:
+//! each worker stays wall-clock occupied for its op's virtual cost, so a
+//! worker is a genuine service station and adding workers (with client
+//! threads scaled alongside — the closed-loop shape of the paper's
+//! Fig. 11–12 setup) overlaps their occupancy. *Wall-clock* ops/s then
+//! grows with `workers` on any host core count, and it only can because
+//! the per-worker queues, the sharded registry, and the sharded MTT keep
+//! the workers off shared locks. Virtual-time ops/s is reported
+//! alongside: the virtual clock charges the same per-op handler cost
+//! regardless of worker count, so it stays flat — the wall-clock column
+//! is the metric the sharding moves.
+//!
+//! **NIC processing units** — a batched DirectRead workload sweeps
+//! `rnic_processing_units`; round-robin WQE dispatch across per-unit
+//! engines shortens the *virtual-time* makespan of each doorbell batch, so
+//! virtual ops/s grows with units while per-WQE service cost is unchanged.
+//!
+//! `--smoke` shrinks the sweep for a seconds-scale CI run and **fails**
+//! (non-zero exit) if wall-clock throughput at workers=4 is not strictly
+//! greater than at workers=1. The full run asserts the acceptance target:
+//! ≥2× wall-clock ops/s at 8 workers / 8 client threads vs. 1 worker.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use corm_bench::report::{f1, f2, write_csv, write_json, Json, JsonObject, Table};
+use corm_bench::setup::populate_server;
+use corm_core::client::CormClient;
+use corm_core::server::threaded::{Pacing, Request, Response, ThreadedServer};
+use corm_core::server::ServerConfig;
+use corm_core::GlobalPtr;
+use corm_sim_core::time::SimTime;
+use corm_sim_rdma::RnicConfig;
+
+const SIZE: usize = 64;
+const OBJECTS: usize = 4_096;
+const BATCH_DEPTH: usize = 16;
+
+struct RpcCell {
+    clients: usize,
+    workers: usize,
+    wall_kops: f64,
+    virt_kops: f64,
+}
+
+/// Runs one closed-loop RPC cell: `clients` threads each issue
+/// `ops_per_client` Read RPCs against a `workers`-worker ThreadedServer.
+fn run_rpc_cell(clients: usize, workers: usize, ops_per_client: usize) -> RpcCell {
+    let config = ServerConfig { workers, ..ServerConfig::default() };
+    let store = populate_server(config, OBJECTS, SIZE);
+    let ptrs = Arc::new(store.ptrs.clone());
+    // Paced mode: each worker is occupied for its op's virtual cost in
+    // wall clock, so worker-count scaling is overlapped occupancy — the
+    // paper's service-station model — not host scheduling luck.
+    let ts = ThreadedServer::start_with_pacing(store.server.clone(), Pacing::Virtual);
+
+    let virt_start = ts.now();
+    let wall_start = Instant::now();
+    let mut threads = Vec::with_capacity(clients);
+    for tid in 0..clients {
+        let client = ts.rpc_client();
+        let ptrs = ptrs.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut rng = corm_sim_core::rng::stream_rng(0xF13, tid as u64);
+            for _ in 0..ops_per_client {
+                let key = rand::Rng::gen_range(&mut rng, 0..ptrs.len());
+                match client.call(Request::Read { ptr: ptrs[key], len: SIZE }) {
+                    Ok(Response::Data { data, .. }) => assert_eq!(data.len(), SIZE),
+                    other => panic!("read rpc failed: {other:?}"),
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let wall = wall_start.elapsed();
+    let virt = ts.now().saturating_since(virt_start);
+    let served: u64 = ts.shutdown().iter().sum();
+    let ops = (clients * ops_per_client) as u64;
+    assert_eq!(served, ops, "every request served exactly once");
+    RpcCell {
+        clients,
+        workers,
+        wall_kops: ops as f64 / wall.as_secs_f64() / 1e3,
+        virt_kops: ops as f64 / virt.as_secs_f64() / 1e3,
+    }
+}
+
+struct NicCell {
+    units: usize,
+    virt_kops: f64,
+}
+
+/// Runs one NIC cell: batched DirectReads (depth [`BATCH_DEPTH`]) against
+/// an RNIC with `units` processing units; the virtual-time makespan of
+/// each batch shrinks as units go up.
+fn run_nic_cell(units: usize, ops: usize) -> NicCell {
+    let config = ServerConfig {
+        workers: 1,
+        rnic: RnicConfig { processing_units: units, ..RnicConfig::default() },
+        ..ServerConfig::default()
+    };
+    let store = populate_server(config, OBJECTS, SIZE);
+    let mut client = CormClient::connect(store.server.clone());
+    let mut rng = corm_sim_core::rng::root_rng(0xF13);
+    let keys: Vec<usize> = (0..ops).map(|_| rand::Rng::gen_range(&mut rng, 0..OBJECTS)).collect();
+    let mut clock = SimTime::ZERO;
+    let start = clock;
+    for chunk in keys.chunks(BATCH_DEPTH) {
+        let mut bptrs: Vec<GlobalPtr> = chunk.iter().map(|&k| store.ptrs[k]).collect();
+        let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; SIZE]; chunk.len()];
+        let tb = client.read_batch(&mut bptrs, &mut bufs, clock).expect("batch");
+        assert!(tb.value.iter().all(|&n| n == SIZE));
+        clock += tb.cost;
+    }
+    let virt = clock.saturating_since(start);
+    NicCell { units, virt_kops: ops as f64 / virt.as_secs_f64() / 1e3 }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (worker_sweep, unit_sweep, ops_per_client, nic_ops): (&[usize], &[usize], usize, usize) =
+        if smoke {
+            (&[1, 4], &[1, 4], 1_200, 1_024)
+        } else {
+            (&[1, 2, 4, 8], &[1, 2, 4, 8], 4_000, 4_096)
+        };
+
+    let mut t = Table::new(
+        "Fig. 13 companion: hot-path scalability (sharded queues, registry, MTT, NIC units)",
+        &["mode", "clients", "workers", "units", "wall_kops", "virt_kops", "speedup"],
+    );
+    let mut rpc_rows: Vec<Json> = Vec::new();
+    let mut nic_rows: Vec<Json> = Vec::new();
+
+    // RPC axis: closed loop, clients scale with workers (fig11/12 shape).
+    let mut rpc_cells = Vec::new();
+    for &w in worker_sweep {
+        rpc_cells.push(run_rpc_cell(w, w, ops_per_client));
+    }
+    let base_wall = rpc_cells[0].wall_kops;
+    for c in &rpc_cells {
+        let speedup = c.wall_kops / base_wall;
+        t.row(&[
+            "rpc".to_string(),
+            c.clients.to_string(),
+            c.workers.to_string(),
+            "1".to_string(),
+            f1(c.wall_kops),
+            f1(c.virt_kops),
+            f2(speedup),
+        ]);
+        rpc_rows.push(
+            JsonObject::new()
+                .uint("clients", c.clients as u64)
+                .uint("workers", c.workers as u64)
+                .float("wall_kops", c.wall_kops)
+                .float("virt_kops", c.virt_kops)
+                .float("wall_speedup", speedup)
+                .build(),
+        );
+    }
+
+    // NIC axis: processing units shorten the virtual batch makespan.
+    let mut nic_cells = Vec::new();
+    for &u in unit_sweep {
+        nic_cells.push(run_nic_cell(u, nic_ops));
+    }
+    let base_virt = nic_cells[0].virt_kops;
+    for c in &nic_cells {
+        let speedup = c.virt_kops / base_virt;
+        t.row(&[
+            "nic".to_string(),
+            "1".to_string(),
+            "1".to_string(),
+            c.units.to_string(),
+            "-".to_string(),
+            f1(c.virt_kops),
+            f2(speedup),
+        ]);
+        nic_rows.push(
+            JsonObject::new()
+                .uint("units", c.units as u64)
+                .float("virt_kops", c.virt_kops)
+                .float("virt_speedup", speedup)
+                .build(),
+        );
+    }
+
+    t.print();
+    let csv = write_csv("fig13_scalability", &t).expect("write csv");
+    println!("\ncsv: {}", csv.display());
+    let json = write_json(
+        "fig13_scalability",
+        &JsonObject::new()
+            .field("smoke", Json::Bool(smoke))
+            .uint("objects", OBJECTS as u64)
+            .uint("payload_bytes", SIZE as u64)
+            .uint("ops_per_client", ops_per_client as u64)
+            .field("rpc", Json::Arr(rpc_rows))
+            .field("nic_units", Json::Arr(nic_rows))
+            .build(),
+    )
+    .expect("write json");
+    println!("json: {}", json.display());
+
+    // Gates. Smoke (CI): strictly more wall-clock throughput at 4 workers
+    // than at 1. Full: the acceptance target, ≥2× at 8 workers.
+    let last = rpc_cells.last().expect("sweep non-empty");
+    let speedup = last.wall_kops / base_wall;
+    if smoke {
+        assert!(
+            last.wall_kops > base_wall,
+            "wall-clock throughput must grow with workers: {} workers {:.1} kops \
+             vs 1 worker {:.1} kops",
+            last.workers,
+            last.wall_kops,
+            base_wall,
+        );
+        println!(
+            "\nsmoke gate passed: workers={} wall-clock {:.1} kops > workers=1 {:.1} kops \
+             ({:.2}x)",
+            last.workers, last.wall_kops, base_wall, speedup
+        );
+    } else {
+        assert!(
+            speedup >= 2.0,
+            "acceptance target: >=2x wall-clock ops/s at {} workers, got {:.2}x",
+            last.workers,
+            speedup
+        );
+        println!(
+            "\nacceptance gate passed: workers={} is {:.2}x the 1-worker wall-clock throughput",
+            last.workers, speedup
+        );
+    }
+    let nic_last = nic_cells.last().expect("sweep non-empty");
+    assert!(nic_last.virt_kops > base_virt, "virtual throughput must grow with processing units");
+}

@@ -121,6 +121,21 @@ pub fn gather(
     expect_id: Option<u16>,
     want: usize,
 ) -> Result<(ObjectHeader, Vec<u8>), ReadFailure> {
+    let lay = layout(image.len());
+    let mut payload = vec![0u8; want.min(lay.capacity)];
+    let (header, n) = gather_into(image, expect_id, &mut payload)?;
+    payload.truncate(n);
+    Ok((header, payload))
+}
+
+/// Allocation-free [`gather`]: validates the slot image and copies up to
+/// `out.len()` payload bytes straight into `out` (the RPC hot path's
+/// caller-owned buffer). Returns the header and the bytes written.
+pub fn gather_into(
+    image: &[u8],
+    expect_id: Option<u16>,
+    out: &mut [u8],
+) -> Result<(ObjectHeader, usize), ReadFailure> {
     assert!(image.len() >= HEADER_BYTES + 8, "image too small");
     let lay = layout(image.len());
     let header = ObjectHeader::from_bytes(image[..HEADER_BYTES].try_into().expect("8-byte header"));
@@ -141,20 +156,21 @@ pub fn gather(
             return Err(ReadFailure::TornRead);
         }
     }
-    let take = want.min(lay.capacity);
-    let mut payload = Vec::with_capacity(take);
+    let take = out.len().min(lay.capacity);
+    let mut written = 0;
     let mut src = HEADER_BYTES;
-    while payload.len() < take {
+    while written < take {
         if src.is_multiple_of(CACHELINE) {
             src += 1;
             continue;
         }
         let line_end = (src / CACHELINE + 1) * CACHELINE;
-        let n = (line_end.min(image.len()) - src).min(take - payload.len());
-        payload.extend_from_slice(&image[src..src + n]);
+        let n = (line_end.min(image.len()) - src).min(take - written);
+        out[written..written + n].copy_from_slice(&image[src..src + n]);
+        written += n;
         src += n;
     }
-    Ok((header, payload))
+    Ok((header, written))
 }
 
 /// The smallest gross slot size (from `classes`' gross sizes) whose

@@ -80,6 +80,9 @@ pub struct ServerConfig {
     pub release_empty_blocks: bool,
     /// RNIC configuration (device model, translation-cache size).
     pub rnic: RnicConfig,
+    /// Shards in the block registry; 1 reproduces the single-lock
+    /// registry for determinism-sensitive runs.
+    pub registry_shards: usize,
     /// Root seed for object-ID generation.
     pub seed: u64,
 }
@@ -95,6 +98,7 @@ impl Default for ServerConfig {
             collect_max_occupancy: 0.9,
             release_empty_blocks: true,
             rnic: RnicConfig::default(),
+            registry_shards: registry::DEFAULT_REGISTRY_SHARDS,
             seed: 0xC0_4D,
         }
     }
@@ -248,6 +252,7 @@ impl CormServer {
                 })
             })
             .collect();
+        let registry = BlockRegistry::with_shards(config.registry_shards);
         CormServer {
             config,
             phys,
@@ -255,7 +260,7 @@ impl CormServer {
             rnic,
             proc,
             workers,
-            registry: BlockRegistry::new(),
+            registry,
             vaddrs: Mutex::new(VaddrTracker::new()),
             stats: ServerStats::default(),
         }
@@ -269,6 +274,12 @@ impl CormServer {
     /// The node's address space.
     pub fn aspace(&self) -> &Arc<AddressSpace> {
         &self.aspace
+    }
+
+    /// Number of alias entries currently in the block registry (bases
+    /// whose physical block was consumed by compaction).
+    pub fn alias_count(&self) -> usize {
+        self.registry.alias_count()
     }
 
     /// The node's physical memory.
@@ -444,19 +455,27 @@ impl CormServer {
         ptr: &mut GlobalPtr,
         buf: &mut [u8],
     ) -> Result<Timed<usize>, CormError> {
+        // Slot images land in a per-worker scratch buffer and payload
+        // bytes are gathered straight into `buf`: the hot read path
+        // allocates nothing after warm-up.
+        thread_local! {
+            static SLOT_SCRATCH: std::cell::RefCell<Vec<u8>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
         let mut corr_total = SimDuration::ZERO;
         for attempt in 0..RPC_BACKOFF_ATTEMPTS {
             let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
             corr_total += corr_cost;
-            let b = block.lock();
-            let slot_bytes = b.obj_size();
-            let mut image = vec![0u8; slot_bytes];
-            self.aspace.read(b.slot_vaddr(slot), &mut image)?;
-            drop(b);
-            match consistency::gather(&image, Some(ptr.obj_id), buf.len()) {
-                Ok((_, payload)) => {
-                    let n = payload.len().min(buf.len());
-                    buf[..n].copy_from_slice(&payload[..n]);
+            let gathered = SLOT_SCRATCH.with(|scratch| {
+                let mut image = scratch.borrow_mut();
+                let b = block.lock();
+                image.resize(b.obj_size(), 0);
+                self.aspace.read(b.slot_vaddr(slot), &mut image)?;
+                drop(b);
+                Ok::<_, CormError>(consistency::gather_into(&image, Some(ptr.obj_id), buf))
+            })?;
+            match gathered {
+                Ok((_, n)) => {
                     self.stats.reads.fetch_add(1, Ordering::Relaxed);
                     let model = self.model();
                     let cost = model.rpc_worker_service + model.copy_cost(n) + corr_total;

@@ -12,13 +12,35 @@
 //! keeps pointer resolution O(1) and prevents dangling chains when an
 //! intermediate alias's vaddr is released for reuse (§3.3).
 //!
+//! # Sharding
+//!
+//! The registry is split into N shards keyed by a hash of the block base,
+//! so pointer resolutions on the RPC hot path from different workers take
+//! different locks. Reverse edges (`live base → alias bases`) live in the
+//! shard of the live base. Operations that span shards — alias
+//! re-pointing in [`BlockRegistry::demote_to_alias`], alias removal —
+//! acquire every affected shard **in ascending shard-index order**, which
+//! makes the lock order total and the registry deadlock-free. Lookups
+//! that cross a shard boundary without holding both locks (an alias whose
+//! target hashes elsewhere) re-validate and retry if a concurrent demote
+//! re-pointed the alias between the two reads.
+//!
 //! [`Block`]: corm_alloc::Block
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockWriteGuard};
 
 use corm_alloc::process::SharedBlock;
+
+/// Default shard count: enough to spread 8 workers plus the compaction
+/// leader with negligible collision probability.
+pub const DEFAULT_REGISTRY_SHARDS: usize = 8;
+
+/// Bound on optimistic cross-shard retries. Each retry requires a whole
+/// concurrent demote to land between two reads; hitting the bound means a
+/// livelock bug, not contention.
+const CROSS_SHARD_RETRIES: usize = 1_000;
 
 /// Metadata kept for an alias base: where it points and the NIC region
 /// that still covers it (its `r_key` is preserved for clients, §3.5).
@@ -50,27 +72,63 @@ pub struct Resolved {
 }
 
 #[derive(Default)]
-struct Inner {
+struct Shard {
     map: HashMap<u64, RegEntry>,
-    /// live base → alias bases pointing at it.
+    /// live base → alias bases pointing at it (kept in the shard of the
+    /// *live* base).
     rev: HashMap<u64, HashSet<u64>>,
 }
 
-/// Registry of all blocks and aliases on a CoRM node.
-#[derive(Default)]
+/// Registry of all blocks and aliases on a CoRM node, sharded by block
+/// base.
 pub struct BlockRegistry {
-    inner: RwLock<Inner>,
+    shards: Box<[RwLock<Shard>]>,
+}
+
+impl Default for BlockRegistry {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_REGISTRY_SHARDS)
+    }
 }
 
 impl BlockRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty registry with `shards` shards (clamped to ≥ 1).
+    /// One shard reproduces the old single-lock registry exactly.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        BlockRegistry { shards: (0..n).map(|_| RwLock::new(Shard::default())).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index responsible for a block base. Bases are block
+    /// aligned, so the low bits are mixed before reduction.
+    fn shard_idx(&self, base: u64) -> usize {
+        let h = (base >> 12).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Write-locks the shards at `idxs` in ascending index order (the
+    /// registry-wide lock order) and returns the guards tagged with their
+    /// index. `idxs` is deduplicated.
+    fn lock_ordered(&self, mut idxs: Vec<usize>) -> Vec<(usize, RwLockWriteGuard<'_, Shard>)> {
+        idxs.sort_unstable();
+        idxs.dedup();
+        idxs.into_iter().map(|i| (i, self.shards[i].write())).collect()
+    }
+
     /// Registers a live block at its base vaddr.
     pub fn insert_block(&self, base: u64, block: SharedBlock) {
-        let prev = self.inner.write().map.insert(base, RegEntry::Live(block));
+        let prev =
+            self.shards[self.shard_idx(base)].write().map.insert(base, RegEntry::Live(block));
         debug_assert!(prev.is_none(), "base {base:#x} registered twice");
     }
 
@@ -78,6 +136,11 @@ impl BlockRegistry {
     /// `target`, carrying its preserved region key. Every alias previously
     /// pointing at `base` is re-pointed at `target`; their infos are
     /// returned so the caller can remap their vaddrs onto the new frames.
+    ///
+    /// Locks only the affected shards — `base`'s, `target`'s, and those of
+    /// the re-pointed aliases — in ascending index order. The alias set is
+    /// snapshotted first and re-validated under the locks; a concurrent
+    /// mutation of the set restarts the acquisition.
     ///
     /// # Panics
     ///
@@ -89,82 +152,203 @@ impl BlockRegistry {
         rkey: u32,
         pages: usize,
     ) -> Vec<(u64, AliasInfo)> {
-        let mut inner = self.inner.write();
-        assert!(
-            matches!(inner.map.get(&target), Some(RegEntry::Live(_))),
-            "alias target {target:#x} must be live"
-        );
-        match inner.map.insert(base, RegEntry::Alias(AliasInfo { target, rkey, pages })) {
-            Some(RegEntry::Live(_)) => {}
-            _ => panic!("demote of non-live base {base:#x}"),
-        }
-        // Re-point every alias of `base` at `target` (flat invariant).
-        let moved: Vec<u64> =
-            inner.rev.remove(&base).map(|s| s.into_iter().collect()).unwrap_or_default();
-        let mut repointed = Vec::with_capacity(moved.len());
-        for abase in &moved {
-            if let Some(RegEntry::Alias(info)) = inner.map.get_mut(abase) {
-                info.target = target;
-                repointed.push((*abase, *info));
-            } else {
-                unreachable!("rev edge to non-alias {abase:#x}");
+        let base_idx = self.shard_idx(base);
+        for _ in 0..CROSS_SHARD_RETRIES {
+            // Phase 1: snapshot the aliases currently pointing at `base`
+            // to learn which shards the re-pointing must lock.
+            let mut snapshot: Vec<u64> = {
+                let s = self.shards[base_idx].read();
+                s.rev.get(&base).map(|set| set.iter().copied().collect()).unwrap_or_default()
+            };
+            snapshot.sort_unstable();
+            let mut idxs: Vec<usize> = vec![base_idx, self.shard_idx(target)];
+            idxs.extend(snapshot.iter().map(|&a| self.shard_idx(a)));
+            // Phase 2: lock the affected shards in index order and
+            // re-validate the snapshot.
+            let mut guards = self.lock_ordered(idxs);
+            let shard_mut = |guards: &mut Vec<(usize, RwLockWriteGuard<'_, Shard>)>,
+                             idx: usize|
+             -> *mut Shard {
+                let g = guards.iter_mut().find(|(i, _)| *i == idx).expect("locked shard");
+                &mut *g.1 as *mut Shard
+            };
+            // SAFETY: every raw pointer below derives from a write guard
+            // held for the whole scope of `guards`; accesses are strictly
+            // sequential (no two &mut alive at once across shards, and
+            // same-index pointers alias the same uniquely-locked shard).
+            let base_shard = shard_mut(&mut guards, base_idx);
+            let mut current: Vec<u64> = unsafe { &*base_shard }
+                .rev
+                .get(&base)
+                .map(|set| set.iter().copied().collect())
+                .unwrap_or_default();
+            current.sort_unstable();
+            if current != snapshot {
+                drop(guards);
+                continue;
             }
+            let target_shard = shard_mut(&mut guards, self.shard_idx(target));
+            assert!(
+                matches!(unsafe { &*target_shard }.map.get(&target), Some(RegEntry::Live(_))),
+                "alias target {target:#x} must be live"
+            );
+            match unsafe { &mut *base_shard }
+                .map
+                .insert(base, RegEntry::Alias(AliasInfo { target, rkey, pages }))
+            {
+                Some(RegEntry::Live(_)) => {}
+                _ => panic!("demote of non-live base {base:#x}"),
+            }
+            // Re-point every alias of `base` at `target` (flat invariant).
+            let moved: Vec<u64> = unsafe { &mut *base_shard }
+                .rev
+                .remove(&base)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default();
+            let mut repointed = Vec::with_capacity(moved.len());
+            for abase in &moved {
+                let a_shard = shard_mut(&mut guards, self.shard_idx(*abase));
+                if let Some(RegEntry::Alias(info)) = unsafe { &mut *a_shard }.map.get_mut(abase) {
+                    info.target = target;
+                    repointed.push((*abase, *info));
+                } else {
+                    unreachable!("rev edge to non-alias {abase:#x}");
+                }
+            }
+            let rev_target = unsafe { &mut *target_shard }.rev.entry(target).or_default();
+            rev_target.insert(base);
+            for abase in &moved {
+                rev_target.insert(*abase);
+            }
+            return repointed;
         }
-        let rev_target = inner.rev.entry(target).or_default();
-        rev_target.insert(base);
-        for abase in &moved {
-            rev_target.insert(*abase);
-        }
-        repointed
+        panic!("demote_to_alias({base:#x}) livelocked against concurrent demotes");
     }
 
-    /// Removes an entry. For aliases, drops the reverse edge; for live
-    /// blocks, asserts no alias still points here (their objects would be
+    /// Removes an entry. For aliases, drops the reverse edge (locking the
+    /// alias's and the target's shards in index order); for live blocks,
+    /// asserts no alias still points here (their objects would be
     /// unreachable). Returns the removed alias info, if it was an alias.
     pub fn remove(&self, base: u64) -> Option<AliasInfo> {
-        let mut inner = self.inner.write();
-        match inner.map.remove(&base) {
-            None => None,
-            Some(RegEntry::Alias(info)) => {
-                if let Some(set) = inner.rev.get_mut(&info.target) {
-                    set.remove(&base);
-                    if set.is_empty() {
-                        inner.rev.remove(&info.target);
-                    }
+        let base_idx = self.shard_idx(base);
+        for _ in 0..CROSS_SHARD_RETRIES {
+            // Peek to learn whether the entry is an alias and where its
+            // reverse edge lives.
+            let peeked = {
+                let s = self.shards[base_idx].read();
+                match s.map.get(&base) {
+                    None => return None,
+                    Some(RegEntry::Alias(info)) => Some(info.target),
+                    Some(RegEntry::Live(_)) => None,
                 }
-                Some(info)
-            }
-            Some(RegEntry::Live(_)) => {
-                assert!(
-                    inner.rev.get(&base).is_none_or(|s| s.is_empty()),
-                    "removing live block {base:#x} with aliases attached"
-                );
-                inner.rev.remove(&base);
-                None
+            };
+            match peeked {
+                Some(target) => {
+                    let mut guards = self.lock_ordered(vec![base_idx, self.shard_idx(target)]);
+                    // Re-validate: a concurrent demote may have re-pointed
+                    // the alias at a different target between the reads.
+                    let still = {
+                        let (_, g) = guards.iter().find(|(i, _)| *i == base_idx).expect("locked");
+                        matches!(g.map.get(&base), Some(RegEntry::Alias(i)) if i.target == target)
+                    };
+                    if !still {
+                        drop(guards);
+                        continue;
+                    }
+                    let info = {
+                        let (_, g) =
+                            guards.iter_mut().find(|(i, _)| *i == base_idx).expect("locked");
+                        match g.map.remove(&base) {
+                            Some(RegEntry::Alias(info)) => info,
+                            _ => unreachable!("validated alias vanished under lock"),
+                        }
+                    };
+                    let t_idx = self.shard_idx(target);
+                    let (_, tg) = guards.iter_mut().find(|(i, _)| *i == t_idx).expect("locked");
+                    if let Some(set) = tg.rev.get_mut(&info.target) {
+                        set.remove(&base);
+                        if set.is_empty() {
+                            tg.rev.remove(&info.target);
+                        }
+                    }
+                    return Some(info);
+                }
+                None => {
+                    let mut s = self.shards[base_idx].write();
+                    match s.map.get(&base) {
+                        None => return None,
+                        // Demoted to an alias since the peek: retry down
+                        // the alias path.
+                        Some(RegEntry::Alias(_)) => continue,
+                        Some(RegEntry::Live(_)) => {}
+                    }
+                    assert!(
+                        s.rev.get(&base).is_none_or(|set| set.is_empty()),
+                        "removing live block {base:#x} with aliases attached"
+                    );
+                    s.map.remove(&base);
+                    s.rev.remove(&base);
+                    return None;
+                }
             }
         }
+        panic!("remove({base:#x}) livelocked against concurrent demotes");
     }
 
     /// Resolves a base vaddr to its live block (at most one hop, by the
-    /// flat-alias invariant).
+    /// flat-alias invariant). When the alias and its target live in
+    /// different shards the two reads are not atomic; losing the race to a
+    /// concurrent demote re-reads through the re-pointed alias.
     pub fn resolve(&self, base: u64) -> Option<Resolved> {
-        let inner = self.inner.read();
-        match inner.map.get(&base)? {
-            RegEntry::Live(block) => {
-                Some(Resolved { block: block.clone(), live_base: base, via_alias: false })
-            }
-            RegEntry::Alias(info) => match inner.map.get(&info.target)? {
+        let base_idx = self.shard_idx(base);
+        for _ in 0..CROSS_SHARD_RETRIES {
+            let shard = self.shards[base_idx].read();
+            let info = match shard.map.get(&base)? {
                 RegEntry::Live(block) => {
-                    Some(Resolved { block: block.clone(), live_base: info.target, via_alias: true })
+                    return Some(Resolved {
+                        block: block.clone(),
+                        live_base: base,
+                        via_alias: false,
+                    })
                 }
-                RegEntry::Alias(_) => unreachable!("alias chain despite flat invariant"),
-            },
+                RegEntry::Alias(info) => *info,
+            };
+            let target_idx = self.shard_idx(info.target);
+            if target_idx == base_idx {
+                // Same shard: the snapshot is atomic, the flat invariant
+                // guarantees a live target.
+                match shard.map.get(&info.target) {
+                    Some(RegEntry::Live(block)) => {
+                        return Some(Resolved {
+                            block: block.clone(),
+                            live_base: info.target,
+                            via_alias: true,
+                        })
+                    }
+                    _ => unreachable!("alias chain despite flat invariant"),
+                }
+            }
+            drop(shard);
+            let tshard = self.shards[target_idx].read();
+            match tshard.map.get(&info.target) {
+                Some(RegEntry::Live(block)) => {
+                    return Some(Resolved {
+                        block: block.clone(),
+                        live_base: info.target,
+                        via_alias: true,
+                    })
+                }
+                // The target was demoted (or released) between the two
+                // reads; the alias has been re-pointed — retry.
+                _ => continue,
+            }
         }
+        panic!("resolve({base:#x}) livelocked against concurrent demotes");
     }
 
     /// The alias info at `base`, if it is an alias.
     pub fn alias_info(&self, base: u64) -> Option<AliasInfo> {
-        match self.inner.read().map.get(&base)? {
+        match self.shards[self.shard_idx(base)].read().map.get(&base)? {
             RegEntry::Alias(info) => Some(*info),
             RegEntry::Live(_) => None,
         }
@@ -177,7 +361,7 @@ impl BlockRegistry {
 
     /// Alias bases currently pointing at `live_base`.
     pub fn aliases_of(&self, live_base: u64) -> Vec<u64> {
-        self.inner
+        self.shards[self.shard_idx(live_base)]
             .read()
             .rev
             .get(&live_base)
@@ -185,32 +369,36 @@ impl BlockRegistry {
             .unwrap_or_default()
     }
 
-    /// Snapshot of all live blocks.
+    /// Snapshot of all live blocks (per-shard snapshots, not a global
+    /// atomic view).
     pub fn live_blocks(&self) -> Vec<SharedBlock> {
-        self.inner
-            .read()
-            .map
-            .values()
-            .filter_map(|e| match e {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let s = shard.read();
+            out.extend(s.map.values().filter_map(|e| match e {
                 RegEntry::Live(b) => Some(b.clone()),
                 RegEntry::Alias(_) => None,
-            })
-            .collect()
+            }));
+        }
+        out
     }
 
     /// Number of entries (live + alias).
     pub fn len(&self) -> usize {
-        self.inner.read().map.len()
+        self.shards.iter().map(|s| s.read().map.len()).sum()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().map.is_empty()
+        self.shards.iter().all(|s| s.read().map.is_empty())
     }
 
     /// Number of alias entries.
     pub fn alias_count(&self) -> usize {
-        self.inner.read().map.values().filter(|e| matches!(e, RegEntry::Alias(_))).count()
+        self.shards
+            .iter()
+            .map(|s| s.read().map.values().filter(|e| matches!(e, RegEntry::Alias(_))).count())
+            .sum()
     }
 }
 
@@ -327,5 +515,80 @@ mod tests {
         reg.demote_to_alias(0x1000, 0x2000, 1, 1);
         assert_eq!(reg.live_blocks().len(), 1);
         assert_eq!(reg.len(), 2);
+    }
+
+    /// Every public operation behaves identically for 1 shard (the old
+    /// single-lock registry) and many shards — including when bases are
+    /// chosen to collide in or straddle shards.
+    #[test]
+    fn shard_count_is_behavior_neutral() {
+        for shards in [1, 2, 7, 64] {
+            let reg = BlockRegistry::with_shards(shards);
+            assert_eq!(reg.shard_count(), shards);
+            let bases: Vec<u64> = (1..=24u64).map(|i| i * 0x10_000).collect();
+            for &b in &bases {
+                reg.insert_block(b, mk_block(b));
+            }
+            // Demote every odd-indexed base onto its successor.
+            for pair in bases.chunks(2) {
+                reg.demote_to_alias(pair[0], pair[1], pair[0] as u32, 1);
+            }
+            assert_eq!(reg.alias_count(), 12, "shards={shards}");
+            assert_eq!(reg.len(), 24);
+            assert_eq!(reg.live_blocks().len(), 12);
+            for pair in bases.chunks(2) {
+                let r = reg.resolve(pair[0]).unwrap();
+                assert!(r.via_alias);
+                assert_eq!(r.live_base, pair[1]);
+                assert_eq!(reg.aliases_of(pair[1]), vec![pair[0]]);
+            }
+            // Remove the aliases again.
+            for pair in bases.chunks(2) {
+                assert!(reg.remove(pair[0]).is_some());
+            }
+            assert_eq!(reg.alias_count(), 0);
+            assert_eq!(reg.len(), 12);
+            assert!(!reg.is_empty());
+        }
+    }
+
+    /// Concurrent resolvers racing a chain of demotes always land on a
+    /// live block — the cross-shard retry path in action.
+    #[test]
+    fn concurrent_resolve_races_demotes() {
+        use std::thread;
+        let reg = Arc::new(BlockRegistry::with_shards(4));
+        let hops: Vec<u64> = (1..=16u64).map(|i| i * 0x10_000).collect();
+        for &b in &hops {
+            reg.insert_block(b, mk_block(b));
+        }
+        let first = hops[0];
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let reg = reg.clone();
+            let stop = stop.clone();
+            readers.push(thread::spawn(move || {
+                let mut seen_alias = false;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let r = reg.resolve(first).expect("first base always resolvable");
+                    seen_alias |= r.via_alias;
+                    let b = r.block.lock();
+                    assert_eq!(b.vaddr(), r.live_base, "resolved block must be live at its base");
+                }
+                seen_alias
+            }));
+        }
+        // Demote hop[i] onto hop[i+1] one by one: `first` becomes an alias
+        // that is re-pointed down the whole chain.
+        for w in hops.windows(2) {
+            reg.demote_to_alias(w[0], w[1], w[0] as u32, 1);
+            std::thread::yield_now();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let any_alias = readers.into_iter().map(|t| t.join().unwrap()).collect::<Vec<_>>();
+        assert!(any_alias.iter().any(|&a| a), "demotes should have been observed");
+        let r = reg.resolve(first).unwrap();
+        assert_eq!(r.live_base, *hops.last().unwrap());
     }
 }

@@ -10,10 +10,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use corm_sim_core::resource::FifoResource;
 use corm_sim_core::time::{SimDuration, SimTime};
@@ -118,6 +118,19 @@ pub struct RnicConfig {
     /// a single FIFO server calibrated to `nic_read_service` reproduces the
     /// aggregate plateau; widen for hypothetical multi-engine devices.
     pub engine_width: usize,
+    /// Number of independent on-NIC processing units. Each unit owns its
+    /// own inbound [`FifoResource`] (with `engine_width` servers) and WQEs
+    /// are dispatched round-robin across units, the NP-RDMA model of an
+    /// internally parallel RNIC. At `1` (the default) dispatch, virtual
+    /// time, and the fault-draw order are byte-identical to the
+    /// single-engine NIC, which keeps seeded replays stable.
+    pub processing_units: usize,
+    /// Number of MTT shards. Translations are sharded by page-aligned
+    /// virtual address, so concurrent one-sided verbs from different QPs
+    /// touching different pages never contend on the same translation
+    /// lock. The translation cache splits its capacity evenly across
+    /// shards; `1` reproduces the monolithic MTT exactly.
+    pub mtt_shards: usize,
 }
 
 impl Default for RnicConfig {
@@ -127,6 +140,8 @@ impl Default for RnicConfig {
             cache_entries: 16 * 1024,
             faults: None,
             engine_width: 1,
+            processing_units: 1,
+            mtt_shards: 8,
         }
     }
 }
@@ -137,14 +152,24 @@ struct MttEntry {
     epoch: u64,
 }
 
+/// Region/key metadata, touched on every verb only for a read-mostly
+/// lookup. Registration paths take the write lock; the hot path never
+/// does.
 #[derive(Debug)]
-struct Inner {
-    mtt: HashMap<u64, MttEntry>,
+struct RegionTable {
     regions: HashMap<u32, MemoryRegion>,
-    /// Pages whose region is mid-`rereg_mr`: vpn → end of the busy window.
+    /// Regions mid-`rereg_mr`: rkey → end of the busy window.
     busy_until: HashMap<u32, SimTime>,
-    cache: LruCache<u64, ()>,
     next_key: u32,
+}
+
+/// One MTT shard: the translations whose vpn hashes here plus that slice
+/// of the on-chip translation cache. Concurrent verbs on different pages
+/// lock different shards.
+#[derive(Debug)]
+struct MttShard {
+    mtt: HashMap<u64, MttEntry>,
+    cache: LruCache<u64, ()>,
 }
 
 /// The outcome of a one-sided verb: end-to-end latency plus diagnostics.
@@ -193,11 +218,16 @@ pub struct RnicStats {
 /// The simulated RDMA-capable NIC.
 pub struct Rnic {
     aspace: Arc<AddressSpace>,
-    inner: Mutex<Inner>,
+    regions: RwLock<RegionTable>,
+    /// MTT + translation-cache shards, indexed by `vpn % shards.len()`.
+    shards: Box<[Mutex<MttShard>]>,
     config: RnicConfig,
     faults: Option<FaultInjector>,
-    /// Inbound verb engine serving doorbell-batched WQEs in FIFO order.
-    engine: Mutex<FifoResource>,
+    /// Inbound verb engines, one per processing unit, each serving
+    /// doorbell-batched WQEs in FIFO order.
+    engines: Box<[Mutex<FifoResource>]>,
+    /// Round-robin cursor for WQE dispatch across processing units.
+    next_unit: AtomicUsize,
     /// Public counters.
     pub stats: RnicStats,
 }
@@ -211,23 +241,37 @@ impl fmt::Debug for Rnic {
 impl Rnic {
     /// Creates a NIC attached to `aspace`.
     pub fn new(aspace: Arc<AddressSpace>, config: RnicConfig) -> Self {
-        let cache_entries = config.cache_entries;
         let faults = config.faults.clone().map(FaultInjector::new);
-        let engine = FifoResource::new(config.engine_width.max(1));
+        let n_shards = config.mtt_shards.max(1);
+        // Split the cache budget evenly; every shard keeps at least one
+        // entry so small caches still cache.
+        let per_shard = config.cache_entries.div_ceil(n_shards).max(1);
+        let shards = (0..n_shards)
+            .map(|_| Mutex::new(MttShard { mtt: HashMap::new(), cache: LruCache::new(per_shard) }))
+            .collect();
+        let units = config.processing_units.max(1);
+        let engines =
+            (0..units).map(|_| Mutex::new(FifoResource::new(config.engine_width.max(1)))).collect();
         Rnic {
             aspace,
-            inner: Mutex::new(Inner {
-                mtt: HashMap::new(),
+            regions: RwLock::new(RegionTable {
                 regions: HashMap::new(),
                 busy_until: HashMap::new(),
-                cache: LruCache::new(cache_entries),
                 next_key: 0x1000,
             }),
+            shards,
             config,
             faults,
-            engine: Mutex::new(engine),
+            engines,
+            next_unit: AtomicUsize::new(0),
             stats: RnicStats::default(),
         }
+    }
+
+    /// The MTT shard responsible for a virtual page number.
+    #[inline]
+    fn shard_of(&self, vpn: u64) -> &Mutex<MttShard> {
+        &self.shards[(vpn % self.shards.len() as u64) as usize]
     }
 
     /// The fault injector, if fault injection is enabled.
@@ -271,28 +315,35 @@ impl Rnic {
             let t = self.aspace.translate(va)?;
             entries.push((va / PAGE_SIZE as u64, MttEntry { frame: t.frame, epoch: t.epoch }));
         }
-        let mut inner = self.inner.lock();
-        let lkey = inner.next_key;
-        let rkey = inner.next_key + 1;
-        inner.next_key += 2;
+        let (lkey, rkey) = {
+            let mut rt = self.regions.write();
+            let lkey = rt.next_key;
+            let rkey = rt.next_key + 1;
+            rt.next_key += 2;
+            (lkey, rkey)
+        };
         for (vpn, e) in entries {
-            inner.mtt.insert(vpn, e);
+            self.shard_of(vpn).lock().mtt.insert(vpn, e);
         }
         let mr = MemoryRegion { lkey, rkey, base, pages, odp };
-        inner.regions.insert(rkey, mr);
+        self.regions.write().regions.insert(rkey, mr);
         Ok((mr, self.config.model.rereg_cost(pages)))
     }
 
     /// Deregisters a region, dropping its MTT entries.
     pub fn deregister(&self, rkey: u32) -> Result<(), RdmaError> {
-        let mut inner = self.inner.lock();
-        let mr = inner.regions.remove(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        let mr = {
+            let mut rt = self.regions.write();
+            let mr = rt.regions.remove(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+            rt.busy_until.remove(&rkey);
+            mr
+        };
         for i in 0..mr.pages {
             let vpn = mr.base / PAGE_SIZE as u64 + i as u64;
-            inner.mtt.remove(&vpn);
-            inner.cache.remove(&vpn);
+            let mut shard = self.shard_of(vpn).lock();
+            shard.mtt.remove(&vpn);
+            shard.cache.remove(&vpn);
         }
-        inner.busy_until.remove(&rkey);
         Ok(())
     }
 
@@ -300,17 +351,23 @@ impl Rnic {
     /// keys. The region is unavailable for `[now, now+cost)`; one-sided
     /// accesses inside the window break the QP.
     pub fn rereg(&self, rkey: u32, now: SimTime) -> Result<SimDuration, RdmaError> {
-        let mut inner = self.inner.lock();
-        let mr = *inner.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
-        let cost = self.config.model.rereg_cost(mr.pages);
+        // Open the busy window first: concurrent one-sided accesses see
+        // RegionBusy before any translation changes, as on real hardware.
+        let (mr, cost) = {
+            let mut rt = self.regions.write();
+            let mr = *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+            let cost = self.config.model.rereg_cost(mr.pages);
+            rt.busy_until.insert(rkey, now + cost);
+            (mr, cost)
+        };
         for i in 0..mr.pages {
             let va = mr.base + (i * PAGE_SIZE) as u64;
             let t = self.aspace.translate(va)?;
             let vpn = va / PAGE_SIZE as u64;
-            inner.mtt.insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
-            inner.cache.remove(&vpn);
+            let mut shard = self.shard_of(vpn).lock();
+            shard.mtt.insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
+            shard.cache.remove(&vpn);
         }
-        inner.busy_until.insert(rkey, now + cost);
         self.stats.reregs.fetch_add(1, Ordering::Relaxed);
         Ok(cost)
     }
@@ -318,8 +375,10 @@ impl Rnic {
     /// `ibv_advise_mr` prefetch: refreshes translations of an ODP region's
     /// pages ahead of the first access.
     pub fn advise(&self, rkey: u32, va: u64, pages: usize) -> Result<SimDuration, RdmaError> {
-        let mut inner = self.inner.lock();
-        let mr = *inner.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        let mr = {
+            let rt = self.regions.read();
+            *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?
+        };
         if !mr.odp {
             return Err(RdmaError::OdpUnsupported);
         }
@@ -330,7 +389,7 @@ impl Rnic {
             let page_va = va + (i * PAGE_SIZE) as u64;
             let t = self.aspace.translate(page_va)?;
             let vpn = page_va / PAGE_SIZE as u64;
-            inner.mtt.insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
+            self.shard_of(vpn).lock().mtt.insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
         }
         self.stats.advises.fetch_add(1, Ordering::Relaxed);
         Ok(self.config.model.advise_cost(pages))
@@ -414,7 +473,7 @@ impl Rnic {
                         service +=
                             model.odp_miss.unwrap_or(SimDuration::ZERO) * verb.odp_misses as u64;
                     }
-                    let done = self.engine.lock().admit(arrival, service);
+                    let done = self.dispatch(arrival, service);
                     let completed_at = done + verb.latency.saturating_sub(service);
                     completions.push(Completion { wr_id, completed_at, result: Ok(verb), data });
                 }
@@ -444,21 +503,41 @@ impl Rnic {
         completions
     }
 
-    /// Total WQEs admitted into the inbound verb engine.
+    /// Admits one WQE's engine service, dispatching round-robin across the
+    /// NIC's processing units. With one unit this is exactly the
+    /// single-engine FIFO admission.
+    fn dispatch(&self, arrival: SimTime, service: SimDuration) -> SimTime {
+        let unit = self.next_unit.fetch_add(1, Ordering::Relaxed) % self.engines.len();
+        self.engines[unit].lock().admit(arrival, service)
+    }
+
+    /// Number of on-NIC processing units.
+    pub fn processing_units(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Total WQEs admitted into the inbound verb engines, summed over all
+    /// processing units.
     pub fn engine_admitted(&self) -> u64 {
-        self.engine.lock().admitted()
+        self.engines.iter().map(|e| e.lock().admitted()).sum()
     }
 
-    /// Cumulative busy time of the inbound verb engine. Differences of this
-    /// across a measurement window, divided by the window length, give the
-    /// engine utilization over that window.
+    /// Cumulative busy time of the inbound verb engines, summed over all
+    /// processing units. Differences of this across a measurement window,
+    /// divided by the window length, give the engine utilization over that
+    /// window.
     pub fn engine_busy(&self) -> SimDuration {
-        self.engine.lock().busy()
+        self.engines.iter().map(|e| e.lock().busy()).fold(SimDuration::ZERO, |a, b| a + b)
     }
 
-    /// Mean inbound-engine utilization over `[0, horizon]`.
+    /// Mean inbound-engine utilization over `[0, horizon]`, across every
+    /// server of every processing unit.
     pub fn engine_utilization(&self, horizon: SimTime) -> f64 {
-        self.engine.lock().utilization(horizon)
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let servers: usize = self.engines.iter().map(|e| e.lock().servers()).sum();
+        self.engine_busy().as_secs_f64() / (horizon.as_secs_f64() * servers as f64)
     }
 
     fn access(
@@ -497,31 +576,36 @@ impl Rnic {
                 None => {}
             }
         }
-        let mut inner = self.inner.lock();
-        let mr = *inner.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        let mr = {
+            let rt = self.regions.read();
+            let mr = *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+            if let Some(&until) = rt.busy_until.get(&rkey) {
+                if now < until {
+                    return Err(RdmaError::RegionBusy(rkey));
+                }
+            }
+            mr
+        };
         if !mr.covers(va, len) {
             return Err(RdmaError::OutOfRange { rkey, va, len });
         }
-        if let Some(&until) = inner.busy_until.get(&rkey) {
-            if now < until {
-                return Err(RdmaError::RegionBusy(rkey));
-            }
-        }
-        // Resolve the translation of every page the access touches.
+        // Resolve the translation of every page the access touches. Each
+        // page locks only its own MTT shard, so concurrent verbs from
+        // different QPs touching different pages proceed in parallel.
         let first_vpn = va / PAGE_SIZE as u64;
         let last_vpn = (va + len.max(1) as u64 - 1) / PAGE_SIZE as u64;
-        if forced_miss {
-            // A forced MTT-cache-miss fault evicts the access's translations
-            // so the normal lookup below takes genuine misses.
-            for vpn in first_vpn..=last_vpn {
-                inner.cache.remove(&vpn);
-            }
-        }
         let mut all_hit = true;
         let mut odp_misses = 0u32;
         let mut frames = Vec::with_capacity((last_vpn - first_vpn + 1) as usize);
         for vpn in first_vpn..=last_vpn {
-            let entry = match inner.mtt.get(&vpn).copied() {
+            let mut shard = self.shard_of(vpn).lock();
+            if forced_miss {
+                // A forced MTT-cache-miss fault evicts the page's
+                // translation so the normal lookup below takes a genuine
+                // miss.
+                shard.cache.remove(&vpn);
+            }
+            let entry = match shard.mtt.get(&vpn).copied() {
                 Some(e) if !mr.odp => e,
                 maybe => {
                     // ODP region (or missing entry on one): validate epoch
@@ -538,15 +622,15 @@ impl Rnic {
                             odp_misses += 1;
                             self.stats.odp_misses.fetch_add(1, Ordering::Relaxed);
                             let e = MttEntry { frame: current.frame, epoch: current.epoch };
-                            inner.mtt.insert(vpn, e);
+                            shard.mtt.insert(vpn, e);
                             e
                         }
                     }
                 }
             };
-            if inner.cache.get(&vpn).is_none() {
+            if shard.cache.get(&vpn).is_none() {
                 all_hit = false;
-                inner.cache.insert(vpn, ());
+                shard.cache.insert(vpn, ());
             }
             frames.push(entry.frame);
         }
@@ -580,22 +664,34 @@ impl Rnic {
         Ok((VerbOutcome { latency, cache_hit: all_hit, odp_misses }, len))
     }
 
-    /// Cache hit/miss counters of the translation cache.
+    /// Cache hit/miss counters of the translation cache, summed over all
+    /// MTT shards.
     pub fn cache_stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.cache.hits(), inner.cache.misses())
+        let mut hits = 0;
+        let mut misses = 0;
+        for shard in self.shards.iter() {
+            let s = shard.lock();
+            hits += s.cache.hits();
+            misses += s.cache.misses();
+        }
+        (hits, misses)
+    }
+
+    /// Number of MTT shards.
+    pub fn mtt_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// The MTT's current translation for a page, if any (test/diagnostic
     /// hook: lets tests assert MTT-vs-page-table divergence).
     pub fn mtt_lookup(&self, va: u64) -> Option<FrameId> {
-        let inner = self.inner.lock();
-        inner.mtt.get(&(va / PAGE_SIZE as u64)).map(|e| e.frame)
+        let vpn = va / PAGE_SIZE as u64;
+        self.shard_of(vpn).lock().mtt.get(&vpn).map(|e| e.frame)
     }
 
     /// Looks up a region by rkey.
     pub fn region(&self, rkey: u32) -> Option<MemoryRegion> {
-        self.inner.lock().regions.get(&rkey).copied()
+        self.regions.read().regions.get(&rkey).copied()
     }
 }
 
@@ -854,6 +950,96 @@ mod tests {
         assert!(rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).is_err());
         rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
         assert_eq!(rnic.stats.reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn multi_unit_engine_shortens_batch_makespan() {
+        // The same 8-WQE batch on a 2-unit NIC must finish strictly sooner
+        // than on a 1-unit NIC: round-robin dispatch halves the per-unit
+        // queueing.
+        let makespan = |units: usize| {
+            let pm = Arc::new(PhysicalMemory::new());
+            let frames = pm.alloc_n(1).unwrap();
+            let aspace = Arc::new(AddressSpace::new(pm));
+            let va = aspace.mmap(&frames).unwrap();
+            let rnic = Arc::new(Rnic::new(
+                aspace,
+                RnicConfig { processing_units: units, ..RnicConfig::default() },
+            ));
+            let (mr, _) = rnic.register(va, 1, false).unwrap();
+            let qp = crate::QueuePair::connect(rnic.clone());
+            for i in 0..8u64 {
+                qp.post_read(mr.rkey, va, 64, i);
+            }
+            qp.ring_doorbell(SimTime::ZERO);
+            assert_eq!(rnic.processing_units(), units);
+            assert_eq!(rnic.engine_admitted(), 8);
+            qp.poll_cq(usize::MAX).iter().map(|c| c.completed_at).max().unwrap()
+        };
+        let one = makespan(1);
+        let two = makespan(2);
+        assert!(two < one, "2 units {two} must beat 1 unit {one}");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_virtual_time() {
+        // MTT sharding is a lock-granularity change only: with the same
+        // verb sequence the latencies, cache outcomes, and completion
+        // times are identical for any shard count (as long as the cache
+        // split takes no extra evictions).
+        let run = |shards: usize| {
+            let pm = Arc::new(PhysicalMemory::new());
+            let frames = pm.alloc_n(4).unwrap();
+            let aspace = Arc::new(AddressSpace::new(pm));
+            let va = aspace.mmap(&frames).unwrap();
+            let rnic =
+                Rnic::new(aspace, RnicConfig { mtt_shards: shards, ..RnicConfig::default() });
+            let (mr, _) = rnic.register(va, 4, false).unwrap();
+            let mut out = Vec::new();
+            let mut buf = [0u8; 64];
+            for i in 0..16u64 {
+                let addr = va + (i % 4) * PAGE_SIZE as u64;
+                let v = rnic.read(mr.rkey, addr, &mut buf, SimTime::ZERO).unwrap();
+                out.push((v.latency, v.cache_hit));
+            }
+            assert_eq!(rnic.mtt_shards(), shards);
+            (out, rnic.cache_stats())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn concurrent_reads_across_shards_stay_correct() {
+        use std::thread;
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(8).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let rnic = Arc::new(Rnic::new(
+            aspace.clone(),
+            RnicConfig { mtt_shards: 8, ..RnicConfig::default() },
+        ));
+        let (mr, _) = rnic.register(va, 8, false).unwrap();
+        for p in 0..8u64 {
+            aspace.write(va + p * PAGE_SIZE as u64, &[p as u8; 32]).unwrap();
+        }
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let rnic = rnic.clone();
+            threads.push(thread::spawn(move || {
+                let mut buf = [0u8; 32];
+                for i in 0..200u64 {
+                    let page = (t * 2 + i) % 8;
+                    rnic.read(mr.rkey, va + page * PAGE_SIZE as u64, &mut buf, SimTime::ZERO)
+                        .unwrap();
+                    assert_eq!(buf, [page as u8; 32]);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rnic.stats.reads.load(Ordering::Relaxed), 800);
     }
 
     #[test]

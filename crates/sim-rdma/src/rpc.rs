@@ -1,16 +1,26 @@
 //! Two-sided SEND/RECV RPC fabric.
 //!
 //! CoRM serves memory-management operations (Alloc, Free, Write, RPC reads,
-//! ReleasePtr) over RPC: requests land in a queue shared by the server's
-//! worker threads (§2.2.2). This module provides that fabric for the
-//! *threaded* execution mode: clients hold an [`RpcClient`] and block on
-//! replies; worker threads drain the shared [`RpcQueue`].
+//! ReleasePtr) over RPC: requests land in per-worker queues drained by the
+//! server's worker threads (§2.2.2). This module provides that fabric for
+//! the *threaded* execution mode: clients hold an [`RpcClient`] and block
+//! on replies; worker threads drain their own [`RpcQueue`] and steal from
+//! siblings when idle.
+//!
+//! The fabric is sharded: [`sharded_rpc_channel`] creates one queue per
+//! worker and a client that sprays requests round-robin across them, so N
+//! workers do not contend on a single channel lock. Queues are cheaply
+//! cloneable MPMC handles — handing every worker the full queue vector is
+//! what enables work stealing. [`rpc_channel`] is the single-queue special
+//! case and behaves exactly as before.
 //!
 //! The event-driven figure harness does not use channels — it calls server
 //! handlers directly and charges virtual time — so this fabric carries no
 //! latency model of its own.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A request paired with its reply channel.
@@ -26,12 +36,39 @@ impl<Req, Resp> Envelope<Req, Resp> {
     pub fn reply(self, response: Resp) -> bool {
         self.reply_to.send(response).is_ok()
     }
+
+    /// Splits the envelope into the request (by move — no clone needed to
+    /// serve it) and a handle for replying later.
+    pub fn into_parts(self) -> (Req, ReplyHandle<Resp>) {
+        (self.request, ReplyHandle { reply_to: self.reply_to })
+    }
 }
 
-/// Client side of the RPC fabric.
-#[derive(Clone)]
+/// The reply half of a split [`Envelope`].
+pub struct ReplyHandle<Resp> {
+    reply_to: Sender<Resp>,
+}
+
+impl<Resp> ReplyHandle<Resp> {
+    /// Sends the reply to the waiting client. Returns `false` if the client
+    /// has gone away.
+    pub fn send(self, response: Resp) -> bool {
+        self.reply_to.send(response).is_ok()
+    }
+}
+
+/// Client side of the RPC fabric. Requests are sprayed round-robin across
+/// the server's worker queues; clones share the rotation counter so
+/// concurrent clients spread load rather than marching in step.
 pub struct RpcClient<Req, Resp> {
-    tx: Sender<Envelope<Req, Resp>>,
+    txs: Arc<[Sender<Envelope<Req, Resp>>]>,
+    next: Arc<AtomicUsize>,
+}
+
+impl<Req, Resp> Clone for RpcClient<Req, Resp> {
+    fn clone(&self) -> Self {
+        RpcClient { txs: self.txs.clone(), next: self.next.clone() }
+    }
 }
 
 /// Errors from a blocking RPC call.
@@ -63,7 +100,8 @@ impl<Req, Resp> RpcClient<Req, Resp> {
     /// Issues a blocking call with an explicit deadline.
     pub fn call_timeout(&self, request: Req, timeout: Duration) -> Result<Resp, RpcError> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
+        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.txs.len();
+        self.txs[shard]
             .send(Envelope { request, reply_to: reply_tx })
             .map_err(|_| RpcError::Disconnected)?;
         match reply_rx.recv_timeout(timeout) {
@@ -72,9 +110,15 @@ impl<Req, Resp> RpcClient<Req, Resp> {
             Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
         }
     }
+
+    /// Number of server queues this client sprays over.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
 }
 
-/// Server side: the shared queue that worker threads poll.
+/// Server side: one worker's request queue. Clones are MPMC handles onto
+/// the same queue, so idle workers can steal from a sibling's queue.
 #[derive(Clone)]
 pub struct RpcQueue<Req, Resp> {
     rx: Receiver<Envelope<Req, Resp>>,
@@ -87,7 +131,7 @@ impl<Req, Resp> RpcQueue<Req, Resp> {
         self.rx.recv_timeout(timeout).ok()
     }
 
-    /// Non-blocking poll.
+    /// Non-blocking poll (also the steal primitive for sibling workers).
     pub fn try_poll(&self) -> Option<Envelope<Req, Resp>> {
         self.rx.try_recv().ok()
     }
@@ -103,10 +147,27 @@ impl<Req, Resp> RpcQueue<Req, Resp> {
     }
 }
 
-/// Creates a connected client/queue pair.
+/// Creates a client connected to `shards` per-worker queues (clamped to
+/// ≥ 1). The client rotates across the queues per call.
+pub fn sharded_rpc_channel<Req, Resp>(
+    shards: usize,
+) -> (RpcClient<Req, Resp>, Vec<RpcQueue<Req, Resp>>) {
+    let n = shards.max(1);
+    let mut txs = Vec::with_capacity(n);
+    let mut queues = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        queues.push(RpcQueue { rx });
+    }
+    (RpcClient { txs: txs.into(), next: Arc::new(AtomicUsize::new(0)) }, queues)
+}
+
+/// Creates a connected client/queue pair (the single-queue special case of
+/// [`sharded_rpc_channel`]).
 pub fn rpc_channel<Req, Resp>() -> (RpcClient<Req, Resp>, RpcQueue<Req, Resp>) {
-    let (tx, rx) = unbounded();
-    (RpcClient { tx }, RpcQueue { rx })
+    let (client, mut queues) = sharded_rpc_channel(1);
+    (client, queues.pop().expect("one shard"))
 }
 
 #[cfg(test)]
@@ -123,6 +184,20 @@ mod tests {
             assert!(env.reply(req * 2));
         });
         assert_eq!(client.call(21).unwrap(), 42);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn into_parts_serves_by_move() {
+        // Request type is deliberately not Clone: serving must not need it.
+        struct NotClone(u32);
+        let (client, queue) = rpc_channel::<NotClone, u32>();
+        let server = thread::spawn(move || {
+            let env = queue.poll(Duration::from_secs(1)).unwrap();
+            let (req, reply) = env.into_parts();
+            assert!(reply.send(req.0 + 1));
+        });
+        assert_eq!(client.call(NotClone(9)).unwrap(), 10);
         server.join().unwrap();
     }
 
@@ -152,6 +227,64 @@ mod tests {
         drop(client);
         let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn sharded_client_round_robins_across_queues() {
+        let (client, queues) = sharded_rpc_channel::<u32, u32>(4);
+        assert_eq!(client.shards(), 4);
+        assert_eq!(queues.len(), 4);
+        // Fire 8 calls from a helper thread; each queue must see exactly 2.
+        let issuer = {
+            let client = client.clone();
+            thread::spawn(move || {
+                for i in 0..8u32 {
+                    assert_eq!(client.call(i).unwrap(), i);
+                }
+            })
+        };
+        let mut per_queue = [0usize; 4];
+        let mut served = 0;
+        while served < 8 {
+            for (q, count) in queues.iter().zip(per_queue.iter_mut()) {
+                if let Some(env) = q.try_poll() {
+                    let r = env.request;
+                    env.reply(r);
+                    *count += 1;
+                    served += 1;
+                }
+            }
+            thread::yield_now();
+        }
+        issuer.join().unwrap();
+        assert_eq!(per_queue, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_sibling_queue() {
+        let (client, queues) = sharded_rpc_channel::<u32, u32>(2);
+        // Queue 1's worker never polls; a worker owning queue 0 serves
+        // everything by stealing from queue 1 when its own queue is dry.
+        let thief = {
+            let queues = queues.clone();
+            thread::spawn(move || {
+                let mut served = 0;
+                while served < 10 {
+                    let env = queues[0].try_poll().or_else(|| queues[1].try_poll());
+                    if let Some(env) = env {
+                        let r = env.request;
+                        env.reply(r * 3);
+                        served += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            })
+        };
+        for i in 0..10u32 {
+            assert_eq!(client.call(i).unwrap(), i * 3);
+        }
+        thief.join().unwrap();
     }
 
     #[test]
