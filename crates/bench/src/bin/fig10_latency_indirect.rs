@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use corm_baselines::RpcEcho;
-use corm_bench::report::{f2, write_csv, Table};
+use corm_bench::report::{f2, median_us, write_csv, Table};
 use corm_core::client::{ClientConfig, CormClient, FixStrategy};
 use corm_core::server::{CormServer, CorrectionStrategy, ServerConfig};
 use corm_core::{GlobalPtr, ReadOutcome};
@@ -149,11 +149,11 @@ fn main() {
 
         t.row(&[
             size.to_string(),
-            f2(h_read.median().unwrap()),
-            f2(h_write.median().unwrap()),
-            f2(h_fix_rpc.median().unwrap()),
-            f2(h_fix_scan.median().unwrap()),
-            f2(h_release.median().unwrap()),
+            f2(median_us(&h_read)),
+            f2(median_us(&h_write)),
+            f2(median_us(&h_fix_rpc)),
+            f2(median_us(&h_fix_scan)),
+            f2(median_us(&h_release)),
             f2(echo.round_trip(size).as_micros_f64()),
         ]);
     }

@@ -12,7 +12,7 @@
 //! 1.33× slower than memcpy for small objects, converging for large.
 
 use corm_baselines::{FarmServer, LocalMemcpy, RawRdmaClient};
-use corm_bench::report::{f1, f2, write_csv, Table};
+use corm_bench::report::{f1, f2, kreqs_from_median, mreqs_from_median, write_csv, Table};
 use corm_bench::setup::populate_server;
 use corm_core::client::CormClient;
 use corm_core::server::ServerConfig;
@@ -108,15 +108,13 @@ fn main() {
                 .record_duration(farm_client.local_read(&mut flp, &mut buf).expect("fl").cost);
         }
 
-        let kreqs = |h: &Histogram| 1e3 / h.median().unwrap();
-        let mreqs = |h: &Histogram| 1.0 / h.median().unwrap();
         t.row(&[
             size.to_string(),
-            f1(kreqs(&h_corm)),
-            f1(kreqs(&h_farm)),
-            f1(kreqs(&h_raw)),
-            f2(mreqs(&h_local)),
-            f2(mreqs(&h_farm_local)),
+            f1(kreqs_from_median(&h_corm)),
+            f1(kreqs_from_median(&h_farm)),
+            f1(kreqs_from_median(&h_raw)),
+            f2(mreqs_from_median(&h_local)),
+            f2(mreqs_from_median(&h_farm_local)),
             f2(1.0 / memcpy.cost(size).as_micros_f64()),
         ]);
     }

@@ -12,10 +12,14 @@
 //! statistics are exported as JSON next to the fault/recovery counters.
 //!
 //! `--smoke` shrinks the population and op count for a seconds-scale CI
-//! run exercising the same code paths.
+//! run exercising the same code paths. `--trace` records the whole sweep
+//! with `corm-trace` and writes Perfetto + canonical-event artifacts; this
+//! sweep is single-threaded, so the traced event stream is fully
+//! deterministic and `trace_diff`-able across same-seed runs.
 
 use corm_bench::report::{
-    engine_metrics, f2, f3, fault_metrics, write_csv, write_json, Json, JsonObject, Table,
+    engine_metrics, f2, f3, fault_metrics, trace_counters, write_csv, write_json,
+    write_trace_artifacts, Json, JsonObject, Table,
 };
 use corm_bench::setup::populate_server;
 use corm_core::client::CormClient;
@@ -31,6 +35,11 @@ const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace = if std::env::args().any(|a| a == "--trace") {
+        corm_trace::TraceHandle::recording()
+    } else {
+        corm_trace::TraceHandle::disabled()
+    };
     // Smoke scales population, ops, and the translation cache together so
     // the pages:cache ratio — and with it the miss-dominated shape — is
     // preserved at CI size.
@@ -54,6 +63,7 @@ fn main() {
         let objects = working_set / gross;
         let config = ServerConfig {
             rnic: RnicConfig { cache_entries, ..RnicConfig::default() },
+            trace: trace.clone(),
             ..ServerConfig::default()
         };
         let store = populate_server(config, objects, SIZE);
@@ -163,14 +173,19 @@ fn main() {
     let csv = write_csv("fig12_aggregate_throughput", &t).expect("write csv");
     println!("\ncsv: {}", csv.display());
 
-    let detail = JsonObject::new()
+    let mut detail = JsonObject::new()
         .uint("ops", ops as u64)
         .uint("payload_bytes", SIZE as u64)
         .field("cells", Json::Arr(cells))
-        .field("final", final_json.expect("DEPTHS is non-empty"))
-        .build();
-    let json = write_json("fig12_aggregate_throughput", &detail).expect("write json");
+        .field("final", final_json.expect("DEPTHS is non-empty"));
+    if trace.is_enabled() {
+        detail = detail.field("trace_metrics", trace_counters(&trace));
+    }
+    let json = write_json("fig12_aggregate_throughput", &detail.build()).expect("write json");
     println!("json: {}", json.display());
+    if trace.is_enabled() {
+        write_trace_artifacts("fig12_aggregate_throughput", &trace).expect("write trace");
+    }
     println!(
         "\nShape checks: throughput grows with depth and saturates as the\n\
          engine utilization approaches 1; Zipf skew warms the translation\n\

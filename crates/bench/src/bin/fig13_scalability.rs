@@ -26,11 +26,19 @@
 //! (non-zero exit) if wall-clock throughput at workers=4 is not strictly
 //! greater than at workers=1. The full run asserts the acceptance target:
 //! ≥2× wall-clock ops/s at 8 workers / 8 client threads vs. 1 worker.
+//!
+//! `--trace` records the sweep with `corm-trace` and writes Perfetto +
+//! canonical-event artifacts: per-worker tracks from the ThreadedServer
+//! cells, per-engine-unit tracks from the NIC cells. Multi-worker cells
+//! steal work, so the traced stream is *not* diffable across runs — use
+//! `fig12_aggregate_throughput --trace` or `trace_smoke` for that.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use corm_bench::report::{f1, f2, write_csv, write_json, Json, JsonObject, Table};
+use corm_bench::report::{
+    f1, f2, trace_counters, write_csv, write_json, write_trace_artifacts, Json, JsonObject, Table,
+};
 use corm_bench::setup::populate_server;
 use corm_core::client::CormClient;
 use corm_core::server::threaded::{Pacing, Request, Response, ThreadedServer};
@@ -38,6 +46,7 @@ use corm_core::server::ServerConfig;
 use corm_core::GlobalPtr;
 use corm_sim_core::time::SimTime;
 use corm_sim_rdma::RnicConfig;
+use corm_trace::TraceHandle;
 
 const SIZE: usize = 64;
 const OBJECTS: usize = 4_096;
@@ -52,8 +61,13 @@ struct RpcCell {
 
 /// Runs one closed-loop RPC cell: `clients` threads each issue
 /// `ops_per_client` Read RPCs against a `workers`-worker ThreadedServer.
-fn run_rpc_cell(clients: usize, workers: usize, ops_per_client: usize) -> RpcCell {
-    let config = ServerConfig { workers, ..ServerConfig::default() };
+fn run_rpc_cell(
+    clients: usize,
+    workers: usize,
+    ops_per_client: usize,
+    trace: &TraceHandle,
+) -> RpcCell {
+    let config = ServerConfig { workers, trace: trace.clone(), ..ServerConfig::default() };
     let store = populate_server(config, OBJECTS, SIZE);
     let ptrs = Arc::new(store.ptrs.clone());
     // Paced mode: each worker is occupied for its op's virtual cost in
@@ -102,10 +116,11 @@ struct NicCell {
 /// Runs one NIC cell: batched DirectReads (depth [`BATCH_DEPTH`]) against
 /// an RNIC with `units` processing units; the virtual-time makespan of
 /// each batch shrinks as units go up.
-fn run_nic_cell(units: usize, ops: usize) -> NicCell {
+fn run_nic_cell(units: usize, ops: usize, trace: &TraceHandle) -> NicCell {
     let config = ServerConfig {
         workers: 1,
         rnic: RnicConfig { processing_units: units, ..RnicConfig::default() },
+        trace: trace.clone(),
         ..ServerConfig::default()
     };
     let store = populate_server(config, OBJECTS, SIZE);
@@ -127,6 +142,11 @@ fn run_nic_cell(units: usize, ops: usize) -> NicCell {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace = if std::env::args().any(|a| a == "--trace") {
+        TraceHandle::recording()
+    } else {
+        TraceHandle::disabled()
+    };
     let (worker_sweep, unit_sweep, ops_per_client, nic_ops): (&[usize], &[usize], usize, usize) =
         if smoke {
             (&[1, 4], &[1, 4], 1_200, 1_024)
@@ -144,7 +164,7 @@ fn main() {
     // RPC axis: closed loop, clients scale with workers (fig11/12 shape).
     let mut rpc_cells = Vec::new();
     for &w in worker_sweep {
-        rpc_cells.push(run_rpc_cell(w, w, ops_per_client));
+        rpc_cells.push(run_rpc_cell(w, w, ops_per_client, &trace));
     }
     let base_wall = rpc_cells[0].wall_kops;
     for c in &rpc_cells {
@@ -172,7 +192,7 @@ fn main() {
     // NIC axis: processing units shorten the virtual batch makespan.
     let mut nic_cells = Vec::new();
     for &u in unit_sweep {
-        nic_cells.push(run_nic_cell(u, nic_ops));
+        nic_cells.push(run_nic_cell(u, nic_ops, &trace));
     }
     let base_virt = nic_cells[0].virt_kops;
     for c in &nic_cells {
@@ -198,19 +218,21 @@ fn main() {
     t.print();
     let csv = write_csv("fig13_scalability", &t).expect("write csv");
     println!("\ncsv: {}", csv.display());
-    let json = write_json(
-        "fig13_scalability",
-        &JsonObject::new()
-            .field("smoke", Json::Bool(smoke))
-            .uint("objects", OBJECTS as u64)
-            .uint("payload_bytes", SIZE as u64)
-            .uint("ops_per_client", ops_per_client as u64)
-            .field("rpc", Json::Arr(rpc_rows))
-            .field("nic_units", Json::Arr(nic_rows))
-            .build(),
-    )
-    .expect("write json");
+    let mut detail = JsonObject::new()
+        .field("smoke", Json::Bool(smoke))
+        .uint("objects", OBJECTS as u64)
+        .uint("payload_bytes", SIZE as u64)
+        .uint("ops_per_client", ops_per_client as u64)
+        .field("rpc", Json::Arr(rpc_rows))
+        .field("nic_units", Json::Arr(nic_rows));
+    if trace.is_enabled() {
+        detail = detail.field("trace_metrics", trace_counters(&trace));
+    }
+    let json = write_json("fig13_scalability", &detail.build()).expect("write json");
     println!("json: {}", json.display());
+    if trace.is_enabled() {
+        write_trace_artifacts("fig13_scalability", &trace).expect("write trace");
+    }
 
     // Gates. Smoke (CI): strictly more wall-clock throughput at 4 workers
     // than at 1. Full: the acceptance target, ≥2× at 8 workers.

@@ -10,12 +10,17 @@
 //! ≈ 31 µs @ 16 threads; ≈ 100 µs per 4 KiB block on CX-3 (70 µs of it in
 //! `rereg_mr`) growing linearly with the block count; 12 ms for a 256-page
 //! block on CX-3, with CX-5 cheaper and ODP cheapest.
+//!
+//! Every pass's full [`CompactionReport`] — blocks freed, objects
+//! relocated/copied, per-stage costs — is exported as JSON alongside the
+//! CSVs, one array per panel.
 
 use std::sync::Arc;
 
-use corm_bench::report::{f1, write_csv, Table};
+use corm_bench::report::{compaction_metrics, f1, write_csv, write_json, Json, JsonObject, Table};
 use corm_core::client::CormClient;
 use corm_core::server::{CormServer, ServerConfig};
+use corm_core::CompactionReport;
 use corm_sim_core::time::SimTime;
 use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, RnicConfig};
 
@@ -60,7 +65,20 @@ fn run_compaction(
     server.compact_class(class, SimTime::ZERO).expect("compaction").value
 }
 
+/// Tags a pass's [`CompactionReport`] metrics with its panel coordinates.
+fn pass_json(coord: &str, value: usize, variant: &str, report: &CompactionReport) -> Json {
+    JsonObject::new()
+        .uint(coord, value as u64)
+        .str("variant", variant)
+        .field("report", compaction_metrics(report))
+        .build()
+}
+
 fn main() {
+    let mut left_passes: Vec<Json> = Vec::new();
+    let mut center_passes: Vec<Json> = Vec::new();
+    let mut right_passes: Vec<Json> = Vec::new();
+
     // --- Left panel: collection time vs threads -------------------------
     let mut left =
         Table::new("Fig. 15 (left): collection time vs threads (us)", &["threads", "intel", "amd"]);
@@ -84,6 +102,8 @@ fn main() {
             f1(intel.collection_cost.as_micros_f64()),
             f1(amd.collection_cost.as_micros_f64()),
         ]);
+        left_passes.push(pass_json("threads", threads, "intel", &intel));
+        left_passes.push(pass_json("threads", threads, "amd", &amd));
     }
     left.print();
     write_csv("fig15_collection", &left).expect("csv");
@@ -112,6 +132,9 @@ fn main() {
             f1(cx5.compaction_cost.as_micros_f64()),
             f1(odp.compaction_cost.as_micros_f64()),
         ]);
+        center_passes.push(pass_json("blocks", blocks, "connectx3", &cx3));
+        center_passes.push(pass_json("blocks", blocks, "connectx5", &cx5));
+        center_passes.push(pass_json("blocks", blocks, "connectx5_odp", &odp));
     }
     center.print();
     write_csv("fig15_compaction_blocks", &center).expect("csv");
@@ -133,8 +156,22 @@ fn main() {
             f1(cx5.compaction_cost.as_micros_f64()),
             f1(odp.compaction_cost.as_micros_f64()),
         ]);
+        right_passes.push(pass_json("pages", pages, "connectx3", &cx3));
+        right_passes.push(pass_json("pages", pages, "connectx5", &cx5));
+        right_passes.push(pass_json("pages", pages, "connectx5_odp", &odp));
     }
     right.print();
     let path = write_csv("fig15_compaction_block_size", &right).expect("csv");
     println!("\ncsv: {} (+ fig15_collection, fig15_compaction_blocks)", path.display());
+
+    let json = write_json(
+        "fig15_compaction_latency",
+        &JsonObject::new()
+            .field("collection_vs_threads", Json::Arr(left_passes))
+            .field("compaction_vs_blocks", Json::Arr(center_passes))
+            .field("compaction_vs_block_size", Json::Arr(right_passes))
+            .build(),
+    )
+    .expect("write json");
+    println!("json: {}", json.display());
 }

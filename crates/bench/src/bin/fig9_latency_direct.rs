@@ -7,7 +7,7 @@
 //! DirectRead ≈ raw RDMA for objects < 256 B.
 
 use corm_baselines::{RawRdmaClient, RpcEcho};
-use corm_bench::report::{f2, write_csv, Table};
+use corm_bench::report::{f2, median_us, write_csv, Table};
 use corm_bench::setup::populate_server;
 use corm_core::client::CormClient;
 use corm_core::server::ServerConfig;
@@ -83,13 +83,13 @@ fn main() {
         // Client-API costs are already end-to-end round trips.
         t.row(&[
             size.to_string(),
-            f2(h_alloc.median().unwrap()),
-            f2(h_free.median().unwrap()),
-            f2(h_read.median().unwrap()),
-            f2(h_write.median().unwrap()),
-            f2(h_direct.median().unwrap()),
+            f2(median_us(&h_alloc)),
+            f2(median_us(&h_free)),
+            f2(median_us(&h_read)),
+            f2(median_us(&h_write)),
+            f2(median_us(&h_direct)),
             f2(echo.round_trip(size).as_micros_f64()),
-            f2(h_raw.median().unwrap()),
+            f2(median_us(&h_raw)),
         ]);
     }
     t.print();

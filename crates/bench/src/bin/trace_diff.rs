@@ -1,0 +1,41 @@
+//! `trace diff`: compares two canonical event files from seeded runs and
+//! reports event-order divergence.
+//!
+//! Usage: `trace_diff <left.events> <right.events>`
+//!
+//! The inputs are the `results/<name>.events` files written next to every
+//! `--trace` bench run (one canonical line per event, time-major). Two
+//! same-seed runs of a deterministic bench must produce byte-identical
+//! event streams; this tool pinpoints the first divergence when they do
+//! not. Exit status: 0 when the traces match, 1 on divergence, 2 on
+//! usage or I/O errors.
+
+use std::process::ExitCode;
+
+use corm_trace::diff_canonical;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [left_path, right_path] = args.as_slice() else {
+        eprintln!("usage: trace_diff <left.events> <right.events>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("trace_diff: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(left), Some(right)) = (read(left_path), read(right_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let diff = diff_canonical(&left, &right);
+    println!("{}", diff.describe());
+    if diff.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

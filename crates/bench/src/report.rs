@@ -10,8 +10,11 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use corm_core::CompactionReport;
+use corm_sim_core::stats::Histogram;
 use corm_sim_core::time::SimTime;
 use corm_sim_rdma::{FaultKind, QueuePair, Rnic};
+use corm_trace::{canonical_lines, perfetto_json, validate_perfetto, Event, TraceHandle};
 
 /// A simple column-aligned table.
 #[derive(Debug, Clone)]
@@ -319,6 +322,123 @@ pub fn write_json(name: &str, json: &Json) -> std::io::Result<PathBuf> {
     let path = dir.join(format!("{name}.json"));
     fs::write(&path, json.render())?;
     Ok(path)
+}
+
+/// Median of a latency histogram, `0.0` when empty. The figure binaries
+/// record latencies in microseconds, so this is the paper's "median µs"
+/// column; it is the one shared quantile helper the binaries use instead
+/// of per-binary `median().unwrap()` copies.
+pub fn median_us(h: &Histogram) -> f64 {
+    h.median().unwrap_or(0.0)
+}
+
+/// Throughput in kreq/s implied by a median latency recorded in µs
+/// (`0.0` when the histogram is empty).
+pub fn kreqs_from_median(h: &Histogram) -> f64 {
+    let m = median_us(h);
+    if m > 0.0 {
+        1e3 / m
+    } else {
+        0.0
+    }
+}
+
+/// Throughput in Mreq/s implied by a median latency recorded in µs
+/// (`0.0` when the histogram is empty).
+pub fn mreqs_from_median(h: &Histogram) -> f64 {
+    let m = median_us(h);
+    if m > 0.0 {
+        1.0 / m
+    } else {
+        0.0
+    }
+}
+
+/// One compaction pass's [`CompactionReport`] as a JSON object, so the
+/// compaction figures can export per-pass work and stage costs next to
+/// their latency tables.
+pub fn compaction_metrics(report: &CompactionReport) -> Json {
+    JsonObject::new()
+        .uint("class", u64::from(report.class.0))
+        .uint("collected", report.collected as u64)
+        .uint("merges", report.merges as u64)
+        .uint("blocks_freed", report.blocks_freed as u64)
+        .uint("objects_relocated", report.objects_relocated as u64)
+        .uint("objects_copied", report.objects_copied as u64)
+        .float("collection_us", report.collection_cost.as_micros_f64())
+        .float("compaction_us", report.compaction_cost.as_micros_f64())
+        .float("total_us", report.total_cost().as_micros_f64())
+        .build()
+}
+
+/// Snapshot of a trace handle's aggregate metrics — counters, virtual
+/// duration totals, and wall-clock totals per stage — as one JSON object.
+/// This is the single schema that subsumes the ad-hoc per-binary metric
+/// exports: binaries attach it next to `engine_metrics`/`fault_metrics`.
+pub fn trace_counters(trace: &TraceHandle) -> Json {
+    let counters = Json::Obj(
+        trace.counters().into_iter().map(|(s, n)| (s.name().to_string(), Json::UInt(n))).collect(),
+    );
+    let totals = |rows: Vec<corm_trace::StageTotal>| {
+        Json::Arr(
+            rows.into_iter()
+                .map(|t| {
+                    JsonObject::new()
+                        .str("stage", t.stage.name())
+                        .uint("count", t.count)
+                        .uint("total_ns", t.total_ns)
+                        .build()
+                })
+                .collect(),
+        )
+    };
+    JsonObject::new()
+        .field("counters", counters)
+        .field("virtual_stage_totals", totals(trace.sample_totals()))
+        .field("wall_stage_totals", totals(trace.wall_totals()))
+        .uint("dropped_events", trace.dropped())
+        .build()
+}
+
+/// Drains a recording trace handle and writes its artifacts under
+/// `results/`: `<name>.trace.json` (Perfetto/chrome-tracing JSON, checked
+/// with [`validate_perfetto`]) and `<name>.events` (canonical event lines
+/// for `trace_diff`). Prints the per-stage latency breakdown and asserts
+/// that per-op leaf spans reconcile with op totals. Returns the drained
+/// events so callers can run further checks on them.
+pub fn write_trace_artifacts(name: &str, trace: &TraceHandle) -> std::io::Result<Vec<Event>> {
+    let events = trace.drain();
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+
+    let perfetto = perfetto_json(&events);
+    let n = validate_perfetto(&perfetto)
+        .unwrap_or_else(|e| panic!("emitted Perfetto JSON for {name} is invalid: {e}"));
+    let trace_path = dir.join(format!("{name}.trace.json"));
+    fs::write(&trace_path, &perfetto)?;
+    let events_path = dir.join(format!("{name}.events"));
+    fs::write(&events_path, canonical_lines(&events))?;
+
+    let recon = corm_trace::reconcile(&events);
+    assert!(
+        recon.is_clean(),
+        "{name}: {}/{} traced ops do not reconcile (max error {} ns)",
+        recon.mismatched,
+        recon.ops,
+        recon.max_error_ns
+    );
+    if trace.dropped() > 0 {
+        eprintln!("warning: {name} dropped {} trace events (buffers full)", trace.dropped());
+    }
+    print!("{}", corm_trace::render_breakdown(&corm_trace::breakdown(&events)));
+    println!(
+        "trace: {} events -> {} ({} Perfetto spans), {}",
+        events.len(),
+        trace_path.display(),
+        n,
+        events_path.display()
+    );
+    Ok(events)
 }
 
 /// Formats a float with 1 decimal.

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use corm_sim_core::rng::{stream_rng, DetRng};
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_rdma::{QueuePair, RdmaError};
+use corm_trace::{Stage, TraceHandle, Track};
 
 use crate::consistency::{self, ReadFailure};
 use crate::header::{ObjectHeader, HEADER_BYTES};
@@ -82,6 +83,12 @@ pub struct CormClient {
     qp: QueuePair,
     config: ClientConfig,
     rng: DetRng,
+    /// Trace recorder, shared with the server node (disabled by default).
+    trace: TraceHandle,
+    /// Monotone per-client op counter; spans of one operation (the op
+    /// itself plus every leaf charge) share this id so exporters can
+    /// reconcile leaf sums against op totals.
+    op_seq: u64,
     /// DirectReads that failed validation (Fig. 13's conflict counter).
     pub failed_direct_reads: u64,
     /// QP breaks this client recovered from by reconnecting (§3.5).
@@ -104,7 +111,17 @@ impl CormClient {
     pub fn connect_with(server: Arc<CormServer>, config: ClientConfig) -> Self {
         let qp = QueuePair::connect(server.rnic().clone());
         let rng = stream_rng(config.seed, 0);
-        CormClient { server, qp, config, rng, failed_direct_reads: 0, qp_recoveries: 0 }
+        let trace = server.trace().clone();
+        CormClient {
+            server,
+            qp,
+            config,
+            rng,
+            trace,
+            op_seq: 0,
+            failed_direct_reads: 0,
+            qp_recoveries: 0,
+        }
     }
 
     /// The server this client talks to.
@@ -122,6 +139,14 @@ impl CormClient {
         rand::Rng::gen_range(&mut self.rng, 0..workers)
     }
 
+    /// Allocates the next client-op id for trace spans. Ops that error out
+    /// simply leave their leaves without an op span; the reconciler only
+    /// audits ops that produced a total.
+    fn begin_op(&mut self) -> u64 {
+        self.op_seq += 1;
+        self.op_seq
+    }
+
     /// Whether an RDMA error is survivable by reconnecting the QP: the
     /// connection broke (or a transient NIC/PCIe fault broke it), but the
     /// region, keys, and data are intact.
@@ -135,6 +160,7 @@ impl CormClient {
     /// once `max_reconnects` attempts are spent.
     fn recover_qp(
         &mut self,
+        op: u64,
         attempt: &mut usize,
         total: &mut SimDuration,
         clock: &mut SimTime,
@@ -147,7 +173,10 @@ impl CormClient {
         if backoff > self.config.reconnect_backoff_cap {
             backoff = self.config.reconnect_backoff_cap;
         }
-        let cost = backoff + self.qp.reconnect();
+        let reconnect = self.qp.reconnect();
+        self.trace.span(Track::Client, Stage::Backoff, op, *clock, backoff);
+        self.trace.span(Track::Client, Stage::Reconnect, op, *clock + backoff, reconnect);
+        let cost = backoff + reconnect;
         *total += cost;
         *clock += cost;
         self.qp_recoveries += 1;
@@ -224,6 +253,21 @@ impl CormClient {
         buf: &mut [u8],
         now: SimTime,
     ) -> Result<Timed<ReadOutcome>, RdmaError> {
+        let op = self.begin_op();
+        let t = self.direct_read_at(ptr, buf, now, op)?;
+        self.trace.span(Track::Client, Stage::ClientOp, op, now, t.cost);
+        Ok(t)
+    }
+
+    /// [`Self::direct_read`] body, tagging leaf spans with `op` so recovery
+    /// loops can charge attempts to their enclosing operation.
+    fn direct_read_at(
+        &mut self,
+        ptr: &GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+        op: u64,
+    ) -> Result<Timed<ReadOutcome>, RdmaError> {
         let slot_bytes = match self.slot_bytes(ptr) {
             Ok(n) => n,
             // Signal through the validation channel: a bad class byte can
@@ -238,8 +282,10 @@ impl CormClient {
         };
         let mut image = vec![0u8; slot_bytes];
         let verb = self.qp.read(ptr.rkey, ptr.vaddr, &mut image, now)?;
-        let model = self.server.model();
-        let cost = verb.latency + model.version_check_cost(slot_bytes);
+        let check = self.server.model().version_check_cost(slot_bytes);
+        self.trace.span(Track::Client, Stage::Verb, op, now, verb.latency);
+        self.trace.span(Track::Client, Stage::VersionCheck, op, now + verb.latency, check);
+        let cost = verb.latency + check;
         match consistency::gather(&image, Some(ptr.obj_id), buf.len()) {
             Ok((_, payload)) => {
                 let n = payload.len().min(buf.len());
@@ -261,6 +307,20 @@ impl CormClient {
         ptr: &mut GlobalPtr,
         buf: &mut [u8],
         now: SimTime,
+    ) -> Result<Timed<usize>, CormError> {
+        let op = self.begin_op();
+        let t = self.scan_read_at(ptr, buf, now, op)?;
+        self.trace.span(Track::Client, Stage::ClientOp, op, now, t.cost);
+        Ok(t)
+    }
+
+    /// [`Self::scan_read`] body, tagging leaf spans with `op`.
+    fn scan_read_at(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+        op: u64,
     ) -> Result<Timed<usize>, CormError> {
         let block_bytes = self.server.block_bytes();
         let slot_bytes = self.slot_bytes(ptr)?;
@@ -284,6 +344,16 @@ impl CormClient {
                     let n = payload.len().min(buf.len());
                     buf[..n].copy_from_slice(&payload[..n]);
                     ptr.correct_offset(block_bytes, off);
+                    // One Scan leaf covers everything past the wire: the
+                    // header sweep plus each candidate's version check.
+                    self.trace.span(Track::Client, Stage::Verb, op, now, verb.latency);
+                    self.trace.span(
+                        Track::Client,
+                        Stage::Scan,
+                        op,
+                        now + verb.latency,
+                        cost.saturating_sub(verb.latency),
+                    );
                     return Ok(Timed::new(n, cost));
                 }
                 Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
@@ -315,15 +385,16 @@ impl CormClient {
         buf: &mut [u8],
         now: SimTime,
     ) -> Result<Timed<usize>, CormError> {
+        let op = self.begin_op();
         let mut total = SimDuration::ZERO;
         let mut clock = now;
         let mut reconnects = 0usize;
         let mut locked_last = false;
         for _ in 0..self.config.max_retries {
-            let attempt = match self.direct_read(ptr, buf, clock) {
+            let attempt = match self.direct_read_at(ptr, buf, clock, op) {
                 Ok(t) => t,
                 Err(e) if Self::recoverable(&e) => {
-                    self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                    self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
                     continue;
                 }
                 Err(e) => return Err(CormError::Rdma(e)),
@@ -331,10 +402,14 @@ impl CormClient {
             total += attempt.cost;
             clock += attempt.cost;
             match attempt.value {
-                ReadOutcome::Ok(n) => return Ok(Timed::new(n, total)),
+                ReadOutcome::Ok(n) => {
+                    self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
+                    return Ok(Timed::new(n, total));
+                }
                 ReadOutcome::Invalid(ReadFailure::Locked)
                 | ReadOutcome::Invalid(ReadFailure::TornRead) => {
                     locked_last = true;
+                    self.trace.span(Track::Client, Stage::Backoff, op, clock, self.config.backoff);
                     total += self.config.backoff;
                     clock += self.config.backoff;
                 }
@@ -346,18 +421,26 @@ impl CormClient {
                     locked_last = false;
                     // The object moved: repair per strategy (§3.2.2).
                     match self.config.fix_strategy {
-                        FixStrategy::ScanRead => match self.scan_read(ptr, buf, clock) {
+                        FixStrategy::ScanRead => match self.scan_read_at(ptr, buf, clock, op) {
                             Ok(t) => {
                                 total += t.cost;
+                                self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
                                 return Ok(Timed::new(t.value, total));
                             }
                             Err(CormError::ObjectLocked) => {
                                 locked_last = true;
+                                self.trace.span(
+                                    Track::Client,
+                                    Stage::Backoff,
+                                    op,
+                                    clock,
+                                    self.config.backoff,
+                                );
                                 total += self.config.backoff;
                                 clock += self.config.backoff;
                             }
                             Err(CormError::Rdma(e)) if Self::recoverable(&e) => {
-                                self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                                self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
                             }
                             Err(e) => return Err(e),
                         },
@@ -365,12 +448,21 @@ impl CormClient {
                             Ok(t) => {
                                 // The RPC's virtual time counts toward the
                                 // op like every other repair cost.
+                                self.trace.span(Track::Client, Stage::RepairRpc, op, clock, t.cost);
                                 total += t.cost;
                                 clock += t.cost;
+                                self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
                                 return Ok(Timed::new(t.value, total));
                             }
                             Err(CormError::ObjectLocked) => {
                                 locked_last = true;
+                                self.trace.span(
+                                    Track::Client,
+                                    Stage::Backoff,
+                                    op,
+                                    clock,
+                                    self.config.backoff,
+                                );
                                 total += self.config.backoff;
                                 clock += self.config.backoff;
                             }
@@ -416,6 +508,7 @@ impl CormClient {
         if n == 0 {
             return Ok(Timed::new(lens, SimDuration::ZERO));
         }
+        let op = self.begin_op();
         let model = self.server.model().clone();
         let mut total = SimDuration::ZERO;
         let mut clock = now;
@@ -483,6 +576,7 @@ impl CormClient {
                 // The client is blocked until the slowest completion lands,
                 // then validates all images back-to-back on the CPU.
                 let makespan = batch_end.saturating_since(clock) + checks;
+                self.trace.span(Track::Client, Stage::BatchWindow, op, clock, makespan);
                 total += makespan;
                 clock += makespan;
             }
@@ -495,7 +589,10 @@ impl CormClient {
                 // One RPC carries the whole repair batch: a single wire
                 // round trip amortized over every repaired entry.
                 let repaired: usize = t.value.iter().map(|r| *r.as_ref().unwrap_or(&0)).sum();
-                let cost = t.cost + self.rpc_wire(repaired);
+                let wire = self.rpc_wire(repaired);
+                self.trace.span(Track::Client, Stage::RepairRpc, op, clock, t.cost);
+                self.trace.span(Track::Client, Stage::RpcWire, op, clock + t.cost, wire);
+                let cost = t.cost + wire;
                 total += cost;
                 clock += cost;
                 for (k, &i) in repair.iter().enumerate() {
@@ -514,12 +611,14 @@ impl CormClient {
                 }
             }
             if need_reconnect {
-                self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
             }
             if next_pending.is_empty() {
+                self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
                 return Ok(Timed::new(lens, total));
             }
             if locked_any && !need_reconnect {
+                self.trace.span(Track::Client, Stage::Backoff, op, clock, self.config.backoff);
                 total += self.config.backoff;
                 clock += self.config.backoff;
             }
@@ -553,6 +652,7 @@ impl CormClient {
         if data.len() > consistency::layout(slot_bytes).capacity {
             return Err(CormError::PayloadTooLarge(data.len()));
         }
+        let op = self.begin_op();
         let model = self.server.model().clone();
         let mut total = SimDuration::ZERO;
         let mut clock = now;
@@ -563,12 +663,15 @@ impl CormClient {
             let verb = match self.qp.read(ptr.rkey, ptr.vaddr, &mut image, clock) {
                 Ok(v) => v,
                 Err(e) if Self::recoverable(&e) => {
-                    self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                    self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
                     continue;
                 }
                 Err(e) => return Err(CormError::Rdma(e)),
             };
-            let cost = verb.latency + model.version_check_cost(slot_bytes);
+            let check = model.version_check_cost(slot_bytes);
+            self.trace.span(Track::Client, Stage::Verb, op, clock, verb.latency);
+            self.trace.span(Track::Client, Stage::VersionCheck, op, clock + verb.latency, check);
+            let cost = verb.latency + check;
             total += cost;
             clock += cost;
             match consistency::gather(&image, Some(ptr.obj_id), 0) {
@@ -576,19 +679,30 @@ impl CormClient {
                     let image = consistency::scatter(header.bump_version(), data, slot_bytes);
                     match self.qp.write(ptr.rkey, ptr.vaddr, &image, clock) {
                         Ok(v) => {
-                            total += v.latency + model.copy_cost(data.len());
+                            let copy = model.copy_cost(data.len());
+                            self.trace.span(Track::Client, Stage::Verb, op, clock, v.latency);
+                            self.trace.span(
+                                Track::Client,
+                                Stage::Copy,
+                                op,
+                                clock + v.latency,
+                                copy,
+                            );
+                            total += v.latency + copy;
+                            self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
                             return Ok(Timed::new((), total));
                         }
                         Err(e) if Self::recoverable(&e) => {
                             // The write never completed; loop back to
                             // re-read so a retry stays idempotent.
-                            self.recover_qp(&mut reconnects, &mut total, &mut clock)?;
+                            self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
                         }
                         Err(e) => return Err(CormError::Rdma(e)),
                     }
                 }
                 Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
                     locked_last = true;
+                    self.trace.span(Track::Client, Stage::Backoff, op, clock, self.config.backoff);
                     total += self.config.backoff;
                     clock += self.config.backoff;
                 }
@@ -597,12 +711,21 @@ impl CormClient {
                     // and corrects the pointer.
                     match self.write(ptr, data) {
                         Ok(t) => {
+                            self.trace.span(Track::Client, Stage::RepairRpc, op, clock, t.cost);
                             total += t.cost;
                             clock += t.cost;
+                            self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
                             return Ok(Timed::new((), total));
                         }
                         Err(CormError::ObjectLocked) => {
                             locked_last = true;
+                            self.trace.span(
+                                Track::Client,
+                                Stage::Backoff,
+                                op,
+                                clock,
+                                self.config.backoff,
+                            );
                             total += self.config.backoff;
                             clock += self.config.backoff;
                         }

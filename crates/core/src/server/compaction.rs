@@ -22,6 +22,7 @@ use corm_alloc::process::SharedBlock;
 use corm_alloc::ClassId;
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_rdma::MttUpdateStrategy;
+use corm_trace::{Stage, Track};
 
 use crate::header::{LockState, ObjectHeader, HEADER_BYTES};
 
@@ -70,10 +71,15 @@ impl CormServer {
         now: SimTime,
     ) -> Result<crate::Timed<CompactionReport>, CormError> {
         let model = self.model().clone();
+        // Passes are numbered from 1 so trace spans of one pass share an op
+        // id; the leader is single-threaded, so the pre-increment read of
+        // the counter (bumped at the end of the pass) is race-free.
+        let pass = self.stats.compactions.load(Ordering::Relaxed) + 1;
 
         // Stage 1: collection. The leader broadcasts and every worker
         // replies with its sufficiently-low-occupancy blocks (§3.1.4).
         let collection_cost = model.collection_cost(self.config().workers);
+        self.trace().span(Track::Compaction, Stage::CompactionCollect, pass, now, collection_cost);
         let mut candidates: Vec<SharedBlock> = Vec::new();
         for w in &self.workers {
             let mut state = w.lock();
@@ -113,6 +119,13 @@ impl CormServer {
                     continue;
                 }
                 let stats = self.merge_blocks(&src, &dst, clock)?;
+                self.trace().span(
+                    Track::Compaction,
+                    Stage::CompactionMerge,
+                    pass,
+                    clock,
+                    stats.cost,
+                );
                 clock += stats.cost;
                 compaction_cost += stats.cost;
                 relocated += stats.relocated;
@@ -254,10 +267,12 @@ impl CormServer {
             match self.config().mtt_strategy {
                 MttUpdateStrategy::Rereg => {
                     self.rnic().rereg(rkey, now)?;
+                    self.trace().count(Stage::MttSync);
                 }
                 MttUpdateStrategy::Odp => {}
                 MttUpdateStrategy::OdpPrefetch => {
                     self.rnic().advise(rkey, base, pages)?;
+                    self.trace().count(Stage::MttSync);
                 }
             }
             mtt_calls += 1;

@@ -32,6 +32,7 @@ use corm_sim_core::rng::{stream_rng, DetRng};
 use corm_sim_core::time::SimDuration;
 use corm_sim_mem::{AddressSpace, MemError, PhysicalMemory};
 use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, RdmaError, Rnic, RnicConfig};
+use corm_trace::{Stage, TraceHandle};
 
 use crate::consistency::{self, ReadFailure};
 use crate::header::{home_base, home_index, LockState, ObjectHeader, HEADER_BYTES};
@@ -85,6 +86,11 @@ pub struct ServerConfig {
     pub registry_shards: usize,
     /// Root seed for object-ID generation.
     pub seed: u64,
+    /// Trace recorder for the node. Disabled by default; recording is
+    /// purely observational (zero virtual-time cost, zero RNG draws), so
+    /// enabling it cannot perturb seeded replays. Propagated into the
+    /// RNIC's config unless that config carries its own handle.
+    pub trace: TraceHandle,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +106,7 @@ impl Default for ServerConfig {
             rnic: RnicConfig::default(),
             registry_shards: registry::DEFAULT_REGISTRY_SHARDS,
             seed: 0xC0_4D,
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -238,7 +245,14 @@ impl CormServer {
         assert!(config.workers > 0, "server needs at least one worker");
         assert!(config.alloc.id_bits <= 16, "the data-plane header stores 16-bit object IDs");
         let aspace = Arc::new(AddressSpace::new(phys.clone()));
-        let rnic = Arc::new(Rnic::new(aspace.clone(), config.rnic.clone()));
+        // One recorder per node: the server's handle flows into the RNIC
+        // so NIC-side spans land in the same sink, unless the RNIC config
+        // was given its own recorder explicitly.
+        let mut rnic_config = config.rnic.clone();
+        if !rnic_config.trace.is_enabled() {
+            rnic_config.trace = config.trace.clone();
+        }
+        let rnic = Arc::new(Rnic::new(aspace.clone(), rnic_config));
         if config.mtt_strategy.needs_odp() {
             assert!(rnic.model().odp_miss.is_some(), "ODP strategy requires an ODP-capable device");
         }
@@ -269,6 +283,11 @@ impl CormServer {
     /// The server's RNIC (clients connect QPs to it).
     pub fn rnic(&self) -> &Arc<Rnic> {
         &self.rnic
+    }
+
+    /// The node's trace recorder (disabled unless the config enabled it).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.config.trace
     }
 
     /// The node's address space.
@@ -402,6 +421,10 @@ impl CormServer {
     ) -> Result<(SharedBlock, u32, SimDuration, bool), CormError> {
         let block_bytes = self.block_bytes();
         let base = ptr.block_base(block_bytes);
+        // Registry resolution is host work with no virtual-time charge.
+        // Counting it (rather than wall-timing it) keeps this — the hottest
+        // server-side call — at one relaxed fetch_add when tracing.
+        self.config.trace.count(Stage::RegistryResolve);
         let resolved = self.registry.resolve(base).ok_or(CormError::UnknownBlock(base))?;
         let block = resolved.block;
         let offset = ptr.block_offset(block_bytes);
@@ -524,6 +547,7 @@ impl CormServer {
     /// leader we are racing gets scheduled.
     fn rpc_backoff(&self, attempt: usize) {
         self.stats.rpc_lock_retries.fetch_add(1, Ordering::Relaxed);
+        self.config.trace.count(Stage::LockRetry);
         if attempt >= 16 {
             std::thread::yield_now();
         } else {

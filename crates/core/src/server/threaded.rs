@@ -23,6 +23,7 @@ use std::time::Duration;
 
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_rdma::rpc::{sharded_rpc_channel, Envelope, RpcClient, RpcQueue};
+use corm_trace::{Stage, Track};
 
 use crate::ptr::GlobalPtr;
 use crate::server::{CormError, CormServer};
@@ -187,6 +188,9 @@ fn worker_loop(
     let home = worker % n;
     let mut served = 0u64;
     let handle = |envelope: Envelope<Request, Response>| {
+        // Queue wait is host-scheduling time with no virtual meaning: it
+        // feeds the secondary (wall) aggregate only, never the event stream.
+        server.trace().wall_ns(Stage::RpcQueueWait, envelope.queue_wait().as_nanos() as u64);
         let (request, reply) = envelope.into_parts();
         let (response, cost) = serve(worker, &server, &clock, request);
         if let Pacing::Virtual = pacing {
@@ -248,7 +252,16 @@ fn serve(
     request: Request,
 ) -> (Response, SimDuration) {
     let advance = |cost: SimDuration| {
-        clock.fetch_add(cost.as_nanos(), Ordering::Relaxed);
+        // fetch_add returns the clock *before* this op, which is exactly
+        // the span's start on the worker's Lamport timeline.
+        let before = clock.fetch_add(cost.as_nanos(), Ordering::Relaxed);
+        server.trace().span(
+            Track::Worker(worker as u32),
+            Stage::WorkerServe,
+            0,
+            SimTime::from_nanos(before),
+            cost,
+        );
         cost
     };
     match request {

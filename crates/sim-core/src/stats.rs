@@ -99,20 +99,51 @@ impl Histogram {
 
     /// `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted samples;
     /// `None` when empty.
+    ///
+    /// Edge cases are pinned by tests: one sample answers every `q` with
+    /// that sample, `q = 0.0` is the minimum, and `q = 1.0` is the maximum
+    /// (the rank is clamped so float rounding can never index past the
+    /// last sample). `q` outside `[0, 1]` (including NaN) panics.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        self.quantiles(&[q]).map(|v| v[0])
+    }
+
+    /// Several quantiles from a single sort of the samples; `None` when
+    /// empty. This is the shared helper the bench harness uses instead of
+    /// per-binary copies — querying p50/p99/p999 costs one sort, not three.
+    pub fn quantiles(&self, qs: &[f64]) -> Option<Vec<f64>> {
+        for &q in qs {
+            assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        }
         if self.samples.is_empty() {
             return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
-        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-        Some(sorted[rank])
+        let last = sorted.len() - 1;
+        Some(
+            qs.iter()
+                .map(|&q| {
+                    let rank = ((last as f64 * q).round() as usize).min(last);
+                    sorted[rank]
+                })
+                .collect(),
+        )
     }
 
     /// Median sample; `None` when empty.
     pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
+    }
+
+    /// 99th-percentile sample; `None` when empty.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile sample; `None` when empty.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
     }
 
     /// Mean of the samples; 0 when empty.
@@ -218,6 +249,55 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn quantile_range_checked() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_nan() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.quantile(f64::NAN);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is None.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.0), None);
+        assert_eq!(empty.quantile(1.0), None);
+        assert_eq!(empty.p999(), None);
+        assert_eq!(empty.quantiles(&[0.5, 0.99]), None);
+
+        // One sample: every quantile answers that sample.
+        let mut one = Histogram::new();
+        one.record(42.0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(one.quantile(q), Some(42.0));
+        }
+
+        // q = 1.0 is the maximum even with unsorted input.
+        let mut h = Histogram::new();
+        for x in [9.0, 2.0, 7.0, 1.0] {
+            h.record(x);
+        }
+        assert_eq!(h.quantile(1.0), Some(9.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantiles_single_sort_matches_individual_queries() {
+        let mut h = Histogram::new();
+        for x in (1..=1000).rev() {
+            h.record(x as f64);
+        }
+        let qs = [0.0, 0.5, 0.99, 0.999, 1.0];
+        let batch = h.quantiles(&qs).unwrap();
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(Some(batch[i]), h.quantile(q));
+        }
+        assert_eq!(h.p99(), Some(990.0));
+        assert_eq!(h.p999(), Some(999.0));
+        assert_eq!(h.quantiles(&[]), Some(vec![]));
     }
 
     #[test]

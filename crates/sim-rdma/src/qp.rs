@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use corm_sim_core::time::{SimDuration, SimTime};
+use corm_trace::Stage;
 
 use crate::rnic::{RdmaError, Rnic, VerbOutcome};
 use crate::wq::{Completion, Wqe, WqeOp};
@@ -151,6 +152,9 @@ impl QueuePair {
         sq.push(wqe);
         self.posted.fetch_add(1, Ordering::Relaxed);
         self.sq_depth_max.fetch_max(sq.len() as u64, Ordering::Relaxed);
+        // Posting is free in virtual time (the doorbell pays); count it so
+        // the metrics registry can report posted-vs-served divergence.
+        self.rnic.trace().count(Stage::WqePost);
     }
 
     /// Rings the doorbell: the entire send queue is handed to the NIC as

@@ -18,6 +18,7 @@ use parking_lot::{Mutex, RwLock};
 use corm_sim_core::resource::FifoResource;
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_mem::{AddressSpace, FrameId, MemError, PAGE_SIZE};
+use corm_trace::{Stage, TraceHandle, Track};
 
 use crate::cache::LruCache;
 use crate::fault::{FaultConfig, FaultInjector, FaultKind};
@@ -131,6 +132,10 @@ pub struct RnicConfig {
     /// lock. The translation cache splits its capacity evenly across
     /// shards; `1` reproduces the monolithic MTT exactly.
     pub mtt_shards: usize,
+    /// Trace recorder for NIC-side spans (doorbells, engine service, MTT
+    /// and fault events). The default is disabled; recording is purely
+    /// observational, so it never changes virtual time or fault draws.
+    pub trace: TraceHandle,
 }
 
 impl Default for RnicConfig {
@@ -142,6 +147,7 @@ impl Default for RnicConfig {
             engine_width: 1,
             processing_units: 1,
             mtt_shards: 8,
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -287,6 +293,11 @@ impl Rnic {
     /// The latency model in force.
     pub fn model(&self) -> &LatencyModel {
         &self.config.model
+    }
+
+    /// The trace recorder (disabled unless the config enabled one).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.config.trace
     }
 
     /// The host address space this NIC is attached to.
@@ -447,6 +458,7 @@ impl Rnic {
         let model = &self.config.model;
         let arrival = now + model.doorbell_cost;
         self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
+        self.config.trace.span(Track::Nic, Stage::Doorbell, 0, now, model.doorbell_cost);
         let mut completions = Vec::with_capacity(wqes.len());
         let mut failed = false;
         let mut iter = wqes.into_iter();
@@ -473,7 +485,14 @@ impl Rnic {
                         service +=
                             model.odp_miss.unwrap_or(SimDuration::ZERO) * verb.odp_misses as u64;
                     }
-                    let done = self.dispatch(arrival, service);
+                    let (done, unit) = self.dispatch(arrival, service);
+                    self.config.trace.span(
+                        Track::EngineUnit(unit as u32),
+                        Stage::EngineService,
+                        wr_id,
+                        SimTime::from_nanos(done.as_nanos() - service.as_nanos()),
+                        service,
+                    );
                     let completed_at = done + verb.latency.saturating_sub(service);
                     completions.push(Completion { wr_id, completed_at, result: Ok(verb), data });
                 }
@@ -505,10 +524,11 @@ impl Rnic {
 
     /// Admits one WQE's engine service, dispatching round-robin across the
     /// NIC's processing units. With one unit this is exactly the
-    /// single-engine FIFO admission.
-    fn dispatch(&self, arrival: SimTime, service: SimDuration) -> SimTime {
+    /// single-engine FIFO admission. Returns the completion time and the
+    /// unit index that served the WQE (which names its trace track).
+    fn dispatch(&self, arrival: SimTime, service: SimDuration) -> (SimTime, usize) {
         let unit = self.next_unit.fetch_add(1, Ordering::Relaxed) % self.engines.len();
-        self.engines[unit].lock().admit(arrival, service)
+        (self.engines[unit].lock().admit(arrival, service), unit)
     }
 
     /// Number of on-NIC processing units.
@@ -552,8 +572,16 @@ impl Rnic {
         // the fabric going wrong before the verb touches any state.
         let mut injected_delay = SimDuration::ZERO;
         let mut forced_miss = false;
+        let trace = &self.config.trace;
         if let Some(inj) = &self.faults {
-            match inj.decide() {
+            let decision = inj.decide();
+            if decision.is_some() {
+                // The draw fired: record it as an instantaneous NIC event.
+                // Tracing observes the decision after the fact — it never
+                // consumes draws of its own, so replay order is untouched.
+                trace.event(Track::Nic, Stage::FaultDraw, 0, now);
+            }
+            match decision {
                 Some(FaultKind::QpBreak) => {
                     self.stats.injected_qp_breaks.fetch_add(1, Ordering::Relaxed);
                     return Err(RdmaError::QpBroken);
@@ -568,6 +596,7 @@ impl Rnic {
                     self.stats
                         .injected_delay_ns
                         .fetch_add(injected_delay.as_nanos(), Ordering::Relaxed);
+                    trace.sample(Stage::FaultDelay, injected_delay);
                 }
                 Some(FaultKind::CacheMiss) => {
                     forced_miss = true;
@@ -654,6 +683,13 @@ impl Rnic {
             done += n;
             addr += n as u64;
             frame_idx += 1;
+        }
+        trace.add(Stage::MttLookup, last_vpn - first_vpn + 1);
+        if !all_hit {
+            trace.event(Track::Nic, Stage::MttMiss, 0, now);
+        }
+        if odp_misses > 0 {
+            trace.add(Stage::OdpMiss, odp_misses as u64);
         }
         let model = &self.config.model;
         let mut latency = model.rdma_read_latency(len, all_hit);

@@ -21,13 +21,17 @@
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A request paired with its reply channel.
 pub struct Envelope<Req, Resp> {
     /// The request payload.
     pub request: Req,
     reply_to: Sender<Resp>,
+    /// Wall-clock send time, for queue-wait metrics. This is the *secondary*
+    /// clock: queue wait is a host-scheduling quantity with no virtual-time
+    /// meaning, so it feeds aggregate trace counters only — never events.
+    enqueued: Instant,
 }
 
 impl<Req, Resp> Envelope<Req, Resp> {
@@ -41,6 +45,11 @@ impl<Req, Resp> Envelope<Req, Resp> {
     /// serve it) and a handle for replying later.
     pub fn into_parts(self) -> (Req, ReplyHandle<Resp>) {
         (self.request, ReplyHandle { reply_to: self.reply_to })
+    }
+
+    /// Wall-clock time this request has spent enqueued so far.
+    pub fn queue_wait(&self) -> Duration {
+        self.enqueued.elapsed()
     }
 }
 
@@ -102,7 +111,7 @@ impl<Req, Resp> RpcClient<Req, Resp> {
         let (reply_tx, reply_rx) = bounded(1);
         let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.txs.len();
         self.txs[shard]
-            .send(Envelope { request, reply_to: reply_tx })
+            .send(Envelope { request, reply_to: reply_tx, enqueued: Instant::now() })
             .map_err(|_| RpcError::Disconnected)?;
         match reply_rx.recv_timeout(timeout) {
             Ok(resp) => Ok(resp),
