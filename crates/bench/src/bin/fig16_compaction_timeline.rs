@@ -10,32 +10,73 @@
 //! server corrects by *block scanning* — no long stall, a transient
 //! slowdown instead; the RDMA client using RPC corrections degrades more.
 //!
+//! A fifth panel runs the worst case (thread messaging, RPC client) with a
+//! pause budget: the pass yields between merges, queued corrections are
+//! answered at every yield, and the stall collapses to roughly the budget.
+//! The per-panel pause columns report p50/p99 of the busy intervals
+//! between yields (one whole-pass interval without a budget).
+//!
 //! Scaled to 256 K objects; the same qualitative regimes appear.
+//!
+//! `--smoke` runs a reduced-scale gate for CI: (a) with a pause budget,
+//! p99 read latency during the pass stays under budget + one merge + one
+//! op; (b) four merge lanes strictly beat one lane on the same store.
 
 use corm_bench::report::{f1, write_csv, Table};
 use corm_bench::setup::populate_server;
-use corm_bench::sim::{run_closed_loop, ClosedLoopSpec, ReadPath};
+use corm_bench::sim::{run_closed_loop, ClosedLoopSpec, ReadPath, SimOutput};
 use corm_core::client::FixStrategy;
-use corm_core::server::{CorrectionStrategy, ServerConfig};
+use corm_core::server::{CompactionReport, CorrectionStrategy, ServerConfig};
 use corm_core::GlobalPtr;
+use corm_sim_core::stats::Histogram;
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_rdma::RnicConfig;
 use corm_workloads::ycsb::{KeyDist, Mix, Workload};
 
 const OBJECTS: usize = 256 * 1024;
+const SMOKE_OBJECTS: usize = 48 * 1024;
 const TRIGGER: SimTime = SimTime::from_millis(2_000);
+/// Pause budget for the budgeted panel and the smoke gate.
+const BUDGET: SimDuration = SimDuration::from_micros(200);
+
+struct Panel {
+    out: SimOutput,
+    window: (f64, f64),
+    blocks_freed: u64,
+}
+
+impl Panel {
+    fn report(&self) -> &CompactionReport {
+        self.out.compaction_report.as_ref().expect("compaction fired")
+    }
+
+    /// p50/p99 of the pass's busy intervals between yields, in µs.
+    fn pause_us(&self) -> (f64, f64) {
+        let mut pauses = Histogram::new();
+        for &chunk in &self.report().chunks {
+            pauses.record_duration(chunk);
+        }
+        (pauses.median().unwrap_or(0.0), pauses.p99().unwrap_or(0.0))
+    }
+}
+
+fn server_config(correction: CorrectionStrategy, budget: Option<SimDuration>) -> ServerConfig {
+    ServerConfig {
+        correction,
+        compaction_budget: budget,
+        rnic: RnicConfig { cache_entries: 512, ..RnicConfig::default() },
+        ..ServerConfig::default()
+    }
+}
 
 fn run_panel(
     correction: CorrectionStrategy,
     read_path: ReadPath,
     fix: FixStrategy,
-) -> (Vec<(f64, f64)>, (f64, f64), u64) {
-    let config = ServerConfig {
-        correction,
-        rnic: RnicConfig { cache_entries: 512, ..RnicConfig::default() },
-        ..ServerConfig::default()
-    };
-    let mut store = populate_server(config, OBJECTS, 32);
+    budget: Option<SimDuration>,
+    objects: usize,
+) -> Panel {
+    let mut store = populate_server(server_config(correction, budget), objects, 32);
     let survivors = store.fragment(0.75, 13);
     let mut ptrs: Vec<GlobalPtr> = survivors.iter().map(|&(_, p)| p).collect();
     let class = corm_core::consistency::class_for_payload(store.server.classes(), 32).unwrap();
@@ -56,50 +97,156 @@ fn run_panel(
         .unwrap_or((0.0, 0.0));
     let blocks_freed =
         store.server.stats.compaction_blocks_freed.load(std::sync::atomic::Ordering::Relaxed);
-    (out.timeline.expect("timeline").rates(), window, blocks_freed)
+    Panel { out, window, blocks_freed }
+}
+
+/// Compaction-only run at a given lane count: same store, same plan —
+/// only the virtual-time overlap differs.
+fn compact_with_lanes(lanes: usize, objects: usize) -> CompactionReport {
+    let config = ServerConfig {
+        compaction_lanes: lanes,
+        ..server_config(CorrectionStrategy::ThreadMessaging, None)
+    };
+    let mut store = populate_server(config, objects, 32);
+    store.fragment(0.75, 13);
+    let class = corm_core::consistency::class_for_payload(store.server.classes(), 32).unwrap();
+    store.server.compact_class(class, SimTime::ZERO).expect("compaction").value
+}
+
+fn smoke() {
+    // (a) Pause-bounded pass: during the pass, a corrected read stalls at
+    // most to the end of the running chunk (budget + the merge that
+    // overran it), then costs one op. Bound the merge overshoot by a
+    // full block's merge cost from the model.
+    let p = run_panel(
+        CorrectionStrategy::ThreadMessaging,
+        ReadPath::Rpc,
+        FixStrategy::ScanRead,
+        Some(BUDGET),
+        SMOKE_OBJECTS,
+    );
+    let report = p.report();
+    assert!(report.yields >= 1, "smoke pass must actually yield, got {} yields", report.yields);
+    let model = corm_sim_rdma::LatencyModel::default();
+    let class = corm_core::consistency::class_for_payload(&corm_alloc::SizeClasses::standard(), 32)
+        .unwrap();
+    let slot = corm_alloc::SizeClasses::standard().size_of(class);
+    let slots = 4096 / slot;
+    let strategy = server_config(CorrectionStrategy::ThreadMessaging, None).mtt_strategy;
+    let merge_us = model.block_compaction_cost(strategy, 1, slots * slot, slots).as_micros_f64();
+    let during = p.out.read_latency_during.p99().expect("reads during the pass");
+    let outside = p.out.read_latency_outside.p99().expect("reads outside the pass");
+    let bound = BUDGET.as_micros_f64() + merge_us + outside;
+    println!(
+        "smoke (a): p99 during pass {during:.1}µs vs bound {bound:.1}µs \
+         (budget {:.0} + merge {merge_us:.1} + op {outside:.1})",
+        BUDGET.as_micros_f64()
+    );
+    assert!(
+        during < bound,
+        "pause-bounded pass must bound serve latency: p99 during {during:.1}µs >= {bound:.1}µs"
+    );
+
+    // (b) Lanes overlap: same plan, strictly smaller makespan.
+    let serial = compact_with_lanes(1, SMOKE_OBJECTS);
+    let wide = compact_with_lanes(4, SMOKE_OBJECTS);
+    assert_eq!(wide.merges, serial.merges, "lane count must not change the plan");
+    assert_eq!(wide.objects_copied, serial.objects_copied);
+    println!(
+        "smoke (b): compaction cost {:?} at 1 lane -> {:?} at 4 lanes ({} merges)",
+        serial.compaction_cost, wide.compaction_cost, wide.merges
+    );
+    assert!(
+        wide.compaction_cost < serial.compaction_cost,
+        "4 lanes must strictly beat 1: {:?} vs {:?}",
+        wide.compaction_cost,
+        serial.compaction_cost
+    );
+    println!("smoke ok");
 }
 
 fn main() {
-    let panels: [(&str, CorrectionStrategy, ReadPath, FixStrategy); 4] = [
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    type PanelSpec = (&'static str, CorrectionStrategy, ReadPath, FixStrategy, Option<SimDuration>);
+    let panels: [PanelSpec; 5] = [
         (
             "messaging/rpc-client",
             CorrectionStrategy::ThreadMessaging,
             ReadPath::Rpc,
             FixStrategy::ScanRead,
+            None,
         ),
         (
             "messaging/rdma-client+scan",
             CorrectionStrategy::ThreadMessaging,
             ReadPath::Rdma,
             FixStrategy::ScanRead,
+            None,
         ),
-        ("scan/rpc-client", CorrectionStrategy::BlockScan, ReadPath::Rpc, FixStrategy::ScanRead),
+        (
+            "scan/rpc-client",
+            CorrectionStrategy::BlockScan,
+            ReadPath::Rpc,
+            FixStrategy::ScanRead,
+            None,
+        ),
         (
             "scan/rdma-client+rpcfix",
             CorrectionStrategy::BlockScan,
             ReadPath::Rdma,
             FixStrategy::RpcRead,
+            None,
+        ),
+        (
+            "messaging/rpc+budget",
+            CorrectionStrategy::ThreadMessaging,
+            ReadPath::Rpc,
+            FixStrategy::ScanRead,
+            Some(BUDGET),
         ),
     ];
     let mut t = Table::new(
         "Fig. 16: read throughput timeline around compaction (Kreq/s per 100 ms bucket)",
         &["panel", "t_sec", "kreqs"],
     );
-    for (name, correction, path, fix) in panels {
-        let (rates, window, blocks) = run_panel(correction, path, fix);
+    let mut pause_rows = Vec::new();
+    for (name, correction, path, fix, budget) in panels {
+        let p = run_panel(correction, path, fix, budget, OBJECTS);
         println!(
-            "{name}: compaction window {:.3}s..{:.3}s, {blocks} blocks freed",
-            window.0, window.1
+            "{name}: compaction window {:.3}s..{:.3}s, {} blocks freed, {} yields",
+            p.window.0,
+            p.window.1,
+            p.blocks_freed,
+            p.report().yields
         );
-        for (t_sec, rate) in rates {
+        for (t_sec, rate) in p.out.timeline.as_ref().expect("timeline").rates() {
             t.row(&[name.into(), format!("{t_sec:.1}"), f1(rate / 1e3)]);
         }
+        let (p50, p99) = p.pause_us();
+        pause_rows.push((
+            name,
+            p50,
+            p99,
+            p.out.read_latency_during.p99().unwrap_or(0.0),
+            p.out.read_latency_outside.p99().unwrap_or(0.0),
+        ));
     }
     let path = write_csv("fig16_compaction_timeline", &t).expect("csv");
     // The full table is long; print a summary instead: per-panel
     // throughput before/during/after the trigger.
     println!("\nPer-panel mean throughput (Kreq/s):");
     summarize(&t);
+    println!("\nPer-panel compaction pause and read p99 (µs):");
+    println!(
+        "{:<28} {:>10} {:>10} {:>11} {:>12}",
+        "panel", "pause_p50", "pause_p99", "p99_during", "p99_outside"
+    );
+    for (name, p50, p99, during, outside) in pause_rows {
+        println!("{name:<28} {p50:>10.1} {p99:>10.1} {during:>11.1} {outside:>12.1}");
+    }
     println!("\nfull series csv: {}", path.display());
 }
 

@@ -358,6 +358,12 @@ pub fn mreqs_from_median(h: &Histogram) -> f64 {
 /// compaction figures can export per-pass work and stage costs next to
 /// their latency tables.
 pub fn compaction_metrics(report: &CompactionReport) -> Json {
+    // Pause chunks (the busy intervals between yields) as a latency
+    // distribution: p50/p99 of how long serving is held off by the pass.
+    let mut pauses = Histogram::new();
+    for &chunk in &report.chunks {
+        pauses.record_duration(chunk);
+    }
     JsonObject::new()
         .uint("class", u64::from(report.class.0))
         .uint("collected", report.collected as u64)
@@ -368,6 +374,12 @@ pub fn compaction_metrics(report: &CompactionReport) -> Json {
         .float("collection_us", report.collection_cost.as_micros_f64())
         .float("compaction_us", report.compaction_cost.as_micros_f64())
         .float("total_us", report.total_cost().as_micros_f64())
+        .uint("lanes", report.lanes as u64)
+        .uint("yields", report.yields as u64)
+        .uint("extra_remaps", report.extra_remaps)
+        .uint("mtt_batches", report.mtt_batches)
+        .float("pause_p50_us", pauses.median().unwrap_or(0.0))
+        .float("pause_p99_us", pauses.p99().unwrap_or(0.0))
         .build()
 }
 

@@ -108,6 +108,17 @@ pub struct SimOutput {
     pub timeline: Option<TimeSeries>,
     /// The compaction window, if one ran.
     pub compaction_window: Option<(SimTime, SimTime)>,
+    /// Busy intervals of the pass, chunked by the pause budget. Without a
+    /// budget this is the single whole-pass window; the intervals tile
+    /// `compaction_window` back to back.
+    pub compaction_chunks: Vec<(SimTime, SimTime)>,
+    /// The pass's report, if one ran (lanes, yields, pause chunks, remap
+    /// batching counters).
+    pub compaction_report: Option<corm_core::server::CompactionReport>,
+    /// Read latency samples issued while the pass was running (µs).
+    pub read_latency_during: Histogram,
+    /// Read latency samples issued outside the pass (µs).
+    pub read_latency_outside: Histogram,
 }
 
 impl SimOutput {
@@ -159,6 +170,10 @@ pub fn run_closed_loop(
         read_latency: Histogram::new(),
         timeline: spec.timeline_bucket.map(TimeSeries::new),
         compaction_window: None,
+        compaction_chunks: Vec::new(),
+        compaction_report: None,
+        read_latency_during: Histogram::new(),
+        read_latency_outside: Histogram::new(),
     };
     let mut write_busy: HashMap<u64, (SimTime, SimTime)> = HashMap::new();
     let mut compaction_pending = spec.compaction_at;
@@ -192,9 +207,24 @@ pub fn run_closed_loop(
             if next_at >= at {
                 let timed =
                     server.compact_class(class, at).expect("compaction in sim must not fail");
-                // The leader (one worker) is busy for the whole pass.
+                let report = timed.value;
+                // The leader (one worker) is busy for the whole pass; one
+                // admission covers it, since the chunks tile the window
+                // back to back. (Per-chunk admissions would drag the
+                // station's FIFO arrival clamp to the window's end and
+                // penalize every read issued during the pass.) The chunk
+                // windows — where stalled corrections release under a
+                // pause budget — are laid out arithmetically; collection
+                // rides the first chunk's window.
                 workers.admit(at, timed.cost);
+                let mut t = at;
+                for (i, &chunk) in report.chunks.iter().enumerate() {
+                    let dur = if i == 0 { report.collection_cost + chunk } else { chunk };
+                    out.compaction_chunks.push((t, t + dur));
+                    t += dur;
+                }
                 out.compaction_window = Some((at, at + timed.cost));
+                out.compaction_report = Some(report);
                 compaction_pending = None;
             }
         }
@@ -255,12 +285,9 @@ pub fn run_closed_loop(
                         // completes.
                         if corrected {
                             out.corrections += 1;
-                            if let Some((w0, w1)) = out.compaction_window {
-                                if server.config().correction == CorrectionStrategy::ThreadMessaging
-                                    && now >= w0
-                                    && now < w1
-                                {
-                                    start = w1;
+                            if server.config().correction == CorrectionStrategy::ThreadMessaging {
+                                if let Some(until) = correction_stall_end(now, &out) {
+                                    start = until;
                                 }
                             }
                         }
@@ -324,13 +351,11 @@ pub fn run_closed_loop(
                                             .expect("rpc correction read")
                                             .cost;
                                         let mut start = ingress_done;
-                                        if let Some((w0, w1)) = out.compaction_window {
-                                            if server.config().correction
-                                                == CorrectionStrategy::ThreadMessaging
-                                                && now >= w0
-                                                && now < w1
-                                            {
-                                                start = w1;
+                                        if server.config().correction
+                                            == CorrectionStrategy::ThreadMessaging
+                                        {
+                                            if let Some(until) = correction_stall_end(now, &out) {
+                                                start = until;
                                             }
                                         }
                                         let worker_done =
@@ -364,6 +389,13 @@ pub fn run_closed_loop(
             out.completed += 1;
             if let Some(l) = read_latency {
                 out.read_latency.record_duration(l);
+                let during =
+                    out.compaction_window.map(|(w0, w1)| now >= w0 && now < w1).unwrap_or(false);
+                if during {
+                    out.read_latency_during.record_duration(l);
+                } else {
+                    out.read_latency_outside.record_duration(l);
+                }
             }
             if let Some(ts) = &mut out.timeline {
                 ts.record(completion);
@@ -376,6 +408,23 @@ pub fn run_closed_loop(
 
     out.kreqs = out.completed as f64 / spec.duration.as_secs_f64() / 1_000.0;
     out
+}
+
+/// §4.3.2 (Fig. 16 top): with thread-messaging correction the owner of
+/// compacted blocks is the busy leader, so a correction issued mid-pass
+/// stalls until the leader next yields — the end of the *current* pause
+/// chunk. Without a budget the single chunk is the whole pass, reproducing
+/// the stall-to-pass-end behaviour exactly. Returns `None` outside a pass.
+fn correction_stall_end(now: SimTime, out: &SimOutput) -> Option<SimTime> {
+    let (w0, w1) = out.compaction_window?;
+    if now < w0 || now >= w1 {
+        return None;
+    }
+    out.compaction_chunks
+        .iter()
+        .find(|&&(cs, ce)| now >= cs && now < ce)
+        .map(|&(_, ce)| ce)
+        .or(Some(w1))
 }
 
 // ---------------------------------------------------------------------

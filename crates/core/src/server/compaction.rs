@@ -3,13 +3,25 @@
 //! Compaction runs in two stages. **Collection**: the leader asks every
 //! worker for its low-occupancy blocks of the target class — an ownership
 //! transfer, so no concurrent data structures are needed. **Compaction**:
-//! sources are merged into destinations greedily (least-utilized sources
-//! first); objects are locked, copied — preserving their offsets when
-//! possible, relocating on conflicts (§3.1.2) — and then the source block's
-//! virtual address is *remapped* onto the destination's physical frames.
-//! The RNIC's MTT is brought back in sync per the configured §3.5 strategy,
-//! preserving the `r_key` clients hold, and the source's physical pages are
-//! returned to the process-wide allocator.
+//! the greedy pairing (least-utilized sources into the most-utilized
+//! compatible destinations) is computed up front into a [`MergePlan`] of
+//! disjoint lanes, then executed merge by merge; objects are locked,
+//! copied — preserving their offsets when possible, relocating on
+//! conflicts (§3.1.2) — and then the source block's virtual address is
+//! *remapped* onto the destination's physical frames. The RNIC's MTT is
+//! brought back in sync per the configured §3.5 strategy — one call per
+//! remap target, or one *batched* verb for the whole target set when
+//! `batch_mtt_sync` is on — preserving the `r_key` clients hold, and the
+//! source's physical pages are returned to the process-wide allocator.
+//!
+//! Virtual-time accounting follows the lane layout: merges on different
+//! lanes overlap (the pass's merge cost is the per-lane makespan, like the
+//! RNIC's parallel processing units), while `compaction_lanes: 1`
+//! reproduces the historical serial schedule byte for byte. A
+//! `compaction_budget` bounds how long the pass runs between yields: at
+//! each yield the lanes synchronize, the caller (e.g. [`super::threaded`])
+//! interleaves queued RPCs, and the pass resumes — so serving latency
+//! during compaction is bounded by the budget instead of the whole pass.
 //!
 //! The net effect, visible to clients: every pointer they hold still
 //! resolves (possibly via pointer correction), RDMA access never breaks
@@ -26,6 +38,7 @@ use corm_trace::{Stage, Track};
 
 use crate::header::{LockState, ObjectHeader, HEADER_BYTES};
 
+use super::plan::MergePlan;
 use super::{CormError, CormServer};
 
 /// Outcome of one compaction pass over a size class.
@@ -45,8 +58,23 @@ pub struct CompactionReport {
     pub objects_copied: usize,
     /// Virtual time spent in the collection stage.
     pub collection_cost: SimDuration,
-    /// Virtual time spent merging, remapping, and updating the MTT.
+    /// Virtual time of the merge phase: the per-lane makespan (equal to
+    /// the serial sum at one lane).
     pub compaction_cost: SimDuration,
+    /// Lanes the merge plan was distributed over.
+    pub lanes: usize,
+    /// Times the pass yielded to interleave queued RPCs (pause-bounded
+    /// passes only; 0 without a budget).
+    pub yields: usize,
+    /// Busy intervals between yields, in plan order. Without a budget this
+    /// is the single whole merge phase; their sum is `compaction_cost`.
+    pub chunks: Vec<SimDuration>,
+    /// Alias remap targets beyond the primary vaddr, summed over merges —
+    /// the targets batched MTT sync amortizes.
+    pub extra_remaps: u64,
+    /// Batched MTT-sync verbs issued (0 when `batch_mtt_sync` is off or
+    /// the strategy defers to ODP).
+    pub mtt_batches: u64,
 }
 
 impl CompactionReport {
@@ -60,6 +88,8 @@ struct MergeStats {
     relocated: usize,
     copied: usize,
     cost: SimDuration,
+    extra_remaps: u64,
+    mtt_batches: u64,
 }
 
 impl CormServer {
@@ -69,6 +99,20 @@ impl CormServer {
         &self,
         class: ClassId,
         now: SimTime,
+    ) -> Result<crate::Timed<CompactionReport>, CormError> {
+        self.compact_class_with(class, now, &mut |_| {})
+    }
+
+    /// [`Self::compact_class`] with a yield hook: when the configured
+    /// `compaction_budget` elapses on the merge timeline, `on_yield` is
+    /// called with the finished chunk's duration so the caller can
+    /// interleave queued RPCs before the pass resumes. The final chunk is
+    /// not reported through the hook (it is in the report's `chunks`).
+    pub fn compact_class_with(
+        &self,
+        class: ClassId,
+        now: SimTime,
+        on_yield: &mut dyn FnMut(SimDuration),
     ) -> Result<crate::Timed<CompactionReport>, CormError> {
         let model = self.model().clone();
         // Passes are numbered from 1 so trace spans of one pass share an op
@@ -92,59 +136,75 @@ impl CormServer {
         }
         let collected = candidates.len();
 
-        // Stage 2: greedy merge, least-utilized sources first into the
-        // most-utilized compatible destination.
+        // Stage 2: plan the greedy merge pairing up front (least-utilized
+        // sources into the most-utilized compatible destinations) and lay
+        // it out on disjoint lanes. Planning is metadata-only and free.
         candidates.sort_by_key(|b| b.lock().live());
-        let n = candidates.len();
-        let mut alive: Vec<Option<SharedBlock>> = candidates.into_iter().map(Some).collect();
+        let lanes = self.config().compaction_lanes.max(1);
+        let plan = MergePlan::build(&candidates, lanes);
+        let start = now + collection_cost;
+        self.trace().span(Track::Compaction, Stage::CompactionPlan, pass, start, SimDuration::ZERO);
+
+        // Execute the plan in its global order (side effects are identical
+        // at any lane count); each merge's cost is charged to its lane's
+        // clock, so the merge phase costs the per-lane makespan. A
+        // configured budget yields whenever the makespan frontier has
+        // advanced a budget's worth: lanes synchronize at the frontier,
+        // queued RPCs interleave, the pass resumes.
+        let budget = self.config().compaction_budget;
+        let mut lane_clock = vec![start; lanes];
+        let mut scratch: Vec<Vec<u8>> = (0..lanes).map(|_| Vec::new()).collect();
+        let mut frontier = start;
+        let mut chunk_start = start;
+        let mut chunks: Vec<SimDuration> = Vec::new();
         let mut merges = 0;
         let mut relocated = 0;
         let mut copied = 0;
-        let mut compaction_cost = SimDuration::ZERO;
-        let mut clock = now + collection_cost;
-
-        for src_idx in 0..n {
-            let Some(src) = alive[src_idx].take() else { continue };
-            let mut merged = false;
-            for dst_idx in (0..n).rev() {
-                if dst_idx == src_idx {
-                    continue;
+        let mut extra_remaps = 0u64;
+        let mut mtt_batches = 0u64;
+        let total = plan.merges.len();
+        for (i, m) in plan.merges.iter().enumerate() {
+            let stats =
+                self.merge_blocks(&m.src, &m.dst, lane_clock[m.lane], &mut scratch[m.lane])?;
+            self.trace().span(
+                Track::Compaction,
+                Stage::CompactionMerge,
+                pass,
+                lane_clock[m.lane],
+                stats.cost,
+            );
+            lane_clock[m.lane] += stats.cost;
+            frontier = frontier.max(lane_clock[m.lane]);
+            relocated += stats.relocated;
+            copied += stats.copied;
+            extra_remaps += stats.extra_remaps;
+            mtt_batches += stats.mtt_batches;
+            merges += 1;
+            if let Some(budget) = budget {
+                if frontier - chunk_start >= budget && i + 1 < total {
+                    let chunk = frontier - chunk_start;
+                    chunks.push(chunk);
+                    self.trace().event(Track::Compaction, Stage::CompactionYield, pass, frontier);
+                    on_yield(chunk);
+                    // The yield is a barrier: every lane resumes from the
+                    // frontier once serving has interleaved.
+                    lane_clock.fill(frontier);
+                    chunk_start = frontier;
                 }
-                let Some(dst) = alive[dst_idx].clone() else { continue };
-                let compatible = {
-                    let (s, d) = (src.lock(), dst.lock());
-                    d.corm_compactable(&s)
-                };
-                if !compatible {
-                    continue;
-                }
-                let stats = self.merge_blocks(&src, &dst, clock)?;
-                self.trace().span(
-                    Track::Compaction,
-                    Stage::CompactionMerge,
-                    pass,
-                    clock,
-                    stats.cost,
-                );
-                clock += stats.cost;
-                compaction_cost += stats.cost;
-                relocated += stats.relocated;
-                copied += stats.copied;
-                merges += 1;
-                merged = true;
-                break;
-            }
-            if !merged {
-                alive[src_idx] = Some(src);
             }
         }
+        let yields = chunks.len();
+        if frontier > chunk_start || chunks.is_empty() {
+            chunks.push(frontier - chunk_start);
+        }
+        let compaction_cost = frontier - start;
 
-        // Survivors go back to the leader's thread allocator.
-        {
-            let mut leader = self.workers[0].lock();
-            for block in alive.into_iter().flatten() {
-                leader.alloc.adopt(block);
-            }
+        // Survivors go back to the worker allocators round-robin, so
+        // repeated passes do not pile every collected block onto the
+        // leader's thread.
+        let n_workers = self.workers.len();
+        for (i, &idx) in plan.survivors.iter().enumerate() {
+            self.workers[i % n_workers].lock().alloc.adopt(candidates[idx].clone());
         }
 
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
@@ -165,6 +225,11 @@ impl CormServer {
             objects_copied: copied,
             collection_cost,
             compaction_cost,
+            lanes,
+            yields,
+            chunks,
+            extra_remaps,
+            mtt_batches,
         };
         let total = report.total_cost();
         Ok(crate::Timed::new(report, total))
@@ -172,11 +237,22 @@ impl CormServer {
 
     /// Compacts every class whose fragmentation ratio exceeds the
     /// configured threshold (§3.1.3). Returns one report per class.
+    ///
+    /// The report is recomputed before each pass: blocks freed by an
+    /// earlier class's pass can pull a later class back under the
+    /// threshold, in which case that class is skipped.
     pub fn compact_if_fragmented(&self, now: SimTime) -> Result<Vec<CompactionReport>, CormError> {
-        let report = self.fragmentation_report();
         let mut out = Vec::new();
         let mut clock = now;
-        for class in report.classes_exceeding(self.config().frag_threshold) {
+        let mut done: Vec<ClassId> = Vec::new();
+        loop {
+            let report = self.fragmentation_report();
+            let next = report
+                .classes_exceeding(self.config().frag_threshold)
+                .into_iter()
+                .find(|c| !done.contains(c));
+            let Some(class) = next else { break };
+            done.push(class);
             let timed = self.compact_class(class, clock)?;
             clock += timed.cost;
             out.push(timed.value);
@@ -186,12 +262,14 @@ impl CormServer {
 
     /// Merges `src` into `dst`: lock, copy (offset-preserving where
     /// possible), remap, update the MTT, release the source's physical
-    /// pages, and demote the source's vaddr to an alias.
+    /// pages, and demote the source's vaddr to an alias. `scratch` is the
+    /// lane's reusable copy buffer.
     fn merge_blocks(
         &self,
         src: &SharedBlock,
         dst: &SharedBlock,
         now: SimTime,
+        scratch: &mut Vec<u8>,
     ) -> Result<MergeStats, CormError> {
         let model = self.model().clone();
         // Lock both blocks in address order (the only two-block lock site).
@@ -206,7 +284,7 @@ impl CormServer {
             let s = src.lock();
             (s, d)
         };
-        assert!(d.corm_compactable(&s), "caller must check compatibility");
+        assert!(d.corm_compactable(&s), "planner must check compatibility");
         let slot_bytes = s.obj_size();
         let pages = s.pages();
         let objects: Vec<(u32, u32)> = s.live_objects().collect();
@@ -223,12 +301,17 @@ impl CormServer {
         }
 
         // Phase 2: copy. Preserve offsets when free in the destination;
-        // relocate to the lowest free slot otherwise (Fig. 5).
+        // relocate to the lowest free slot otherwise (Fig. 5). The lane's
+        // scratch buffer is reused across objects and merges — every byte
+        // is overwritten by the read before it is consumed.
+        if scratch.len() < slot_bytes {
+            scratch.resize(slot_bytes, 0);
+        }
+        let image = &mut scratch[..slot_bytes];
         let mut relocated = 0;
         let mut bytes_copied = 0;
         for &(id, slot) in &objects {
-            let mut image = vec![0u8; slot_bytes];
-            self.aspace().read(s.slot_vaddr(slot), &mut image)?;
+            self.aspace().read(s.slot_vaddr(slot), image)?;
             // The copy lands unlocked and otherwise bit-identical.
             let mut header =
                 ObjectHeader::from_bytes(image[..HEADER_BYTES].try_into().expect("header"));
@@ -244,7 +327,7 @@ impl CormServer {
                 relocated += 1;
                 hint
             };
-            self.aspace().write(d.slot_vaddr(dst_slot), &image)?;
+            self.aspace().write(d.slot_vaddr(dst_slot), image)?;
             bytes_copied += slot_bytes;
         }
 
@@ -261,22 +344,48 @@ impl CormServer {
         let repointed = self.registry.demote_to_alias(src_base, dst_base, src_rkey, pages);
         let mut remap_targets: Vec<(u64, u32)> = vec![(src_base, src_rkey)];
         remap_targets.extend(repointed.iter().map(|(base, info)| (*base, info.rkey)));
-        let mut mtt_calls = 0u64;
-        for &(base, rkey) in &remap_targets {
-            self.aspace().remap(base, &dst_frames)?;
+        let batched = self.config().batch_mtt_sync;
+        let mut mtt_batches = 0u64;
+        if batched {
+            // Batched sync: every target rides one posted verb (and the
+            // primary's mmap transition — the targets alias the same
+            // frames), so alias targets add no marginal virtual cost.
+            for &(base, _) in &remap_targets {
+                self.aspace().remap(base, &dst_frames)?;
+            }
             match self.config().mtt_strategy {
                 MttUpdateStrategy::Rereg => {
-                    self.rnic().rereg(rkey, now)?;
-                    self.trace().count(Stage::MttSync);
+                    let keys: Vec<u32> = remap_targets.iter().map(|&(_, rkey)| rkey).collect();
+                    self.rnic().rereg_batch(&keys, now)?;
+                    self.trace().add(Stage::MttSync, keys.len() as u64);
+                    mtt_batches = 1;
                 }
                 MttUpdateStrategy::Odp => {}
                 MttUpdateStrategy::OdpPrefetch => {
-                    self.rnic().advise(rkey, base, pages)?;
-                    self.trace().count(Stage::MttSync);
+                    let targets: Vec<(u32, u64, usize)> =
+                        remap_targets.iter().map(|&(base, rkey)| (rkey, base, pages)).collect();
+                    self.rnic().advise_batch(&targets)?;
+                    self.trace().add(Stage::MttSync, targets.len() as u64);
+                    mtt_batches = 1;
                 }
             }
-            mtt_calls += 1;
+        } else {
+            for &(base, rkey) in &remap_targets {
+                self.aspace().remap(base, &dst_frames)?;
+                match self.config().mtt_strategy {
+                    MttUpdateStrategy::Rereg => {
+                        self.rnic().rereg(rkey, now)?;
+                        self.trace().count(Stage::MttSync);
+                    }
+                    MttUpdateStrategy::Odp => {}
+                    MttUpdateStrategy::OdpPrefetch => {
+                        self.rnic().advise(rkey, base, pages)?;
+                        self.trace().count(Stage::MttSync);
+                    }
+                }
+            }
         }
+        let mtt_calls = remap_targets.len() as u64;
 
         // Phase 4: release the source's physical pages back to the
         // process-wide allocator.
@@ -288,16 +397,180 @@ impl CormServer {
         self.try_release_vaddr(src_base);
 
         // One block_compaction_cost covers bookkeeping + copies + the
-        // primary remap; extra alias remaps each add an mmap + MTT update.
+        // primary remap; extra alias remaps each add an mmap + MTT update —
+        // unless the batched verb covers them, in which case they ride the
+        // primary's transition for free (`mtt_batch_sync_cost`).
         let extra_remaps = mtt_calls.saturating_sub(1);
-        let cost = model.block_compaction_cost(
+        let base_cost = model.block_compaction_cost(
             self.config().mtt_strategy,
             pages,
             bytes_copied,
             objects.len(),
-        ) + (model.mmap_cost(pages)
-            + model.mtt_update_cost(self.config().mtt_strategy, pages))
-            * extra_remaps;
-        Ok(MergeStats { relocated, copied: objects.len(), cost })
+        );
+        let cost = if batched {
+            base_cost
+        } else {
+            base_cost
+                + (model.mmap_cost(pages)
+                    + model.mtt_update_cost(self.config().mtt_strategy, pages))
+                    * extra_remaps
+        };
+        Ok(MergeStats { relocated, copied: objects.len(), cost, extra_remaps, mtt_batches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use corm_sim_core::time::SimTime;
+
+    use super::*;
+    use crate::server::{CormServer, ServerConfig};
+
+    const PAYLOAD: usize = 32;
+
+    fn server_with(workers: usize, lanes: usize, budget: Option<SimDuration>) -> Arc<CormServer> {
+        Arc::new(CormServer::new(ServerConfig {
+            workers,
+            compaction_lanes: lanes,
+            compaction_budget: budget,
+            alloc: corm_alloc::AllocConfig {
+                block_bytes: 4096,
+                file_bytes: 16 << 20,
+                ..Default::default()
+            },
+            ..ServerConfig::default()
+        }))
+    }
+
+    /// Fills `blocks` blocks of the 32-byte class on `worker`, then frees
+    /// three of every five objects. Each block keeps 2/5 of its slots live:
+    /// two such blocks exactly pair up, but a third never fits, so the
+    /// greedy plan produces disjoint two-block merges.
+    fn two_fifths_fill(server: &CormServer, worker: usize, blocks: usize) -> ClassId {
+        let class = crate::consistency::class_for_payload(server.classes(), PAYLOAD).unwrap();
+        let slots = server.block_bytes() / server.classes().size_of(class);
+        let mut ptrs = Vec::new();
+        for _ in 0..blocks * slots {
+            ptrs.push(server.alloc(worker, PAYLOAD).expect("alloc").value);
+        }
+        for (i, p) in ptrs.iter_mut().enumerate() {
+            if i % 5 >= 2 {
+                server.free(worker, p).expect("free");
+            }
+        }
+        class
+    }
+
+    #[test]
+    fn survivors_rebalance_across_workers() {
+        let server = server_with(4, 1, None);
+        let mut class = ClassId(0);
+        for w in 0..4 {
+            class = two_fifths_fill(&server, w, 2);
+        }
+        let report = server.compact_class(class, SimTime::ZERO).expect("pass").value;
+        assert_eq!(report.collected, 8);
+        assert_eq!(report.merges, 4);
+        for w in 0..4 {
+            let owned = server.workers[w].lock().alloc.blocks_in_class(class).len();
+            assert_eq!(owned, 1, "worker {w} must adopt one survivor (round-robin), not pile on 0");
+        }
+    }
+
+    #[test]
+    fn lanes_overlap_disjoint_merges_without_changing_effects() {
+        let run = |lanes: usize| {
+            let server = server_with(1, lanes, None);
+            let class = two_fifths_fill(&server, 0, 8);
+            server.compact_class(class, SimTime::ZERO).expect("pass").value
+        };
+        let serial = run(1);
+        let wide = run(4);
+        assert_eq!(serial.lanes, 1);
+        assert_eq!(wide.lanes, 4);
+        // Identical side effects: the plan (and every merge) is the same.
+        assert_eq!(wide.collected, serial.collected);
+        assert_eq!(wide.merges, serial.merges);
+        assert_eq!(wide.objects_copied, serial.objects_copied);
+        assert_eq!(wide.objects_relocated, serial.objects_relocated);
+        assert_eq!(wide.collection_cost, serial.collection_cost);
+        // Four disjoint pairings overlap on four lanes: the merge phase
+        // costs the per-lane makespan, strictly under the serial sum and
+        // no better than a quarter of it.
+        assert_eq!(serial.merges, 4, "eight third-full blocks must pair into four merges");
+        assert!(
+            wide.compaction_cost < serial.compaction_cost,
+            "lanes must overlap: {:?} vs {:?}",
+            wide.compaction_cost,
+            serial.compaction_cost
+        );
+        assert!(wide.compaction_cost * 4 >= serial.compaction_cost, "makespan >= serial / lanes");
+    }
+
+    #[test]
+    fn budget_bounds_pass_chunks_without_changing_costs() {
+        let unbudgeted = {
+            let server = server_with(1, 1, None);
+            let class = two_fifths_fill(&server, 0, 8);
+            server.compact_class(class, SimTime::ZERO).expect("pass").value
+        };
+        assert_eq!(unbudgeted.yields, 0);
+        assert_eq!(unbudgeted.chunks.len(), 1, "a budget-less pass is one chunk");
+        assert_eq!(unbudgeted.chunks[0], unbudgeted.compaction_cost);
+
+        // A budget far below one merge's cost yields at every boundary.
+        let budget = SimDuration::from_micros(1);
+        let server = server_with(1, 1, Some(budget));
+        let class = two_fifths_fill(&server, 0, 8);
+        let mut yielded: Vec<SimDuration> = Vec::new();
+        let timed = server
+            .compact_class_with(class, SimTime::ZERO, &mut |chunk| yielded.push(chunk))
+            .expect("pass");
+        let report = timed.value;
+        assert_eq!(report.merges, unbudgeted.merges);
+        assert_eq!(
+            report.compaction_cost, unbudgeted.compaction_cost,
+            "the budget bounds pauses, never the pass's virtual cost"
+        );
+        assert_eq!(report.yields, report.merges - 1);
+        assert_eq!(report.chunks.len(), report.yields + 1);
+        assert_eq!(&report.chunks[..report.yields], &yielded[..], "hook sees every chunk in order");
+        let sum = report.chunks.iter().fold(SimDuration::ZERO, |a, &b| a + b);
+        assert_eq!(sum, report.compaction_cost, "chunks partition the merge phase");
+        for &chunk in &report.chunks[..report.yields] {
+            assert!(chunk >= budget, "a pass only yields once the budget has elapsed");
+        }
+    }
+
+    #[test]
+    fn compact_if_fragmented_reevaluates_between_classes() {
+        let server = server_with(1, 1, None);
+        let small = two_fifths_fill(&server, 0, 2);
+        // A second fragmented class, allocated the same way.
+        let big_payload = 200;
+        let big = crate::consistency::class_for_payload(server.classes(), big_payload).unwrap();
+        assert_ne!(small, big);
+        let slots = server.block_bytes() / server.classes().size_of(big);
+        let mut ptrs = Vec::new();
+        for _ in 0..2 * slots {
+            ptrs.push(server.alloc(0, big_payload).expect("alloc").value);
+        }
+        for (i, p) in ptrs.iter_mut().enumerate() {
+            if i % 5 >= 2 {
+                server.free(0, p).expect("free");
+            }
+        }
+        let reports = server.compact_if_fragmented(SimTime::ZERO).expect("passes");
+        let classes: Vec<ClassId> = reports.iter().map(|r| r.class).collect();
+        assert!(classes.contains(&small), "fragmented class {small:?} must be compacted");
+        assert!(classes.contains(&big), "fragmented class {big:?} must be compacted");
+        // The report is recomputed before every pass; the done-list keeps a
+        // still-exceeding class from being compacted twice.
+        for (i, c) in classes.iter().enumerate() {
+            assert!(!classes[..i].contains(c), "class {c:?} compacted more than once");
+        }
+        assert!(reports.iter().all(|r| r.merges >= 1));
     }
 }

@@ -12,6 +12,7 @@
 //! harness uses the same costs as queueing service times.
 
 pub mod compaction;
+pub mod plan;
 pub mod registry;
 pub mod threaded;
 pub mod vaddrs;
@@ -84,6 +85,20 @@ pub struct ServerConfig {
     /// Shards in the block registry; 1 reproduces the single-lock
     /// registry for determinism-sensitive runs.
     pub registry_shards: usize,
+    /// Parallel merge lanes in a compaction pass. Disjoint merge
+    /// components overlap in virtual time across lanes (the merge phase
+    /// costs the per-lane makespan); 1 reproduces the historical serial
+    /// schedule byte for byte.
+    pub compaction_lanes: usize,
+    /// Pause budget (virtual time) for pause-bounded compaction passes:
+    /// after this much merge-phase time the pass yields so queued RPCs can
+    /// interleave, then resumes. `None` runs each pass to completion.
+    pub compaction_budget: Option<SimDuration>,
+    /// Issue one batched MTT-sync verb per merge covering the primary
+    /// vaddr and its whole alias chain, instead of one verb per remap
+    /// target. The batch rides the primary target's transition, so alias
+    /// targets stop paying the per-target `mmap + mtt_update` cost.
+    pub batch_mtt_sync: bool,
     /// Root seed for object-ID generation.
     pub seed: u64,
     /// Trace recorder for the node. Disabled by default; recording is
@@ -105,6 +120,9 @@ impl Default for ServerConfig {
             release_empty_blocks: true,
             rnic: RnicConfig::default(),
             registry_shards: registry::DEFAULT_REGISTRY_SHARDS,
+            compaction_lanes: 1,
+            compaction_budget: None,
+            batch_mtt_sync: false,
             seed: 0xC0_4D,
             trace: TraceHandle::disabled(),
         }

@@ -1,0 +1,209 @@
+//! Merge planning for the compaction engine.
+//!
+//! The leader used to interleave pairing decisions with merge execution:
+//! one serial loop picked the next `(src, dst)` pair and immediately merged
+//! it. [`MergePlan::build`] lifts the *same greedy pairing* out into an
+//! up-front plan — it replays the pairing on cloned [`BlockModel`]s, so the
+//! planned sequence is byte-identical to what the old loop would have
+//! executed — and then partitions the merges into **disjoint lanes**:
+//! merges that share no block (directly or transitively through a shared
+//! destination or a chain) land on different lanes and can overlap in
+//! virtual time, mirroring the RNIC's parallel processing units. With one
+//! lane the plan degenerates to the old serial schedule exactly.
+//!
+//! Planning itself is pure metadata work on snapshots (no data-plane
+//! access, no RNG draws) and is charged zero virtual time.
+
+use corm_alloc::process::SharedBlock;
+use corm_compact::BlockModel;
+
+/// One planned merge: `src` is merged away into `dst` on lane `lane`.
+pub struct PlannedMerge {
+    /// The source block (merged away; its vaddr becomes an alias).
+    pub src: SharedBlock,
+    /// The destination block (receives the source's live objects).
+    pub dst: SharedBlock,
+    /// The lane this merge executes on. Merges on different lanes touch
+    /// disjoint block sets and may overlap in virtual time.
+    pub lane: usize,
+}
+
+/// The up-front plan of one compaction pass's merge phase.
+pub struct MergePlan {
+    /// Planned merges in the exact order the serial greedy loop would have
+    /// executed them. Execution preserves this global order (so side
+    /// effects on shared structures are identical at any lane count); only
+    /// the virtual-time charging differs per lane.
+    pub merges: Vec<PlannedMerge>,
+    /// Number of lanes merges were distributed over.
+    pub lanes: usize,
+    /// Number of disjoint merge components found (an upper bound on
+    /// useful parallelism; `min(components, lanes)` lanes carry work).
+    pub components: usize,
+    /// Indices (into the candidate vector) of blocks that were not merged
+    /// away — the survivors, in candidate order.
+    pub survivors: Vec<usize>,
+}
+
+impl MergePlan {
+    /// Computes the greedy pairing over `candidates` (already sorted by
+    /// ascending live count, as the collection stage produces them) and
+    /// lays it out on `lanes` disjoint lanes.
+    ///
+    /// The pairing replays the historical serial loop: sources ascend from
+    /// the least-utilized end; each source scans for the most-utilized
+    /// compatible destination; a successful merge updates the
+    /// destination's (cloned) occupancy model so later compatibility
+    /// checks see it — exactly as the old code observed the real blocks
+    /// mid-pass.
+    pub fn build(candidates: &[SharedBlock], lanes: usize) -> MergePlan {
+        let lanes = lanes.max(1);
+        let n = candidates.len();
+        let mut models: Vec<BlockModel> =
+            candidates.iter().map(|b| b.lock().model().clone()).collect();
+        let mut gone = vec![false; n];
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for s in 0..n {
+            if gone[s] {
+                continue;
+            }
+            for d in (0..n).rev() {
+                if d == s || gone[d] {
+                    continue;
+                }
+                if !models[d].corm_compactable(&models[s]) {
+                    continue;
+                }
+                let src_model = models[s].clone();
+                models[d].merge_corm(&src_model);
+                gone[s] = true;
+                pairs.push((s, d));
+                break;
+            }
+        }
+
+        // Union-find over block indices: merges sharing any block
+        // (transitively) must serialize on one lane.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(s, d) in &pairs {
+            let (rs, rd) = (find(&mut parent, s), find(&mut parent, d));
+            if rs != rd {
+                parent[rs] = rd;
+            }
+        }
+
+        // Components are numbered in order of first appearance in the
+        // plan, then dealt round-robin across lanes — deterministic, and
+        // with one lane everything lands on lane 0.
+        let mut component_lane: Vec<Option<usize>> = vec![None; n];
+        let mut components = 0usize;
+        let merges = pairs
+            .into_iter()
+            .map(|(s, d)| {
+                let root = find(&mut parent, s);
+                let lane = *component_lane[root].get_or_insert_with(|| {
+                    let lane = components % lanes;
+                    components += 1;
+                    lane
+                });
+                PlannedMerge { src: candidates[s].clone(), dst: candidates[d].clone(), lane }
+            })
+            .collect();
+        let survivors = (0..n).filter(|&i| !gone[i]).collect();
+        MergePlan { merges, lanes, components, survivors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corm_alloc::{Block, BlockId, ClassId};
+    use corm_sim_mem::{FileId, FrameId};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// A one-page test block with the given `(id, slot)` live objects.
+    fn block(idx: u32, objects: &[(u32, u32)]) -> SharedBlock {
+        let frames = vec![FrameId(idx)];
+        let mut b = Block::new(
+            BlockId(idx as u64),
+            ClassId(0),
+            512,
+            0x10_0000 + idx as u64 * 0x1000,
+            1,
+            FileId(1),
+            0,
+            frames,
+            1 << 16,
+            0,
+        );
+        for &(id, slot) in objects {
+            assert!(b.insert_object(id, slot));
+        }
+        Arc::new(Mutex::new(b))
+    }
+
+    #[test]
+    fn pairing_matches_serial_greedy_order() {
+        // Four half-full blocks (4 of 8 slots): the serial loop pairs
+        // (0→3), (1→2) — src ascending, dst from the most-utilized end,
+        // skipping destinations the plan already filled.
+        let candidates: Vec<SharedBlock> = (0..4)
+            .map(|i| {
+                let objs: Vec<(u32, u32)> = (0..4).map(|k| (i * 10 + k, k)).collect();
+                block(i, &objs)
+            })
+            .collect();
+        let plan = MergePlan::build(&candidates, 1);
+        let pairs: Vec<(u64, u64)> =
+            plan.merges.iter().map(|m| (m.src.lock().vaddr(), m.dst.lock().vaddr())).collect();
+        let va = |i: usize| candidates[i].lock().vaddr();
+        assert_eq!(pairs, vec![(va(0), va(3)), (va(1), va(2))]);
+        assert_eq!(plan.survivors, vec![2, 3]);
+        assert_eq!(plan.components, 2);
+        assert!(plan.merges.iter().all(|m| m.lane == 0));
+    }
+
+    #[test]
+    fn disjoint_components_spread_across_lanes() {
+        let candidates: Vec<SharedBlock> = (0..8)
+            .map(|i| {
+                let objs: Vec<(u32, u32)> = (0..4).map(|k| (i * 10 + k, k)).collect();
+                block(i, &objs)
+            })
+            .collect();
+        let plan = MergePlan::build(&candidates, 4);
+        assert_eq!(plan.merges.len(), 4);
+        assert_eq!(plan.components, 4);
+        let lanes: Vec<usize> = plan.merges.iter().map(|m| m.lane).collect();
+        assert_eq!(lanes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chained_merges_share_a_lane() {
+        // One object each: everything funnels into the most-utilized
+        // destination — one component, one lane, even with 4 lanes.
+        let candidates: Vec<SharedBlock> = (0..4).map(|i| block(i, &[(i * 10, 0)])).collect();
+        let plan = MergePlan::build(&candidates, 4);
+        assert_eq!(plan.merges.len(), 3);
+        assert_eq!(plan.components, 1);
+        assert!(plan.merges.iter().all(|m| m.lane == 0));
+        assert_eq!(plan.survivors.len(), 1);
+    }
+
+    #[test]
+    fn id_conflicts_block_pairing() {
+        // Shared IDs are never mergeable under the CoRM rule.
+        let candidates = vec![block(0, &[(7, 0)]), block(1, &[(7, 1)])];
+        let plan = MergePlan::build(&candidates, 2);
+        assert!(plan.merges.is_empty());
+        assert_eq!(plan.survivors, vec![0, 1]);
+    }
+}

@@ -100,10 +100,16 @@ pub enum Pacing {
     Virtual,
 }
 
+/// How many queued RPCs the compaction leader serves per pause-bounded
+/// yield before resuming the pass. Bounds the pause the yield itself adds:
+/// the pass never stalls behind an unbounded backlog.
+const YIELD_SERVE_BURST: usize = 32;
+
 /// A running threaded CoRM node.
 pub struct ThreadedServer {
     server: Arc<CormServer>,
     client_tx: RpcClient<Request, Response>,
+    queues: Arc<[RpcQueue<Request, Response>]>,
     shutdown: Arc<AtomicBool>,
     clock_ns: Arc<AtomicU64>,
     handles: Vec<JoinHandle<u64>>,
@@ -133,7 +139,7 @@ impl ThreadedServer {
                 worker_loop(w, server, queues, shutdown, clock, pacing)
             }));
         }
-        ThreadedServer { server, client_tx, shutdown, clock_ns, handles }
+        ThreadedServer { server, client_tx, queues, shutdown, clock_ns, handles }
     }
 
     /// A handle clients use to issue RPCs.
@@ -154,12 +160,43 @@ impl ThreadedServer {
 
     /// Triggers a compaction pass on the leader at the current virtual
     /// time.
+    ///
+    /// With a configured `compaction_budget` the pass is pause-bounded:
+    /// at every yield the leader advances the shared clock by the finished
+    /// chunk and serves a bounded burst of queued RPCs itself before the
+    /// pass resumes, so requests arriving mid-pass wait at most one budget
+    /// (plus the burst) instead of the whole pass. Without a budget the
+    /// pass runs to completion exactly as before.
     pub fn compact_class(
         &self,
         class: corm_alloc::ClassId,
     ) -> Result<crate::server::CompactionReport, CormError> {
-        let timed = self.server.compact_class(class, self.now())?;
-        self.clock_ns.fetch_add(timed.cost.as_nanos(), Ordering::Relaxed);
+        let start = self.now();
+        let mut advanced = SimDuration::ZERO;
+        let timed = {
+            let server = &self.server;
+            let queues = &self.queues;
+            let clock = &self.clock_ns;
+            let mut on_yield = |chunk: SimDuration| {
+                clock.fetch_add(chunk.as_nanos(), Ordering::Relaxed);
+                advanced += chunk;
+                for _ in 0..YIELD_SERVE_BURST {
+                    let Some(envelope) = queues.iter().find_map(|q| q.try_poll()) else {
+                        break;
+                    };
+                    server
+                        .trace()
+                        .wall_ns(Stage::RpcQueueWait, envelope.queue_wait().as_nanos() as u64);
+                    let (request, reply) = envelope.into_parts();
+                    let (response, _cost) = serve(0, server, clock, request);
+                    reply.send(response);
+                }
+            };
+            server.compact_class_with(class, start, &mut on_yield)?
+        };
+        // Chunks already charged at yields; add the remainder (collection
+        // plus the final chunk) so the clock lands exactly at start + cost.
+        self.clock_ns.fetch_add((timed.cost - advanced).as_nanos(), Ordering::Relaxed);
         Ok(timed.value)
     }
 
@@ -375,6 +412,50 @@ mod tests {
             elapsed > SimTime::ZERO,
             "virtual clock must advance while serving 1200 RPCs, got {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn budgeted_compaction_yields_and_advances_the_clock() {
+        let server = Arc::new(CormServer::new(ServerConfig {
+            workers: 2,
+            compaction_budget: Some(SimDuration::from_micros(1)),
+            alloc: corm_alloc::AllocConfig {
+                block_bytes: 4096,
+                file_bytes: 16 << 20,
+                ..Default::default()
+            },
+            ..ServerConfig::default()
+        }));
+        let class = crate::consistency::class_for_payload(server.classes(), 32).unwrap();
+        let slots = server.block_bytes() / server.classes().size_of(class);
+        let ts = ThreadedServer::start(server);
+        let client = ts.rpc_client();
+        // Fill four blocks, then thin them to 2/5 so the pass has several
+        // merges — a 1µs budget yields at every merge boundary.
+        let mut ptrs = Vec::new();
+        for _ in 0..4 * slots {
+            match client.call(Request::Alloc { len: 32 }).unwrap() {
+                Response::Ptr(p) => ptrs.push(p),
+                other => panic!("{other:?}"),
+            }
+        }
+        for (i, ptr) in ptrs.into_iter().enumerate() {
+            if i % 5 >= 2 {
+                match client.call(Request::Free { ptr }).unwrap() {
+                    Response::Done(_) => {}
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+        let before = ts.now();
+        let report = ts.compact_class(class).unwrap();
+        assert!(report.merges >= 2, "need several merges, got {}", report.merges);
+        assert_eq!(report.yields, report.merges - 1, "a 1µs budget yields at every boundary");
+        // The queues were idle at every yield, so the clock advanced by
+        // exactly the pass's total virtual cost (chunks at yields plus the
+        // remainder at the end).
+        assert_eq!(ts.now(), before + report.total_cost());
+        ts.shutdown();
     }
 
     #[test]

@@ -74,11 +74,16 @@ pub enum Stage {
     CompactionMerge,
     /// MTT synchronisation call issued while remapping (rereg/advise).
     MttSync,
+    /// Merge-plan computation: the greedy pairing laid out into disjoint
+    /// lanes before any merge executes (zero virtual cost).
+    CompactionPlan,
+    /// A pause-bounded pass yielding so queued RPCs can interleave.
+    CompactionYield,
 }
 
 impl Stage {
     /// Number of stages (sizes the recorder's counter arrays).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 27;
 
     /// Every stage, in declaration order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -107,6 +112,8 @@ impl Stage {
         Stage::CompactionCollect,
         Stage::CompactionMerge,
         Stage::MttSync,
+        Stage::CompactionPlan,
+        Stage::CompactionYield,
     ];
 
     /// Dense index for counter arrays.
@@ -142,6 +149,8 @@ impl Stage {
             Stage::CompactionCollect => "compaction_collect",
             Stage::CompactionMerge => "compaction_merge",
             Stage::MttSync => "mtt_sync",
+            Stage::CompactionPlan => "compaction_plan",
+            Stage::CompactionYield => "compaction_yield",
         }
     }
 

@@ -310,6 +310,30 @@ impl LatencyModel {
         }
     }
 
+    /// Batched MTT-sync cost for `targets` regions that all map the *same*
+    /// `pages` destination frames (a compaction remap's primary vaddr plus
+    /// its alias chain).
+    ///
+    /// The batch is posted as one verb and rides a single
+    /// doorbell/transition: the per-region fixed cost (`rereg_base` /
+    /// `advise_base`) and the per-target `mmap` install are paid once for
+    /// the whole batch rather than per target, because every target aliases
+    /// the identical frame set the primary sync already walks. The cost is
+    /// therefore that of syncing one `pages`-page region, independent of
+    /// the target count — exactly the `extra_remaps × (mmap + mtt_update)`
+    /// term the unbatched path pays on top.
+    pub fn mtt_batch_sync_cost(
+        &self,
+        strategy: MttUpdateStrategy,
+        pages: usize,
+        targets: usize,
+    ) -> SimDuration {
+        if targets == 0 {
+            return SimDuration::ZERO;
+        }
+        self.mtt_update_cost(strategy, pages)
+    }
+
     /// Full cost of compacting one source block into a destination:
     /// bookkeeping, object copies, metadata merge, vaddr remap, MTT update.
     pub fn block_compaction_cost(
@@ -403,6 +427,27 @@ mod tests {
         let a16 = amd.collection_cost(16).as_micros_f64();
         assert!((25.0..=35.0).contains(&a16), "amd@16={a16}");
         assert_eq!(intel.collection_cost(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batched_mtt_sync_amortizes_per_target_costs() {
+        let m = LatencyModel::connectx5();
+        for strategy in
+            [MttUpdateStrategy::Rereg, MttUpdateStrategy::Odp, MttUpdateStrategy::OdpPrefetch]
+        {
+            // One transition covers the whole batch: cost is independent of
+            // the target count and equals a single region's sync.
+            let single = m.mtt_update_cost(strategy, 4);
+            assert_eq!(m.mtt_batch_sync_cost(strategy, 4, 1), single);
+            assert_eq!(m.mtt_batch_sync_cost(strategy, 4, 8), single);
+            assert_eq!(m.mtt_batch_sync_cost(strategy, 4, 0), SimDuration::ZERO);
+            // The unbatched path pays per target; batching saves the full
+            // extra term for every alias beyond the first.
+            let unbatched = (m.mmap_cost(4) + single) * 8;
+            let batched = m.mmap_cost(4) + m.mtt_batch_sync_cost(strategy, 4, 8);
+            let saved = (m.mmap_cost(4) + single) * 7;
+            assert_eq!(unbatched - batched, saved);
+        }
     }
 
     #[test]

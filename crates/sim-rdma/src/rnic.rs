@@ -204,6 +204,10 @@ pub struct RnicStats {
     pub reregs: AtomicU64,
     /// `advise_mr` calls.
     pub advises: AtomicU64,
+    /// Batched `rereg_mr` verbs (each covers every region in its batch).
+    pub rereg_batches: AtomicU64,
+    /// Batched `advise_mr` verbs (each covers every target in its batch).
+    pub advise_batches: AtomicU64,
     /// Injected transient NIC/PCIe faults (verbs failed).
     pub injected_faults: AtomicU64,
     /// Injected QP breaks (verbs failed with `QpBroken`).
@@ -381,6 +385,91 @@ impl Rnic {
         }
         self.stats.reregs.fetch_add(1, Ordering::Relaxed);
         Ok(cost)
+    }
+
+    /// Batched `ibv_rereg_mr`: re-snapshots every region in `rkeys` with a
+    /// single posted verb, preserving keys. All regions in the batch share
+    /// one busy window `[now, now + cost)` — the batch rides one
+    /// doorbell/transition, so the cost is that of re-registering the
+    /// largest region in the batch rather than the per-region sum (the
+    /// compaction batch's regions all alias the same destination frames).
+    ///
+    /// The whole batch is validated before any region is touched: an
+    /// unknown key fails the batch with no busy window opened.
+    pub fn rereg_batch(&self, rkeys: &[u32], now: SimTime) -> Result<SimDuration, RdmaError> {
+        if rkeys.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        let (mrs, cost) = {
+            let mut rt = self.regions.write();
+            let mut mrs = Vec::with_capacity(rkeys.len());
+            let mut max_pages = 0usize;
+            for &rkey in rkeys {
+                let mr = *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+                max_pages = max_pages.max(mr.pages);
+                mrs.push(mr);
+            }
+            let cost = self.config.model.rereg_cost(max_pages);
+            // Open every busy window before any translation changes, as in
+            // the single-region path.
+            for &rkey in rkeys {
+                rt.busy_until.insert(rkey, now + cost);
+            }
+            (mrs, cost)
+        };
+        for mr in &mrs {
+            for i in 0..mr.pages {
+                let va = mr.base + (i * PAGE_SIZE) as u64;
+                let t = self.aspace.translate(va)?;
+                let vpn = va / PAGE_SIZE as u64;
+                let mut shard = self.shard_of(vpn).lock();
+                shard.mtt.insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
+                shard.cache.remove(&vpn);
+            }
+        }
+        self.stats.reregs.fetch_add(rkeys.len() as u64, Ordering::Relaxed);
+        self.stats.rereg_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(cost)
+    }
+
+    /// Batched `ibv_advise_mr`: prefetches translations for every
+    /// `(rkey, va, pages)` target with a single posted verb. Costs one
+    /// advise over the largest target (the batch shares a
+    /// doorbell/transition; compaction's targets all map the same frames).
+    ///
+    /// The whole batch is validated before any translation is installed.
+    pub fn advise_batch(&self, targets: &[(u32, u64, usize)]) -> Result<SimDuration, RdmaError> {
+        if targets.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        let mut max_pages = 0usize;
+        {
+            let rt = self.regions.read();
+            for &(rkey, va, pages) in targets {
+                let mr = rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+                if !mr.odp {
+                    return Err(RdmaError::OdpUnsupported);
+                }
+                if !mr.covers(va, pages * PAGE_SIZE) {
+                    return Err(RdmaError::OutOfRange { rkey, va, len: pages * PAGE_SIZE });
+                }
+                max_pages = max_pages.max(pages);
+            }
+        }
+        for &(_, va, pages) in targets {
+            for i in 0..pages {
+                let page_va = va + (i * PAGE_SIZE) as u64;
+                let t = self.aspace.translate(page_va)?;
+                let vpn = page_va / PAGE_SIZE as u64;
+                self.shard_of(vpn)
+                    .lock()
+                    .mtt
+                    .insert(vpn, MttEntry { frame: t.frame, epoch: t.epoch });
+            }
+        }
+        self.stats.advises.fetch_add(targets.len() as u64, Ordering::Relaxed);
+        self.stats.advise_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(self.config.model.advise_cost(max_pages))
     }
 
     /// `ibv_advise_mr` prefetch: refreshes translations of an ODP region's
