@@ -61,7 +61,7 @@ impl RawRdmaClient {
         for c in self.qp.poll_cq(usize::MAX) {
             end = end.max(c.completed_at);
             match c.result {
-                Ok(_) => out[c.wr_id as usize] = c.data,
+                Ok(_) => out[c.wr_id as usize] = c.data.to_vec(),
                 Err(e) => return Err(e),
             }
         }

@@ -1,0 +1,112 @@
+//! Simulator-speed benchmark binary.
+//!
+//! Measures events/sec and wall-seconds-per-virtual-second on the two
+//! fixed `simspeed` workloads (see `corm_bench::simspeed`) and writes the
+//! measurement to `results/simspeed.json`.
+//!
+//! - `--update` additionally rewrites the committed `BENCH_simspeed.json`
+//!   at the workspace root, carrying the `baseline_heap` section forward
+//!   from the existing file (or seeding it from this run on first
+//!   publish, or from `CORM_SIMSPEED_HEAP_FIG12`/`_FIG13` if set).
+//! - `--smoke` is the CI gate: it compares the fresh measurement against
+//!   the committed `BENCH_simspeed.json` and exits non-zero if either
+//!   workload's events/sec regressed by more than the tolerance (10% by
+//!   default; override with `CORM_SIMSPEED_TOL=0.25` for noisier hosts).
+
+use corm_bench::report::{f2, write_json, Table};
+use corm_bench::simspeed::{
+    bench_json, committed_bench_path, parse_committed, run_fig12_cell, run_fig13_cell, SpeedCell,
+};
+use corm_trace::TraceHandle;
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let update = std::env::args().any(|a| a == "--update");
+    let trace = TraceHandle::disabled();
+
+    let fig12 = run_fig12_cell(&trace);
+    let fig13 = run_fig13_cell(&trace);
+
+    let mut t = Table::new(
+        "simspeed: simulator wall-clock speed",
+        &["workload", "events", "wall_ms", "events_per_sec", "wall_per_virt_sec"],
+    );
+    for c in [&fig12, &fig13] {
+        t.row(&[
+            c.workload.to_string(),
+            c.events.to_string(),
+            f2(c.wall_secs * 1e3),
+            format!("{:.0}", c.events_per_sec()),
+            f2(c.wall_per_virtual_sec()),
+        ]);
+    }
+    t.print();
+
+    let committed_path = committed_bench_path();
+    let committed = std::fs::read_to_string(&committed_path).ok().and_then(|s| {
+        let parsed = parse_committed(&s);
+        if parsed.is_none() {
+            eprintln!("warning: {} exists but did not parse", committed_path.display());
+        }
+        parsed
+    });
+
+    // The BinaryHeap-era baseline rides along in every snapshot so the
+    // speedup column stays anchored to the pre-optimization simulator.
+    let heap = (
+        env_f64("CORM_SIMSPEED_HEAP_FIG12")
+            .or(committed.map(|c| c.heap_fig12_events_per_sec))
+            .unwrap_or_else(|| fig12.events_per_sec()),
+        env_f64("CORM_SIMSPEED_HEAP_FIG13")
+            .or(committed.map(|c| c.heap_fig13_events_per_sec))
+            .unwrap_or_else(|| fig13.events_per_sec()),
+    );
+    let doc = bench_json(&fig12, &fig13, heap);
+    let path = write_json("simspeed", &doc).expect("write results json");
+    println!("\njson: {}", path.display());
+    println!(
+        "speedup vs BinaryHeap baseline: fig12 {:.2}x, fig13 {:.2}x",
+        fig12.events_per_sec() / heap.0,
+        fig13.events_per_sec() / heap.1
+    );
+
+    if update {
+        std::fs::write(&committed_path, doc.render()).expect("write BENCH_simspeed.json");
+        println!("updated {}", committed_path.display());
+    }
+
+    if smoke {
+        let committed = committed.unwrap_or_else(|| {
+            panic!(
+                "--smoke needs a parseable committed {} (run with --update first)",
+                committed_path.display()
+            )
+        });
+        let tol = env_f64("CORM_SIMSPEED_TOL").unwrap_or(0.10);
+        let gate = |cell: &SpeedCell, committed_eps: f64| {
+            let floor = committed_eps * (1.0 - tol);
+            let measured = cell.events_per_sec();
+            assert!(
+                measured >= floor,
+                "simspeed regression on {}: measured {:.0} events/sec is more than {:.0}% \
+                 below the committed {:.0} (floor {:.0}); if intentional, refresh \
+                 BENCH_simspeed.json with --update",
+                cell.workload,
+                measured,
+                tol * 100.0,
+                committed_eps,
+                floor,
+            );
+            println!(
+                "smoke gate passed: {} {:.0} events/sec vs committed {:.0} (floor {:.0})",
+                cell.workload, measured, committed_eps, floor
+            );
+        };
+        gate(&fig12, committed.fig12_events_per_sec);
+        gate(&fig13, committed.fig13_events_per_sec);
+    }
+}

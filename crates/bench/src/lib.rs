@@ -21,6 +21,7 @@
 pub mod report;
 pub mod setup;
 pub mod sim;
+pub mod simspeed;
 
 pub use report::{write_csv, Table};
 pub use setup::{populate_server, PopulatedStore};

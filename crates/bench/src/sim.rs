@@ -20,12 +20,12 @@
 //! observes mismatched cacheline versions and retries after a backoff —
 //! the failure counted by Fig. 13.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use corm_core::client::{CormClient, FixStrategy};
 use corm_core::server::{CormServer, CorrectionStrategy};
 use corm_core::{GlobalPtr, ReadOutcome};
+use corm_sim_core::hash::FastHashMap;
 use corm_sim_core::queue::EventQueue;
 use corm_sim_core::resource::FifoResource;
 use corm_sim_core::rng::{stream_rng, DetRng};
@@ -119,6 +119,10 @@ pub struct SimOutput {
     pub read_latency_during: Histogram,
     /// Read latency samples issued outside the pass (µs).
     pub read_latency_outside: Histogram,
+    /// Discrete events processed (queue pops), including warmup — the
+    /// denominator-free work count the `simspeed` bench divides by wall
+    /// clock.
+    pub events: u64,
 }
 
 impl SimOutput {
@@ -174,8 +178,9 @@ pub fn run_closed_loop(
         compaction_report: None,
         read_latency_during: Histogram::new(),
         read_latency_outside: Histogram::new(),
+        events: 0,
     };
-    let mut write_busy: HashMap<u64, (SimTime, SimTime)> = HashMap::new();
+    let mut write_busy: FastHashMap<u64, (SimTime, SimTime)> = FastHashMap::default();
     let mut compaction_pending = spec.compaction_at;
     let mut buf = vec![0u8; spec.value_len];
     let payload = vec![0xA5u8; spec.value_len];
@@ -229,6 +234,7 @@ pub fn run_closed_loop(
             }
         }
         let (now, ev) = queue.pop().expect("peeked");
+        out.events += 1;
         let (cid, retry_key) = match ev {
             Ev::Ready(c) => (c, None),
             Ev::Retry(c, k) => (c, Some(k)),

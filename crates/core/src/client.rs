@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use corm_sim_core::rng::{stream_rng, DetRng};
 use corm_sim_core::time::{SimDuration, SimTime};
-use corm_sim_rdma::{QueuePair, RdmaError};
+use corm_sim_rdma::{QueuePair, RdmaError, ReadReq, ReadResult};
 use corm_trace::{Stage, TraceHandle, Track};
 
 use crate::consistency::{self, ReadFailure};
@@ -93,6 +93,18 @@ pub struct CormClient {
     pub failed_direct_reads: u64,
     /// QP breaks this client recovered from by reconnecting (§3.5).
     pub qp_recoveries: u64,
+    /// Scratch for the batched read path, recycled across calls so the
+    /// hot loop posts, serves, and validates without allocating: the
+    /// request records, one slot-image buffer per request, the results,
+    /// and the completion-order permutation.
+    batch_reqs: Vec<ReadReq>,
+    batch_out: Vec<Vec<u8>>,
+    batch_results: Vec<ReadResult>,
+    batch_order: Vec<usize>,
+    /// Recycled slot/block image for DirectRead and ScanRead: the DMA
+    /// fully overwrites the fetched range and validation happens before
+    /// any payload copy, so reuse is invisible to callers.
+    image_scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for CormClient {
@@ -121,6 +133,11 @@ impl CormClient {
             op_seq: 0,
             failed_direct_reads: 0,
             qp_recoveries: 0,
+            batch_reqs: Vec::new(),
+            batch_out: Vec::new(),
+            batch_results: Vec::new(),
+            batch_order: Vec::new(),
+            image_scratch: Vec::new(),
         }
     }
 
@@ -268,6 +285,20 @@ impl CormClient {
         now: SimTime,
         op: u64,
     ) -> Result<Timed<ReadOutcome>, RdmaError> {
+        let mut image = std::mem::take(&mut self.image_scratch);
+        let r = self.direct_read_inner(ptr, buf, now, op, &mut image);
+        self.image_scratch = image;
+        r
+    }
+
+    fn direct_read_inner(
+        &mut self,
+        ptr: &GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+        op: u64,
+        image: &mut Vec<u8>,
+    ) -> Result<Timed<ReadOutcome>, RdmaError> {
         let slot_bytes = match self.slot_bytes(ptr) {
             Ok(n) => n,
             // Signal through the validation channel: a bad class byte can
@@ -280,18 +311,14 @@ impl CormClient {
                 ));
             }
         };
-        let mut image = vec![0u8; slot_bytes];
-        let verb = self.qp.read(ptr.rkey, ptr.vaddr, &mut image, now)?;
+        image.resize(slot_bytes, 0);
+        let verb = self.qp.read(ptr.rkey, ptr.vaddr, &mut image[..], now)?;
         let check = self.server.model().version_check_cost(slot_bytes);
         self.trace.span(Track::Client, Stage::Verb, op, now, verb.latency);
         self.trace.span(Track::Client, Stage::VersionCheck, op, now + verb.latency, check);
         let cost = verb.latency + check;
-        match consistency::gather(&image, Some(ptr.obj_id), buf.len()) {
-            Ok((_, payload)) => {
-                let n = payload.len().min(buf.len());
-                buf[..n].copy_from_slice(&payload[..n]);
-                Ok(Timed::new(ReadOutcome::Ok(n), cost))
-            }
+        match consistency::gather_into(image, Some(ptr.obj_id), buf) {
+            Ok((_, n)) => Ok(Timed::new(ReadOutcome::Ok(n), cost)),
             Err(failure) => {
                 self.failed_direct_reads += 1;
                 Ok(Timed::new(ReadOutcome::Invalid(failure), cost))
@@ -322,11 +349,25 @@ impl CormClient {
         now: SimTime,
         op: u64,
     ) -> Result<Timed<usize>, CormError> {
+        let mut image = std::mem::take(&mut self.image_scratch);
+        let r = self.scan_read_inner(ptr, buf, now, op, &mut image);
+        self.image_scratch = image;
+        r
+    }
+
+    fn scan_read_inner(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+        now: SimTime,
+        op: u64,
+        image: &mut Vec<u8>,
+    ) -> Result<Timed<usize>, CormError> {
         let block_bytes = self.server.block_bytes();
         let slot_bytes = self.slot_bytes(ptr)?;
         let base = ptr.block_base(block_bytes);
-        let mut image = vec![0u8; block_bytes];
-        let verb = self.qp.read(ptr.rkey, base, &mut image, now)?;
+        image.resize(block_bytes, 0);
+        let verb = self.qp.read(ptr.rkey, base, &mut image[..], now)?;
         let model = self.server.model();
         let slots = block_bytes / slot_bytes;
         let mut cost = verb.latency + model.scan_cost(slots);
@@ -339,10 +380,8 @@ impl CormClient {
                 continue;
             }
             cost += model.version_check_cost(slot_bytes);
-            match consistency::gather(slice, Some(ptr.obj_id), buf.len()) {
-                Ok((_, payload)) => {
-                    let n = payload.len().min(buf.len());
-                    buf[..n].copy_from_slice(&payload[..n]);
+            match consistency::gather_into(slice, Some(ptr.obj_id), buf) {
+                Ok((_, n)) => {
                     ptr.correct_offset(block_bytes, off);
                     // One Scan leaf covers everything past the wire: the
                     // header sweep plus each candidate's version check.
@@ -476,10 +515,13 @@ impl CormClient {
     }
 
     /// Batched DirectRead (multi-get, the FaRM-style client pattern CoRM
-    /// §4.2 benchmarks against): posts one READ WQE per pointer, rings a
+    /// §4.2 benchmarks against): issues one READ per pointer under a
     /// single doorbell so the whole batch shares one doorbell cost and
-    /// pipelines through the RNIC inbound engine, then polls the CQ and
-    /// validates every completion per §3.2.2–§3.2.3.
+    /// pipelines through the RNIC inbound engine, then validates every
+    /// completion per §3.2.2–§3.2.3. The wire work runs through the
+    /// synchronous [`QueuePair::read_batch_into`] path — slot images DMA
+    /// into client-recycled scratch buffers with virtual-time, fault, and
+    /// statistics semantics identical to post/doorbell/poll.
     ///
     /// Only failed entries are repaired, and each failure class keeps its
     /// sequential-path semantics:
@@ -520,12 +562,16 @@ impl CormClient {
             // entries skip the wire and go straight to the repair RPC,
             // like the sequential path's NotValid route.
             let mut repair: Vec<usize> = Vec::new();
-            let mut posted = 0usize;
+            self.batch_reqs.clear();
             for &i in pending.iter() {
                 match self.slot_bytes(&ptrs[i]) {
                     Ok(slot_bytes) => {
-                        self.qp.post_read(ptrs[i].rkey, ptrs[i].vaddr, slot_bytes, i as u64);
-                        posted += 1;
+                        self.batch_reqs.push(ReadReq {
+                            wr_id: i as u64,
+                            rkey: ptrs[i].rkey,
+                            va: ptrs[i].vaddr,
+                            len: slot_bytes,
+                        });
                     }
                     Err(_) => {
                         self.failed_direct_reads += 1;
@@ -536,30 +582,49 @@ impl CormClient {
             let mut next_pending: Vec<usize> = Vec::new();
             let mut need_reconnect = false;
             let mut locked_any = false;
+            let posted = self.batch_reqs.len();
             if posted > 0 {
-                self.qp.ring_doorbell(clock);
-                let completions = self.qp.poll_cq(usize::MAX);
-                debug_assert_eq!(completions.len(), posted);
+                // Slot images DMA straight into the client's recycled
+                // scratch buffers — the synchronous path with identical
+                // virtual-time and fault semantics to post/doorbell/poll.
+                while self.batch_out.len() < posted {
+                    self.batch_out.push(Vec::new());
+                }
+                self.qp.read_batch_into(
+                    &self.batch_reqs,
+                    &mut self.batch_out[..posted],
+                    clock,
+                    &mut self.batch_results,
+                );
+                debug_assert_eq!(self.batch_results.len(), posted);
+                // Walk results in virtual completion order — the order
+                // poll_cq would have delivered them — so the repair and
+                // retry lists keep their queued-path ordering.
+                self.batch_order.clear();
+                self.batch_order.extend(0..posted);
+                let results = &self.batch_results;
+                self.batch_order.sort_by_key(|&k| results[k].completed_at);
                 let mut batch_end = clock;
                 let mut checks = SimDuration::ZERO;
-                for c in completions {
-                    batch_end = batch_end.max(c.completed_at);
-                    let i = c.wr_id as usize;
-                    match c.result {
+                for &k in self.batch_order.iter() {
+                    let r = &self.batch_results[k];
+                    batch_end = batch_end.max(r.completed_at);
+                    let i = r.wr_id as usize;
+                    match r.result {
                         Err(ref e) if Self::recoverable(e) => {
                             need_reconnect = true;
                             next_pending.push(i);
                         }
-                        Err(e) => return Err(CormError::Rdma(e)),
+                        Err(ref e) => return Err(CormError::Rdma(e.clone())),
                         Ok(_) => {
-                            checks += model.version_check_cost(c.data.len());
-                            match consistency::gather(&c.data, Some(ptrs[i].obj_id), bufs[i].len())
-                            {
-                                Ok((_, payload)) => {
-                                    let m = payload.len().min(bufs[i].len());
-                                    bufs[i][..m].copy_from_slice(&payload[..m]);
-                                    lens[i] = m;
-                                }
+                            let image = &self.batch_out[k];
+                            checks += model.version_check_cost(image.len());
+                            match consistency::gather_into(
+                                image,
+                                Some(ptrs[i].obj_id),
+                                &mut bufs[i],
+                            ) {
+                                Ok((_, m)) => lens[i] = m,
                                 Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
                                     self.failed_direct_reads += 1;
                                     locked_any = true;

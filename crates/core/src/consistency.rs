@@ -83,6 +83,19 @@ pub fn layout(slot_bytes: usize) -> SlotLayout {
 ///
 /// Panics if the payload exceeds the slot's capacity.
 pub fn scatter(header: ObjectHeader, payload: &[u8], slot_bytes: usize) -> Vec<u8> {
+    let mut image = Vec::new();
+    scatter_into(header, payload, slot_bytes, &mut image);
+    image
+}
+
+/// Allocation-free [`scatter`]: builds the slot image in `out`, which is
+/// cleared and zero-filled first so a recycled buffer produces an image
+/// byte-identical to a fresh allocation.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds the slot's capacity.
+pub fn scatter_into(header: ObjectHeader, payload: &[u8], slot_bytes: usize, out: &mut Vec<u8>) {
     let lay = layout(slot_bytes);
     assert!(
         payload.len() <= lay.capacity,
@@ -90,7 +103,9 @@ pub fn scatter(header: ObjectHeader, payload: &[u8], slot_bytes: usize) -> Vec<u
         payload.len(),
         lay.capacity
     );
-    let mut image = vec![0u8; slot_bytes];
+    out.clear();
+    out.resize(slot_bytes, 0);
+    let image = &mut out[..];
     image[..HEADER_BYTES].copy_from_slice(&header.to_bytes());
     let mut src = 0;
     let mut dst = HEADER_BYTES;
@@ -111,7 +126,6 @@ pub fn scatter(header: ObjectHeader, payload: &[u8], slot_bytes: usize) -> Vec<u
     for line in 1..lay.lines {
         image[line * CACHELINE] = header.version;
     }
-    image
 }
 
 /// Validates a slot image read lock-free and extracts up to `want` payload

@@ -618,8 +618,17 @@ impl CormServer {
             let locked = header.with_lock(LockState::WriteLocked);
             self.aspace.write(slot_vaddr, &locked.to_bytes())?;
             let new_header = header.bump_version();
-            let image = consistency::scatter(new_header, data, slot_bytes);
-            self.aspace.write(slot_vaddr + HEADER_BYTES as u64, &image[HEADER_BYTES..])?;
+            // Per-thread scratch: the slot image is rebuilt (zero-filled)
+            // on every write, so recycling the buffer is invisible.
+            thread_local! {
+                static WRITE_IMAGE: std::cell::RefCell<Vec<u8>> =
+                    const { std::cell::RefCell::new(Vec::new()) };
+            }
+            WRITE_IMAGE.with(|cell| {
+                let mut image = cell.borrow_mut();
+                consistency::scatter_into(new_header, data, slot_bytes, &mut image);
+                self.aspace.write(slot_vaddr + HEADER_BYTES as u64, &image[HEADER_BYTES..])
+            })?;
             self.aspace.write(slot_vaddr, &new_header.to_bytes())?;
             drop(b);
             self.stats.writes.fetch_add(1, Ordering::Relaxed);

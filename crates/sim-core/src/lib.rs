@@ -13,16 +13,20 @@
 //! - [`rng`]: seeded, reproducible random number utilities.
 //! - [`stats`]: online statistics, percentile estimation, and time-bucketed
 //!   series used by the benchmark harness.
+//! - [`hash`]: a fast deterministic hasher for the simulator's hot,
+//!   never-iterated lookup tables (MTT shards, translation cache, regions).
 //!
 //! Everything here is deterministic: the same seed and the same sequence of
 //! calls produce bit-identical results, which the test suite relies on.
 
+pub mod hash;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use hash::{FastBuildHasher, FastHashMap, FastHasher};
 pub use queue::EventQueue;
 pub use resource::FifoResource;
 pub use stats::{Histogram, OnlineStats, TimeSeries};

@@ -3,11 +3,31 @@
 //! [`EventQueue`] orders user events by timestamp and, for ties, by insertion
 //! order (FIFO). Popping an event advances the queue's notion of "now"; the
 //! queue refuses to schedule events in the past so simulations stay causal.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Internally this is a *calendar queue* (a bucketed future-event list):
+//! events hash into `buckets.len()` fixed-width "days" by timestamp, so
+//! schedule is O(1) and pop scans only the handful of events sharing the
+//! current day, instead of paying a `BinaryHeap`'s log-n sift on every
+//! operation. The pop order is the exact total order `(at, seq)` — the same
+//! order the heap produced — so seeded simulations replay byte-identically
+//! across the swap. Sparse regions (an empty cycle of days) fall back to a
+//! global minimum scan, which keeps far-future events (compaction triggers,
+//! timeline ticks) correct without tuning.
 
 use crate::time::SimTime;
+
+/// Bucket width is `1 << WIDTH_SHIFT` nanoseconds: 512 ns, on the order of
+/// the inter-event spacing of a closed-loop run with a handful of clients,
+/// so the current day holds only a few events.
+const WIDTH_SHIFT: u32 = 9;
+
+/// Initial number of buckets (one cycle spans `64 * 512 ns = 32.8 µs`,
+/// comfortably past the per-op latencies events are scheduled ahead by).
+const INITIAL_BUCKETS: usize = 64;
+
+/// Bucket-count cap: growth is for occupancy, and a million-bucket calendar
+/// would cost more to cycle over than it saves.
+const MAX_BUCKETS: usize = 1 << 20;
 
 /// A monotonic future-event list.
 ///
@@ -16,9 +36,16 @@ use crate::time::SimTime;
 /// same instant are served in the order they were enqueued.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// `buckets.len() - 1`; the length is always a power of two.
+    mask: usize,
+    len: usize,
     seq: u64,
     now: SimTime,
+    /// `(at, seq)` of the pending minimum — maintained eagerly so
+    /// [`EventQueue::peek_time`] stays O(1) and pop knows which entry to
+    /// extract without a fresh search.
+    next: Option<(SimTime, u64)>,
 }
 
 #[derive(Debug)]
@@ -28,23 +55,10 @@ struct Scheduled<E> {
     event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest event first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// The day (bucket-cycle index) a timestamp falls in.
+#[inline]
+fn day(at: SimTime) -> u64 {
+    at.as_nanos() >> WIDTH_SHIFT
 }
 
 impl<E> Default for EventQueue<E> {
@@ -56,22 +70,32 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: INITIAL_BUCKETS - 1,
+            len: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+            next: None,
+        }
     }
 
     /// The timestamp of the most recently popped event (time zero initially).
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Number of pending events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Schedules `event` to fire at `at`.
@@ -84,20 +108,93 @@ impl<E> EventQueue<E> {
         assert!(at >= self.now, "cannot schedule event in the past: at={at} now={}", self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        if self.len > self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.grow();
+        }
+        let b = (day(at) as usize) & self.mask;
+        self.buckets[b].push(Scheduled { at, seq, event });
+        self.len += 1;
+        let key = (at, seq);
+        if self.next.is_none_or(|n| key < n) {
+            self.next = Some(key);
+        }
     }
 
     /// Pops the earliest pending event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Scheduled { at, event, .. } = self.heap.pop()?;
+        let (at, seq) = self.next?;
         debug_assert!(at >= self.now);
+        let bucket = &mut self.buckets[(day(at) as usize) & self.mask];
+        let idx = bucket
+            .iter()
+            .position(|s| s.seq == seq)
+            .expect("cached minimum must be present in its bucket");
+        let event = bucket.swap_remove(idx).event;
+        self.len -= 1;
         self.now = at;
+        self.recompute_next();
         Some((at, event))
     }
 
     /// The timestamp of the next event without popping it.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.next.map(|(at, _)| at)
+    }
+
+    /// Re-establishes the cached minimum after a pop: walk day-indexed
+    /// buckets from the current day (nothing pends earlier — `schedule`
+    /// refuses the past) and take the `(at, seq)` minimum of the first day
+    /// holding one. If a whole cycle of days is empty, the remaining events
+    /// are more than a full calendar ahead: find them with a global scan.
+    fn recompute_next(&mut self) {
+        self.next = None;
+        if self.len == 0 {
+            return;
+        }
+        let start = day(self.now);
+        let cycle = self.buckets.len() as u64;
+        for d in start..start + cycle {
+            let mut best: Option<(SimTime, u64)> = None;
+            for s in &self.buckets[(d as usize) & self.mask] {
+                if day(s.at) == d {
+                    let key = (s.at, s.seq);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            if best.is_some() {
+                self.next = best;
+                return;
+            }
+        }
+        let mut best: Option<(SimTime, u64)> = None;
+        for bucket in &self.buckets {
+            for s in bucket {
+                let key = (s.at, s.seq);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        debug_assert!(best.is_some(), "len > 0 but no event found");
+        self.next = best;
+    }
+
+    /// Doubles the bucket count and redistributes. Order is untouched —
+    /// bucketing is pure routing; `(at, seq)` decides everything.
+    fn grow(&mut self) {
+        let new_n = self.buckets.len() * 2;
+        let mut new_buckets: Vec<Vec<Scheduled<E>>> = (0..new_n).map(|_| Vec::new()).collect();
+        let new_mask = new_n - 1;
+        for bucket in self.buckets.drain(..) {
+            for s in bucket {
+                new_buckets[(day(s.at) as usize) & new_mask].push(s);
+            }
+        }
+        self.buckets = new_buckets;
+        self.mask = new_mask;
     }
 }
 
@@ -158,5 +255,98 @@ mod tests {
         q.schedule(t + crate::SimDuration::from_micros(2), 3);
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn far_future_events_survive_sparse_calendars() {
+        // More than a full bucket cycle ahead (and several cycles apart):
+        // exercises the global-scan fallback.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), "z");
+        q.schedule(SimTime::from_millis(500), "y");
+        q.schedule(SimTime::from_nanos(10), "x");
+        assert_eq!(q.pop().unwrap().1, "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(500)));
+        assert_eq!(q.pop().unwrap().1, "y");
+        assert_eq!(q.pop().unwrap().1, "z");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn growth_rehash_preserves_order() {
+        // Push far past the initial bucket count so the calendar doubles
+        // several times mid-stream.
+        let mut q = EventQueue::new();
+        let n = 4_096u64;
+        for i in 0..n {
+            // Deliberately colliding buckets: timestamps descend as seq
+            // ascends, so every (time, fifo) edge is exercised.
+            q.schedule(SimTime::from_nanos((n - i) * 100), i);
+        }
+        let mut popped: Vec<(SimTime, u64)> = Vec::new();
+        while let Some(p) = q.pop() {
+            popped.push(p);
+        }
+        assert_eq!(popped.len(), n as usize);
+        for w in popped.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time order violated: {w:?}");
+        }
+        let times: Vec<u64> = popped.iter().map(|&(_, e)| e).collect();
+        let expect: Vec<u64> = (0..n).rev().collect();
+        assert_eq!(times, expect);
+    }
+
+    /// S2 property test: against randomized interleavings of schedules and
+    /// pops, the calendar queue pops in exactly the `(at, seq)` order of a
+    /// straightforward reference model — equal timestamps in insertion
+    /// order, times monotone, `now` monotone.
+    #[test]
+    fn differential_against_reference_model() {
+        use crate::rng::root_rng;
+        use rand::Rng;
+
+        let mut rng = root_rng(0xCA1E);
+        for round in 0u64..50 {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut model: Vec<(SimTime, u64, u64)> = Vec::new(); // (at, seq, ev)
+            let mut seq = 0u64;
+            let mut last_now = SimTime::ZERO;
+            for step in 0u64..400 {
+                let do_pop = !model.is_empty() && rng.gen_bool(0.45);
+                if do_pop {
+                    let min_idx = (0..model.len())
+                        .min_by_key(|&i| (model[i].0, model[i].1))
+                        .expect("model non-empty");
+                    let (at, _, ev) = model.swap_remove(min_idx);
+                    let got = q.pop().expect("queue agrees model is non-empty");
+                    assert_eq!(got, (at, ev), "round {round} step {step}");
+                    assert!(q.now() >= last_now, "now must be monotone");
+                    last_now = q.now();
+                } else {
+                    // Mostly near-future, occasionally same-instant (tie)
+                    // or far-future (sparse-calendar) schedules.
+                    let offset = match rng.gen_range(0..10u32) {
+                        0 => 0,
+                        1 => rng.gen_range(0..4u64) * 512,
+                        2 => rng.gen_range(0..10_000_000u64),
+                        _ => rng.gen_range(0..20_000u64),
+                    };
+                    let at = q.now() + crate::SimDuration::from_nanos(offset);
+                    q.schedule(at, step);
+                    model.push((at, seq, step));
+                    seq += 1;
+                }
+                assert_eq!(q.len(), model.len());
+                let model_min = model.iter().map(|&(at, s, _)| (at, s)).min().map(|(at, _)| at);
+                assert_eq!(q.peek_time(), model_min, "round {round} step {step}");
+            }
+            // Drain: the full remaining order must match.
+            let mut rest: Vec<(SimTime, u64, u64)> = std::mem::take(&mut model);
+            rest.sort_by_key(|&(at, s, _)| (at, s));
+            for (at, _, ev) in rest {
+                assert_eq!(q.pop(), Some((at, ev)));
+            }
+            assert!(q.pop().is_none());
+        }
     }
 }

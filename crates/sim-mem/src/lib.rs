@@ -27,5 +27,5 @@ pub mod phys;
 pub mod vspace;
 
 pub use file::{FileId, MemFile};
-pub use phys::{FrameId, MemError, PhysicalMemory, PAGE_SIZE, POISON_BYTE};
+pub use phys::{DmaSession, FrameId, MemError, PhysicalMemory, PAGE_SIZE, POISON_BYTE};
 pub use vspace::{AddressSpace, Translation};

@@ -93,19 +93,37 @@ impl AddressSpace {
 
     /// Maps `frames` at the given virtual address (like `MAP_FIXED`). Used
     /// to reuse released virtual addresses.
+    ///
+    /// Lock order: frame references are taken *before* the page-table lock
+    /// and dropped *after* it. The frame table must never be acquired under
+    /// `table` — the RNIC's DMA sessions hold the frame table while
+    /// resolving translations, so the opposite order would deadlock.
     pub fn mmap_fixed(&self, va: u64, frames: &[FrameId]) -> Result<(), MemError> {
         if !va.is_multiple_of(PAGE_SIZE as u64) {
             return Err(MemError::Unaligned(va));
         }
         let base = Self::page_of(va);
+        // Pin every frame up front; the extra refs keep them alive while the
+        // table is updated and are rolled back if validation fails.
+        for (i, &frame) in frames.iter().enumerate() {
+            if let Err(e) = self.phys.add_ref(frame) {
+                for &f in &frames[..i] {
+                    self.phys.release(f);
+                }
+                return Err(e);
+            }
+        }
         let mut table = self.table.write();
         for i in 0..frames.len() as u64 {
             if table.contains_key(&(base + i)) {
+                drop(table);
+                for &f in frames {
+                    self.phys.release(f);
+                }
                 return Err(MemError::AlreadyMapped(va + i * PAGE_SIZE as u64));
             }
         }
         for (i, &frame) in frames.iter().enumerate() {
-            self.phys.add_ref(frame)?;
             let epoch = self.epoch_counter.fetch_add(1, Ordering::Relaxed);
             table.insert(base + i as u64, Pte { frame, epoch });
         }
@@ -125,9 +143,13 @@ impl AddressSpace {
                 return Err(MemError::Unmapped(va + i * PAGE_SIZE as u64));
             }
         }
-        for i in 0..pages as u64 {
-            let pte = table.remove(&(base + i)).expect("validated above");
-            self.phys.release(pte.frame);
+        let freed: Vec<FrameId> = (0..pages as u64)
+            .map(|i| table.remove(&(base + i)).expect("validated above").frame)
+            .collect();
+        // Release outside the table lock (see `mmap_fixed` on lock order).
+        drop(table);
+        for frame in freed {
+            self.phys.release(frame);
         }
         Ok(())
     }
@@ -142,17 +164,36 @@ impl AddressSpace {
             return Err(MemError::Unaligned(va));
         }
         let base = Self::page_of(va);
+        // Pin the destination frames before touching the table, and release
+        // the displaced frames only after dropping it (see `mmap_fixed` on
+        // lock order).
+        for (i, &frame) in new_frames.iter().enumerate() {
+            if let Err(e) = self.phys.add_ref(frame) {
+                for &f in &new_frames[..i] {
+                    self.phys.release(f);
+                }
+                return Err(e);
+            }
+        }
         let mut table = self.table.write();
         for i in 0..new_frames.len() as u64 {
             if !table.contains_key(&(base + i)) {
+                drop(table);
+                for &f in new_frames {
+                    self.phys.release(f);
+                }
                 return Err(MemError::Unmapped(va + i * PAGE_SIZE as u64));
             }
         }
+        let mut displaced = Vec::with_capacity(new_frames.len());
         for (i, &frame) in new_frames.iter().enumerate() {
-            self.phys.add_ref(frame)?;
             let epoch = self.epoch_counter.fetch_add(1, Ordering::Relaxed);
             let old = table.insert(base + i as u64, Pte { frame, epoch }).expect("validated above");
-            self.phys.release(old.frame);
+            displaced.push(old.frame);
+        }
+        drop(table);
+        for frame in displaced {
+            self.phys.release(frame);
         }
         self.remaps.fetch_add(1, Ordering::Relaxed);
         Ok(())

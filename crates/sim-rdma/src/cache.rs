@@ -9,8 +9,9 @@
 //! Implemented as a slab-backed intrusive doubly-linked list plus a hash
 //! index, giving O(1) touch/insert/evict.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use corm_sim_core::hash::FastHashMap;
 
 const NIL: usize = usize::MAX;
 
@@ -25,7 +26,7 @@ struct Node<K, V> {
 /// Fixed-capacity least-recently-used cache.
 #[derive(Debug)]
 pub struct LruCache<K: Eq + Hash + Clone, V> {
-    map: HashMap<K, usize>,
+    map: FastHashMap<K, usize>,
     slab: Vec<Node<K, V>>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -44,7 +45,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         LruCache {
-            map: HashMap::with_capacity(capacity),
+            map: FastHashMap::with_capacity_and_hasher(capacity, Default::default()),
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,

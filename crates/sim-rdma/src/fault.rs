@@ -141,8 +141,26 @@ impl FaultInjector {
     /// outcome, so editing probabilities or the script never shifts the
     /// stream for unrelated verbs.
     pub fn decide(&self) -> Option<FaultKind> {
-        let cfg = &self.config;
-        let mut st = self.state.lock();
+        Self::decide_locked(&self.config, &mut self.state.lock())
+    }
+
+    /// Opens a block-drawing session for a doorbell batch: the injector
+    /// lock is taken once for the whole batch instead of once per verb.
+    ///
+    /// Draws remain strictly per-verb and on demand — a verb the batch
+    /// never serves (flushed after an earlier failure, injected *or not*)
+    /// consumes no draws. That makes block drawing byte-for-byte
+    /// stream-identical to calling [`FaultInjector::decide`] once per verb,
+    /// which is the invariant seeded replays depend on. (An eager
+    /// pre-draw of the whole block could not honor it: a mid-batch
+    /// `InvalidKey` aborts the batch after consuming draws only up to the
+    /// failing verb.)
+    pub fn begin_block(&self) -> FaultBlock<'_> {
+        FaultBlock { config: &self.config, state: self.state.lock() }
+    }
+
+    /// The per-verb decision procedure, under the state lock.
+    fn decide_locked(cfg: &FaultConfig, st: &mut FaultState) -> Option<FaultKind> {
         let op = st.op;
         st.op += 1;
         let qp_break = st.rng.gen_bool(cfg.qp_break_prob);
@@ -195,6 +213,27 @@ impl FaultInjector {
     /// identical logs.
     pub fn fired(&self) -> Vec<(u64, FaultKind)> {
         self.state.lock().fired.clone()
+    }
+}
+
+/// A block-drawing session over a [`FaultInjector`], from
+/// [`FaultInjector::begin_block`]: holds the injector lock for a whole
+/// doorbell batch while keeping draws per-verb and on demand.
+pub struct FaultBlock<'a> {
+    config: &'a FaultConfig,
+    state: parking_lot::MutexGuard<'a, FaultState>,
+}
+
+impl FaultBlock<'_> {
+    /// Decides the fate of the next one-sided verb; exactly the stream
+    /// semantics of [`FaultInjector::decide`], without relocking.
+    pub fn decide(&mut self) -> Option<FaultKind> {
+        FaultInjector::decide_locked(self.config, &mut self.state)
+    }
+
+    /// The latency added by a delay-spike fault.
+    pub fn delay_spike(&self) -> SimDuration {
+        self.config.delay_spike
     }
 }
 
@@ -265,6 +304,44 @@ mod tests {
         let tail: Vec<_> = scripted.iter().filter(|(op, _)| *op > 0).copied().collect();
         let plain_tail: Vec<_> = plain.iter().filter(|(op, _)| *op > 0).copied().collect();
         assert_eq!(tail, plain_tail);
+    }
+
+    #[test]
+    fn block_draws_replay_identically_to_one_at_a_time() {
+        let cfg = FaultConfig {
+            seed: 77,
+            transient_prob: 0.01,
+            delay_prob: 0.03,
+            cache_miss_prob: 0.05,
+            qp_break_prob: 0.002,
+            delay_spike: SimDuration::from_micros(50),
+            schedule: vec![
+                ScheduledFault { at_op: 5, kind: FaultKind::DelaySpike },
+                ScheduledFault { at_op: 100, kind: FaultKind::Transient },
+            ],
+        };
+        let seq = FaultInjector::new(cfg.clone());
+        let blk = FaultInjector::new(cfg);
+        // Irregular batch sizes, with every third batch cut short mid-way
+        // (a flushed tail, which must not consume draws): the sequential
+        // twin mirrors each truncation with plain decide() calls.
+        let sizes = [1usize, 16, 7, 1, 64, 3, 16, 16, 100, 5];
+        let mut seq_decisions = Vec::new();
+        let mut blk_decisions = Vec::new();
+        for (round, &size) in sizes.iter().enumerate() {
+            let served = if round % 3 == 2 { size / 2 } else { size };
+            for _ in 0..served {
+                seq_decisions.push(seq.decide());
+            }
+            let mut block = blk.begin_block();
+            for _ in 0..served {
+                blk_decisions.push(block.decide());
+            }
+        }
+        assert_eq!(seq_decisions, blk_decisions, "block draws must replay the stream");
+        assert_eq!(seq.fired(), blk.fired());
+        assert_eq!(seq.ops(), blk.ops());
+        assert!(!seq.fired().is_empty(), "probs this high must fire in 150+ ops");
     }
 
     #[test]

@@ -35,14 +35,16 @@
 pub mod cache;
 pub mod fault;
 pub mod latency;
+pub mod pool;
 pub mod qp;
 pub mod rnic;
 pub mod rpc;
 pub mod wq;
 
 pub use cache::LruCache;
-pub use fault::{FaultConfig, FaultInjector, FaultKind, ScheduledFault};
+pub use fault::{FaultBlock, FaultConfig, FaultInjector, FaultKind, ScheduledFault};
 pub use latency::{CpuKind, DeviceKind, LatencyModel, MttUpdateStrategy};
+pub use pool::{BufPool, PooledBuf};
 pub use qp::{QpDepthStats, QpState, QueuePair};
 pub use rnic::{MemoryRegion, RdmaError, Rnic, RnicConfig};
-pub use wq::{Completion, Wqe, WqeOp};
+pub use wq::{Completion, ReadReq, ReadResult, Wqe, WqeOp};

@@ -1,0 +1,200 @@
+//! Pooled DMA staging buffers for the batched verb path.
+//!
+//! Every READ WQE needs a staging buffer the simulated DMA writes into,
+//! and that buffer must outlive the verb — it rides in the
+//! [`Completion`](crate::Completion) until the client consumes the
+//! payload. A fresh `vec![0u8; len]` per WQE put an allocator round trip
+//! and a memset on the simulator's hottest loop; [`BufPool`] recycles the
+//! buffers instead. Dropping a [`PooledBuf`] returns its capacity to the
+//! pool, so a steady-state workload allocates nothing per verb: the pool
+//! hands back a same-sized buffer whose bytes the DMA fully overwrites.
+//!
+//! The pool is purely a wall-clock optimization: buffers carry no virtual
+//! time and recycling cannot reorder anything.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// How many idle buffers a pool keeps before letting extras drop; bounds
+/// worst-case retention at a few hundred KiB of page-sized buffers.
+const MAX_POOLED: usize = 256;
+
+/// A recycling pool of byte buffers.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// Takes a buffer of exactly `len` bytes. Recycled capacity is resized
+    /// into place; only a cold pool (or a new high-water length) touches
+    /// the allocator. Bytes are zeroed only where `resize` grows the
+    /// buffer — callers own every byte they read back (the DMA overwrites
+    /// the full length, or the buffer is discarded on error).
+    pub fn take(self: &Arc<Self>, len: usize) -> PooledBuf {
+        let mut buf = self.free.lock().pop().unwrap_or_default();
+        buf.resize(len, 0);
+        PooledBuf { buf, pool: Some(Arc::clone(self)) }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    fn put_back(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock();
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+}
+
+/// A byte buffer borrowed from a [`BufPool`]; dereferences to `[u8]` and
+/// returns its capacity to the pool on drop.
+#[derive(Debug, Default)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Option<Arc<BufPool>>,
+}
+
+impl PooledBuf {
+    /// An empty, unpooled buffer (failure completions carry these).
+    pub fn empty() -> Self {
+        PooledBuf::default()
+    }
+
+    /// An unpooled buffer owning `bytes` (handy in tests and cold paths).
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        PooledBuf { buf: bytes, pool: None }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put_back(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Clone for PooledBuf {
+    /// Clones detach from the pool: the copy owns plain heap bytes.
+    fn clone(&self) -> Self {
+        PooledBuf { buf: self.buf.clone(), pool: None }
+    }
+}
+
+impl PartialEq for PooledBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl Eq for PooledBuf {}
+
+impl PartialEq<Vec<u8>> for PooledBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.buf == other
+    }
+}
+
+impl PartialEq<PooledBuf> for Vec<u8> {
+    fn eq(&self, other: &PooledBuf) -> bool {
+        self == &other.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_drop_recycles_capacity() {
+        let pool = Arc::new(BufPool::new());
+        let b = pool.take(128);
+        assert_eq!(b.len(), 128);
+        assert!(b.iter().all(|&x| x == 0));
+        drop(b);
+        assert_eq!(pool.idle(), 1);
+        let b2 = pool.take(64);
+        assert_eq!(pool.idle(), 0, "recycled, not newly allocated");
+        assert_eq!(b2.len(), 64);
+    }
+
+    #[test]
+    fn growing_resize_zeroes_new_bytes() {
+        let pool = Arc::new(BufPool::new());
+        let mut b = pool.take(8);
+        b.copy_from_slice(&[0xFFu8; 8]);
+        drop(b);
+        let b2 = pool.take(16);
+        // The grown tail must be zeroed; the recycled head is the caller's
+        // to overwrite, but resize only keeps bytes below the old length.
+        assert!(b2[8..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn empty_and_from_vec_are_unpooled() {
+        let e = PooledBuf::empty();
+        assert!(e.is_empty());
+        let v = PooledBuf::from_vec(vec![1, 2, 3]);
+        assert_eq!(v, vec![1u8, 2, 3]);
+        assert_eq!(vec![1u8, 2, 3], v);
+        drop(v); // no pool to return to; must not panic
+    }
+
+    #[test]
+    fn clone_detaches_from_pool() {
+        let pool = Arc::new(BufPool::new());
+        let b = pool.take(4);
+        let c = b.clone();
+        drop(b);
+        assert_eq!(pool.idle(), 1);
+        drop(c);
+        assert_eq!(pool.idle(), 1, "clone must not return to the pool");
+    }
+
+    #[test]
+    fn pool_bounds_retention() {
+        let pool = Arc::new(BufPool::new());
+        let bufs: Vec<PooledBuf> = (0..300).map(|_| pool.take(8)).collect();
+        drop(bufs);
+        assert!(pool.idle() <= 256);
+    }
+}

@@ -15,8 +15,9 @@ use parking_lot::Mutex;
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_trace::Stage;
 
+use crate::pool::PooledBuf;
 use crate::rnic::{RdmaError, Rnic, VerbOutcome};
-use crate::wq::{Completion, Wqe, WqeOp};
+use crate::wq::{Completion, ReadReq, ReadResult, Wqe, WqeOp};
 
 /// Connection state of a queue pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,34 +166,87 @@ impl QueuePair {
     /// if the QP is *already* broken, every WQE completes flushed without
     /// reaching the NIC. Returns the number of completions produced.
     pub fn ring_doorbell(&self, now: SimTime) -> usize {
-        let wqes: Vec<Wqe> = std::mem::take(&mut *self.sq.lock());
+        let mut wqes: Vec<Wqe> = std::mem::take(&mut *self.sq.lock());
         if wqes.is_empty() {
             return 0;
         }
         self.doorbells.fetch_add(1, Ordering::Relaxed);
         let completions = if *self.state.lock() == QpState::Error {
-            wqes.into_iter()
+            wqes.drain(..)
                 .map(|w| Completion {
                     wr_id: w.wr_id,
                     completed_at: now,
                     result: Err(RdmaError::QpBroken),
-                    data: Vec::new(),
+                    data: PooledBuf::empty(),
                 })
                 .collect()
         } else {
-            let completions = self.rnic.serve_batch(wqes, now);
+            let completions = self.rnic.serve_batch(&mut wqes, now);
             if completions.iter().any(|c| c.result.is_err()) {
                 *self.state.lock() = QpState::Error;
                 self.breaks.fetch_add(1, Ordering::Relaxed);
             }
             completions
         };
+        // Hand the drained vector's capacity back to the send queue so
+        // steady-state batches re-post without reallocating.
+        {
+            let mut sq = self.sq.lock();
+            if sq.is_empty() && sq.capacity() < wqes.capacity() {
+                *sq = wqes;
+            }
+        }
         let n = completions.len();
         self.completed.fetch_add(n as u64, Ordering::Relaxed);
         let mut cq = self.cq.lock();
         cq.extend(completions);
         self.cq_depth_max.fetch_max(cq.len() as u64, Ordering::Relaxed);
         n
+    }
+
+    /// Synchronously executes an all-READ batch, landing each payload
+    /// directly in `outs[k]` (resized to the request's length): the
+    /// zero-copy twin of `post_read`×n + [`QueuePair::ring_doorbell`] +
+    /// [`QueuePair::poll_cq`]. Depth statistics, break/flush behaviour,
+    /// fault draws, and virtual completion times are identical to the
+    /// queued path — only the send/completion-queue traffic and the
+    /// staging copies are gone. `results` is cleared and refilled **in
+    /// posting order**; callers needing virtual-completion order (what
+    /// `poll_cq` returns) sort stably by `completed_at`.
+    pub fn read_batch_into(
+        &self,
+        reqs: &[ReadReq],
+        outs: &mut [Vec<u8>],
+        now: SimTime,
+        results: &mut Vec<ReadResult>,
+    ) {
+        results.clear();
+        if reqs.is_empty() {
+            return;
+        }
+        assert!(outs.len() >= reqs.len(), "one output buffer per request");
+        let n = reqs.len() as u64;
+        // Same bookkeeping as post() + ring_doorbell(): the queues are
+        // bypassed, the accounting is not.
+        self.posted.fetch_add(n, Ordering::Relaxed);
+        self.sq_depth_max.fetch_max(n, Ordering::Relaxed);
+        self.rnic.trace().add(Stage::WqePost, n);
+        self.doorbells.fetch_add(1, Ordering::Relaxed);
+        if *self.state.lock() == QpState::Error {
+            results.extend(reqs.iter().map(|r| ReadResult {
+                wr_id: r.wr_id,
+                completed_at: now,
+                result: Err(RdmaError::QpBroken),
+            }));
+        } else {
+            self.rnic.serve_reads_into(reqs, outs, now, results);
+            if results.iter().any(|r| r.result.is_err()) {
+                *self.state.lock() = QpState::Error;
+                self.breaks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.completed.fetch_add(n, Ordering::Relaxed);
+        self.cq_depth_max.fetch_max(n, Ordering::Relaxed);
     }
 
     /// Drains up to `max` completions from the completion queue, oldest
@@ -450,6 +504,98 @@ mod tests {
         assert_eq!(qp.cq_depth(), 1);
         assert_eq!(qp.poll_cq(3).len(), 1);
         assert_eq!(qp.poll_cq(3).len(), 0);
+    }
+
+    #[test]
+    fn read_batch_into_matches_queued_path() {
+        let mk = || {
+            let pm = Arc::new(PhysicalMemory::new());
+            let frames = pm.alloc_n(8).unwrap();
+            let aspace = Arc::new(AddressSpace::new(pm));
+            let va = aspace.mmap(&frames).unwrap();
+            for i in 0..8u64 {
+                aspace.write(va + i * 4096, &[i as u8 + 1; 32]).unwrap();
+            }
+            let rnic = Arc::new(Rnic::new(aspace, RnicConfig::default()));
+            let (mr, _) = rnic.register(va, 8, false).unwrap();
+            (rnic, mr, va)
+        };
+        // Queued path: post / doorbell / poll.
+        let (rnic_q, mr_q, va_q) = mk();
+        let qp_q = QueuePair::connect(rnic_q.clone());
+        for i in 0..8u64 {
+            qp_q.post_read(mr_q.rkey, va_q + i * 4096, 32, i);
+        }
+        qp_q.ring_doorbell(SimTime::from_micros(3));
+        let comps = qp_q.poll_cq(usize::MAX);
+        // Synchronous path, same requests against an identical twin NIC.
+        let (rnic_s, mr_s, va_s) = mk();
+        let qp_s = QueuePair::connect(rnic_s.clone());
+        let reqs: Vec<ReadReq> = (0..8u64)
+            .map(|i| ReadReq { wr_id: i, rkey: mr_s.rkey, va: va_s + i * 4096, len: 32 })
+            .collect();
+        let mut outs = vec![Vec::new(); 8];
+        let mut results = Vec::new();
+        qp_s.read_batch_into(&reqs, &mut outs, SimTime::from_micros(3), &mut results);
+        // Sorted into completion order, the sync results are the queued
+        // completions: same ids, virtual times, outcomes, and payloads.
+        let mut order: Vec<usize> = (0..8).collect();
+        order.sort_by_key(|&k| results[k].completed_at);
+        assert_eq!(comps.len(), results.len());
+        for (c, &k) in comps.iter().zip(order.iter()) {
+            assert_eq!(c.wr_id, results[k].wr_id);
+            assert_eq!(c.completed_at, results[k].completed_at);
+            assert_eq!(c.result, results[k].result);
+            assert_eq!(c.data, outs[k]);
+        }
+        assert_eq!(qp_q.depth_stats(), qp_s.depth_stats());
+        assert_eq!(
+            rnic_q.stats.wqes.load(Ordering::Relaxed),
+            rnic_s.stats.wqes.load(Ordering::Relaxed)
+        );
+        assert_eq!(rnic_q.engine_busy(), rnic_s.engine_busy());
+    }
+
+    #[test]
+    fn read_batch_into_flushes_like_queued_path_on_fault() {
+        use crate::fault::{FaultConfig, FaultKind, ScheduledFault};
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm));
+        let va = aspace.mmap(&frames).unwrap();
+        let cfg = RnicConfig {
+            faults: Some(FaultConfig::scripted(vec![ScheduledFault {
+                at_op: 2,
+                kind: FaultKind::Transient,
+            }])),
+            ..RnicConfig::default()
+        };
+        let rnic = Arc::new(Rnic::new(aspace, cfg));
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let qp = QueuePair::connect(rnic.clone());
+        let reqs: Vec<ReadReq> =
+            (0..5u64).map(|i| ReadReq { wr_id: i, rkey: mr.rkey, va, len: 8 }).collect();
+        let mut outs = vec![Vec::new(); 5];
+        let mut results = Vec::new();
+        qp.read_batch_into(&reqs, &mut outs, SimTime::ZERO, &mut results);
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[2].result, Err(RdmaError::InjectedFault));
+        assert_eq!(results[3].result, Err(RdmaError::QpBroken));
+        assert_eq!(results[4].result, Err(RdmaError::QpBroken));
+        assert_eq!(qp.state(), QpState::Error);
+        assert_eq!(qp.breaks(), 1);
+        // Flushed entries consumed no fault draws.
+        assert_eq!(rnic.stats.wqes.load(Ordering::Relaxed), 3);
+        // A broken QP flushes the next batch without touching the NIC.
+        qp.read_batch_into(&reqs[..2], &mut outs[..2], SimTime::from_micros(9), &mut results);
+        assert!(results.iter().all(|r| r.result == Err(RdmaError::QpBroken)));
+        assert_eq!(rnic.stats.wqes.load(Ordering::Relaxed), 3);
+        // After reconnecting, the retried requests land on draw index 3,
+        // exactly like the queued-path recovery.
+        qp.reconnect();
+        qp.read_batch_into(&reqs[2..], &mut outs[..3], SimTime::from_micros(50), &mut results);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        assert_eq!(rnic.fault_log(), vec![(2, FaultKind::Transient)]);
     }
 
     #[test]

@@ -8,22 +8,23 @@
 //! that is not propagated to the NIC makes reads hit stale physical frames.
 //! That is the central hazard of the paper, and it is fully observable here.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use corm_sim_core::hash::FastHashMap;
 use corm_sim_core::resource::FifoResource;
 use corm_sim_core::time::{SimDuration, SimTime};
-use corm_sim_mem::{AddressSpace, FrameId, MemError, PAGE_SIZE};
+use corm_sim_mem::{AddressSpace, DmaSession, FrameId, MemError, PAGE_SIZE};
 use corm_trace::{Stage, TraceHandle, Track};
 
 use crate::cache::LruCache;
-use crate::fault::{FaultConfig, FaultInjector, FaultKind};
+use crate::fault::{FaultBlock, FaultConfig, FaultInjector, FaultKind};
 use crate::latency::LatencyModel;
-use crate::wq::{Completion, Wqe, WqeOp};
+use crate::pool::{BufPool, PooledBuf};
+use crate::wq::{Completion, ReadReq, ReadResult, Wqe, WqeOp};
 
 /// Errors surfaced by RNIC verbs. Any error on a one-sided access breaks
 /// the issuing queue pair, per reliable-connection semantics.
@@ -163,9 +164,9 @@ struct MttEntry {
 /// does.
 #[derive(Debug)]
 struct RegionTable {
-    regions: HashMap<u32, MemoryRegion>,
+    regions: FastHashMap<u32, MemoryRegion>,
     /// Regions mid-`rereg_mr`: rkey → end of the busy window.
-    busy_until: HashMap<u32, SimTime>,
+    busy_until: FastHashMap<u32, SimTime>,
     next_key: u32,
 }
 
@@ -174,7 +175,7 @@ struct RegionTable {
 /// lock different shards.
 #[derive(Debug)]
 struct MttShard {
-    mtt: HashMap<u64, MttEntry>,
+    mtt: FastHashMap<u64, MttEntry>,
     cache: LruCache<u64, ()>,
 }
 
@@ -238,6 +239,8 @@ pub struct Rnic {
     engines: Box<[Mutex<FifoResource>]>,
     /// Round-robin cursor for WQE dispatch across processing units.
     next_unit: AtomicUsize,
+    /// Recycled DMA staging buffers for the batched READ path.
+    staging: Arc<BufPool>,
     /// Public counters.
     pub stats: RnicStats,
 }
@@ -257,7 +260,12 @@ impl Rnic {
         // entry so small caches still cache.
         let per_shard = config.cache_entries.div_ceil(n_shards).max(1);
         let shards = (0..n_shards)
-            .map(|_| Mutex::new(MttShard { mtt: HashMap::new(), cache: LruCache::new(per_shard) }))
+            .map(|_| {
+                Mutex::new(MttShard {
+                    mtt: FastHashMap::default(),
+                    cache: LruCache::new(per_shard),
+                })
+            })
             .collect();
         let units = config.processing_units.max(1);
         let engines =
@@ -265,8 +273,8 @@ impl Rnic {
         Rnic {
             aspace,
             regions: RwLock::new(RegionTable {
-                regions: HashMap::new(),
-                busy_until: HashMap::new(),
+                regions: FastHashMap::default(),
+                busy_until: FastHashMap::default(),
                 next_key: 0x1000,
             }),
             shards,
@@ -274,6 +282,7 @@ impl Rnic {
             faults,
             engines,
             next_unit: AtomicUsize::new(0),
+            staging: Arc::new(BufPool::new()),
             stats: RnicStats::default(),
         }
     }
@@ -543,28 +552,69 @@ impl Rnic {
     /// Completions are returned sorted by completion time (stable, so ties
     /// keep posting order). Callers ([`crate::QueuePair::ring_doorbell`])
     /// are responsible for moving the QP to the error state on failure.
-    pub(crate) fn serve_batch(&self, wqes: Vec<Wqe>, now: SimTime) -> Vec<Completion> {
+    ///
+    /// The batch is drained from `wqes`, leaving the (empty) vector's
+    /// capacity for the caller to recycle into the send queue.
+    pub(crate) fn serve_batch(&self, wqes: &mut Vec<Wqe>, now: SimTime) -> Vec<Completion> {
         let model = &self.config.model;
         let arrival = now + model.doorbell_cost;
         self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
         self.config.trace.span(Track::Nic, Stage::Doorbell, 0, now, model.doorbell_cost);
+        // Shared-state locks are taken once per doorbell, not once per WQE:
+        // the region snapshot, the DMA session, the (single) engine, and
+        // the staging free list all amortize across the batch. Virtual-time
+        // results are identical to per-WQE locking — these guards only
+        // serialize wall-clock access.
+        let rt = self.regions.read();
+        let dma = self.aspace.phys().dma();
+        let mut single_engine = (self.engines.len() == 1).then(|| self.engines[0].lock());
+        let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
         let mut completions = Vec::with_capacity(wqes.len());
         let mut failed = false;
-        let mut iter = wqes.into_iter();
+        let (mut n_wqes, mut n_reads, mut n_writes, mut bytes_read) = (0u64, 0u64, 0u64, 0u64);
+        let mut iter = wqes.drain(..);
         for wqe in iter.by_ref() {
             let Wqe { wr_id, op } = wqe;
-            self.stats.wqes.fetch_add(1, Ordering::Relaxed);
+            n_wqes += 1;
             let (len, outcome, data) = match op {
                 WqeOp::Read { rkey, va, len } => {
-                    let mut buf = vec![0u8; len];
-                    match self.read(rkey, va, &mut buf, arrival) {
-                        Ok(v) => (len, Ok(v), buf),
-                        Err(e) => (len, Err(e), Vec::new()),
+                    let mut buf = self.staging.take(len);
+                    match self.access_locked(
+                        &rt,
+                        &dma,
+                        &mut fault,
+                        rkey,
+                        va,
+                        len,
+                        arrival,
+                        AccessDir::Read(&mut buf),
+                    ) {
+                        Ok((v, _)) => {
+                            n_reads += 1;
+                            bytes_read += len as u64;
+                            (len, Ok(v), buf)
+                        }
+                        Err(e) => (len, Err(e), PooledBuf::empty()),
                     }
                 }
                 WqeOp::Write { rkey, va, data } => {
                     let len = data.len();
-                    (len, self.write(rkey, va, &data, arrival), Vec::new())
+                    let r = self
+                        .access_locked(
+                            &rt,
+                            &dma,
+                            &mut fault,
+                            rkey,
+                            va,
+                            len,
+                            arrival,
+                            AccessDir::Write(&data),
+                        )
+                        .map(|(v, _)| {
+                            n_writes += 1;
+                            v
+                        });
+                    (len, r, PooledBuf::empty())
                 }
             };
             match outcome {
@@ -574,7 +624,10 @@ impl Rnic {
                         service +=
                             model.odp_miss.unwrap_or(SimDuration::ZERO) * verb.odp_misses as u64;
                     }
-                    let (done, unit) = self.dispatch(arrival, service);
+                    let (done, unit) = match &mut single_engine {
+                        Some(engine) => (engine.admit(arrival, service), 0),
+                        None => self.dispatch(arrival, service),
+                    };
                     self.config.trace.span(
                         Track::EngineUnit(unit as u32),
                         Stage::EngineService,
@@ -590,7 +643,7 @@ impl Rnic {
                         wr_id,
                         completed_at: arrival,
                         result: Err(e),
-                        data: Vec::new(),
+                        data: PooledBuf::empty(),
                     });
                     failed = true;
                     break;
@@ -603,12 +656,110 @@ impl Rnic {
                     wr_id: wqe.wr_id,
                     completed_at: arrival,
                     result: Err(RdmaError::QpBroken),
-                    data: Vec::new(),
+                    data: PooledBuf::empty(),
                 });
             }
         }
+        self.stats.wqes.fetch_add(n_wqes, Ordering::Relaxed);
+        if n_reads > 0 {
+            self.stats.reads.fetch_add(n_reads, Ordering::Relaxed);
+            self.stats.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        }
+        if n_writes > 0 {
+            self.stats.writes.fetch_add(n_writes, Ordering::Relaxed);
+        }
         completions.sort_by_key(|c| c.completed_at);
         completions
+    }
+
+    /// The synchronous twin of [`Rnic::serve_batch`] for all-READ batches:
+    /// each payload DMAs straight into the caller's buffer (`outs[k]`,
+    /// resized to the request's length) instead of staging through a pooled
+    /// completion. Doorbell cost, per-request fault draws, engine
+    /// admission, trace spans, and first-failure flush semantics are
+    /// identical to `serve_batch` WQE by WQE, so virtual-time results are
+    /// byte-for-byte the same as the queued path. Results are pushed in
+    /// posting order and NOT sorted — the caller owns completion ordering.
+    pub(crate) fn serve_reads_into(
+        &self,
+        reqs: &[ReadReq],
+        outs: &mut [Vec<u8>],
+        now: SimTime,
+        results: &mut Vec<ReadResult>,
+    ) {
+        let model = &self.config.model;
+        let arrival = now + model.doorbell_cost;
+        self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
+        self.config.trace.span(Track::Nic, Stage::Doorbell, 0, now, model.doorbell_cost);
+        let rt = self.regions.read();
+        let dma = self.aspace.phys().dma();
+        let mut single_engine = (self.engines.len() == 1).then(|| self.engines[0].lock());
+        let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
+        let (mut n_wqes, mut n_reads, mut bytes_read) = (0u64, 0u64, 0u64);
+        let mut flush_from = None;
+        for (k, req) in reqs.iter().enumerate() {
+            n_wqes += 1;
+            let out = &mut outs[k];
+            out.resize(req.len, 0);
+            match self.access_locked(
+                &rt,
+                &dma,
+                &mut fault,
+                req.rkey,
+                req.va,
+                req.len,
+                arrival,
+                AccessDir::Read(out),
+            ) {
+                Ok((verb, _)) => {
+                    n_reads += 1;
+                    bytes_read += req.len as u64;
+                    let mut service = model.rdma_read_service(req.len, verb.cache_hit);
+                    if verb.odp_misses > 0 {
+                        service +=
+                            model.odp_miss.unwrap_or(SimDuration::ZERO) * verb.odp_misses as u64;
+                    }
+                    let (done, unit) = match &mut single_engine {
+                        Some(engine) => (engine.admit(arrival, service), 0),
+                        None => self.dispatch(arrival, service),
+                    };
+                    self.config.trace.span(
+                        Track::EngineUnit(unit as u32),
+                        Stage::EngineService,
+                        req.wr_id,
+                        SimTime::from_nanos(done.as_nanos() - service.as_nanos()),
+                        service,
+                    );
+                    let completed_at = done + verb.latency.saturating_sub(service);
+                    results.push(ReadResult { wr_id: req.wr_id, completed_at, result: Ok(verb) });
+                }
+                Err(e) => {
+                    results.push(ReadResult {
+                        wr_id: req.wr_id,
+                        completed_at: arrival,
+                        result: Err(e),
+                    });
+                    flush_from = Some(k + 1);
+                    break;
+                }
+            }
+        }
+        if let Some(rest) = flush_from {
+            // Flushed requests never reach the NIC and consume no fault
+            // draws, exactly like serve_batch's flush loop.
+            for req in &reqs[rest..] {
+                results.push(ReadResult {
+                    wr_id: req.wr_id,
+                    completed_at: arrival,
+                    result: Err(RdmaError::QpBroken),
+                });
+            }
+        }
+        self.stats.wqes.fetch_add(n_wqes, Ordering::Relaxed);
+        if n_reads > 0 {
+            self.stats.reads.fetch_add(n_reads, Ordering::Relaxed);
+            self.stats.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        }
     }
 
     /// Admits one WQE's engine service, dispatching round-robin across the
@@ -655,6 +806,28 @@ impl Rnic {
         va: u64,
         len: usize,
         now: SimTime,
+        dir: AccessDir<'_>,
+    ) -> Result<(VerbOutcome, usize), RdmaError> {
+        let rt = self.regions.read();
+        let dma = self.aspace.phys().dma();
+        let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
+        self.access_locked(&rt, &dma, &mut fault, rkey, va, len, now, dir)
+    }
+
+    /// The verb path proper, under a caller-held region-table snapshot,
+    /// DMA session, and fault-draw block. The batched serve paths acquire
+    /// all three once per doorbell batch; the sequential
+    /// [`Rnic::read`]/[`Rnic::write`] wrappers acquire them per verb.
+    #[allow(clippy::too_many_arguments)]
+    fn access_locked(
+        &self,
+        rt: &RegionTable,
+        dma: &DmaSession<'_>,
+        fault: &mut Option<FaultBlock<'_>>,
+        rkey: u32,
+        va: u64,
+        len: usize,
+        now: SimTime,
         mut dir: AccessDir<'_>,
     ) -> Result<(VerbOutcome, usize), RdmaError> {
         // Consult the fault layer first: injected failures model the NIC or
@@ -662,7 +835,7 @@ impl Rnic {
         let mut injected_delay = SimDuration::ZERO;
         let mut forced_miss = false;
         let trace = &self.config.trace;
-        if let Some(inj) = &self.faults {
+        if let Some(inj) = fault.as_mut() {
             let decision = inj.decide();
             if decision.is_some() {
                 // The draw fired: record it as an instantaneous NIC event.
@@ -694,27 +867,35 @@ impl Rnic {
                 None => {}
             }
         }
-        let mr = {
-            let rt = self.regions.read();
-            let mr = *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        let mr = *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+        if !rt.busy_until.is_empty() {
             if let Some(&until) = rt.busy_until.get(&rkey) {
                 if now < until {
                     return Err(RdmaError::RegionBusy(rkey));
                 }
             }
-            mr
-        };
+        }
         if !mr.covers(va, len) {
             return Err(RdmaError::OutOfRange { rkey, va, len });
         }
         // Resolve the translation of every page the access touches. Each
         // page locks only its own MTT shard, so concurrent verbs from
         // different QPs touching different pages proceed in parallel.
+        // Translations live on the stack for typical verb sizes; only an
+        // access spanning more than eight pages spills to the heap.
         let first_vpn = va / PAGE_SIZE as u64;
         let last_vpn = (va + len.max(1) as u64 - 1) / PAGE_SIZE as u64;
+        let pages = (last_vpn - first_vpn + 1) as usize;
+        let mut inline = [FrameId(0); 8];
+        let mut spill = Vec::new();
+        let frames: &mut [FrameId] = if pages <= inline.len() {
+            &mut inline[..pages]
+        } else {
+            spill.resize(pages, FrameId(0));
+            &mut spill
+        };
         let mut all_hit = true;
         let mut odp_misses = 0u32;
-        let mut frames = Vec::with_capacity((last_vpn - first_vpn + 1) as usize);
         for vpn in first_vpn..=last_vpn {
             let mut shard = self.shard_of(vpn).lock();
             if forced_miss {
@@ -750,10 +931,9 @@ impl Rnic {
                 all_hit = false;
                 shard.cache.insert(vpn, ());
             }
-            frames.push(entry.frame);
+            frames[(vpn - first_vpn) as usize] = entry.frame;
         }
         // Perform the DMA against the translated frames.
-        let phys = self.aspace.phys();
         let mut done = 0usize;
         let mut addr = va;
         let mut frame_idx = 0usize;
@@ -763,10 +943,10 @@ impl Rnic {
             let frame = frames[frame_idx];
             match &mut dir {
                 AccessDir::Read(buf) => {
-                    phys.read(frame, off, &mut buf[done..done + n])?;
+                    dma.read(frame, off, &mut buf[done..done + n])?;
                 }
                 AccessDir::Write(data) => {
-                    phys.write(frame, off, &data[done..done + n])?;
+                    dma.write(frame, off, &data[done..done + n])?;
                 }
             }
             done += n;

@@ -13,6 +13,7 @@
 
 use corm_sim_core::time::SimTime;
 
+use crate::pool::PooledBuf;
 use crate::rnic::{RdmaError, VerbOutcome};
 
 /// The operation a work-queue element requests.
@@ -64,8 +65,10 @@ pub struct Completion {
     pub completed_at: SimTime,
     /// Verb outcome, or the error that failed/flushed the WQE.
     pub result: Result<VerbOutcome, RdmaError>,
-    /// Payload read by a READ WQE (empty for writes and failures).
-    pub data: Vec<u8>,
+    /// Payload read by a READ WQE (empty for writes and failures). The
+    /// buffer is borrowed from the RNIC's staging pool and returns there
+    /// when the completion is dropped.
+    pub data: PooledBuf,
 }
 
 impl Completion {
@@ -73,4 +76,34 @@ impl Completion {
     pub fn is_ok(&self) -> bool {
         self.result.is_ok()
     }
+}
+
+/// One entry of a synchronous READ batch
+/// ([`crate::QueuePair::read_batch_into`]): the fields of [`WqeOp::Read`]
+/// plus the echoed `wr_id`, flattened into a copyable record so batches can
+/// live in a caller-recycled vector instead of the send queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadReq {
+    /// Caller-chosen identifier echoed back in the matching result.
+    pub wr_id: u64,
+    /// Remote key of the target region.
+    pub rkey: u32,
+    /// Target virtual address.
+    pub va: u64,
+    /// Number of bytes to read.
+    pub len: usize,
+}
+
+/// The outcome of one synchronous READ-batch entry: a [`Completion`]
+/// without the payload, which lands directly in the caller's buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The `wr_id` of the request this result belongs to.
+    pub wr_id: u64,
+    /// Virtual time at which the verb completed; same semantics as
+    /// [`Completion::completed_at`], including failed/flushed entries
+    /// completing at batch arrival.
+    pub completed_at: SimTime,
+    /// Verb outcome, or the error that failed/flushed the request.
+    pub result: Result<VerbOutcome, RdmaError>,
 }
