@@ -15,7 +15,8 @@
 
 use corm_bench::report::{f2, write_json, Table};
 use corm_bench::simspeed::{
-    bench_json, committed_bench_path, parse_committed, run_fig12_cell, run_fig13_cell, SpeedCell,
+    bench_json, committed_bench_path, parse_committed, run_fig12_cell, run_fig13_cell,
+    run_fig21_cell, SpeedCell,
 };
 use corm_trace::TraceHandle;
 
@@ -30,12 +31,13 @@ fn main() {
 
     let fig12 = run_fig12_cell(&trace);
     let fig13 = run_fig13_cell(&trace);
+    let fig21 = run_fig21_cell(&trace);
 
     let mut t = Table::new(
         "simspeed: simulator wall-clock speed",
         &["workload", "events", "wall_ms", "events_per_sec", "wall_per_virt_sec"],
     );
-    for c in [&fig12, &fig13] {
+    for c in [&fig12, &fig13, &fig21] {
         t.row(&[
             c.workload.to_string(),
             c.events.to_string(),
@@ -65,7 +67,7 @@ fn main() {
             .or(committed.map(|c| c.heap_fig13_events_per_sec))
             .unwrap_or_else(|| fig13.events_per_sec()),
     );
-    let doc = bench_json(&fig12, &fig13, heap);
+    let doc = bench_json(&fig12, &fig13, &fig21, heap);
     let path = write_json("simspeed", &doc).expect("write results json");
     println!("\njson: {}", path.display());
     println!(
@@ -108,5 +110,14 @@ fn main() {
         };
         gate(&fig12, committed.fig12_events_per_sec);
         gate(&fig13, committed.fig13_events_per_sec);
+        // Snapshots published before the mux cell carry no fig21 floor;
+        // the first --update after this binary lands establishes one.
+        match committed.fig21_events_per_sec {
+            Some(eps) => gate(&fig21, eps),
+            None => println!(
+                "smoke gate skipped for fig21: committed snapshot predates the mux cell \
+                 (refresh with --update)"
+            ),
+        }
     }
 }

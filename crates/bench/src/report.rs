@@ -298,9 +298,29 @@ pub fn fault_metrics(
 /// minus its starting clock); utilization is engine busy time over that
 /// window.
 pub fn engine_metrics(rnic: &Rnic, qp: &QueuePair, elapsed: SimTime) -> Json {
+    use corm_sim_rdma::TrafficClass;
     use std::sync::atomic::Ordering::Relaxed;
     let s = &rnic.stats;
     let d = qp.depth_stats();
+    let qos_admitted = rnic.qos_class_admitted();
+    let qos_wait = rnic.qos_class_wait_ns();
+    // One row per traffic class: queue depth and postings seen by this QP
+    // plus the scheduler's admissions/imposed wait on the NIC side (zeros
+    // with QoS off).
+    let classes = Json::Arr(
+        TrafficClass::ALL
+            .iter()
+            .map(|c| {
+                JsonObject::new()
+                    .str("class", c.name())
+                    .uint("posted", d.class_posted[c.index()])
+                    .uint("sq_depth_max", d.class_sq_depth_max[c.index()])
+                    .uint("qos_admitted", qos_admitted[c.index()])
+                    .uint("qos_wait_ns", qos_wait[c.index()])
+                    .build()
+            })
+            .collect(),
+    );
     JsonObject::new()
         .uint("doorbells", s.doorbells.load(Relaxed))
         .uint("wqes", s.wqes.load(Relaxed))
@@ -312,6 +332,9 @@ pub fn engine_metrics(rnic: &Rnic, qp: &QueuePair, elapsed: SimTime) -> Json {
         .uint("qp_doorbells", d.doorbells)
         .uint("sq_depth_max", d.sq_depth_max)
         .uint("cq_depth_max", d.cq_depth_max)
+        .field("qos_enabled", Json::Bool(rnic.qos_enabled()))
+        .field("classes", classes)
+        .uint("qp_state_bytes", qp.state_bytes() as u64)
         .build()
 }
 
@@ -567,6 +590,13 @@ mod tests {
         assert!(j.contains("\"qp_posted\":4"), "{j}");
         assert!(j.contains("\"sq_depth_max\":4"), "{j}");
         assert!(j.contains("\"engine_utilization\":0."), "{j}");
+        // Per-class breakdown: the 4 untagged posts ride the latency class;
+        // QoS is off so scheduler admissions/waits are zero.
+        assert!(j.contains("\"qos_enabled\":false"), "{j}");
+        assert!(j.contains(r#"{"class":"latency","posted":4,"sq_depth_max":4"#), "{j}");
+        assert!(j.contains(r#"{"class":"bulk","posted":0"#), "{j}");
+        assert!(j.contains(r#"{"class":"sync","posted":0"#), "{j}");
+        assert!(j.contains("\"qp_state_bytes\":"), "{j}");
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   `fig13_scalability`'s NIC axis: doorbell batches of depth 16 against
 //!   the RNIC's sharded MTT, translation cache, and fault injector. An
 //!   *event* is one executed WQE.
+//! - **fig21 cell** — the same batched path in shared-connection mode:
+//!   several tenants ride one [`MuxQp`](corm_sim_rdma::MuxQp) with the
+//!   weighted QoS scheduler on, so the mux completion routing and the
+//!   deficit-weighted admission are on the measured hot path. An *event*
+//!   is one executed WQE.
 //!
 //! Both cells are single-threaded and fully deterministic: same seed →
 //! identical virtual-time results and identical `corm-trace` canonical
@@ -61,6 +66,11 @@ pub const FIG13_SIZE: usize = 64;
 pub const FIG13_BATCH_DEPTH: usize = 16;
 /// fig13 cell: DirectReads issued.
 pub const FIG13_OPS: usize = 131_072;
+
+/// fig21 cell: tenants sharing the one mux'd QP.
+pub const FIG21_TENANTS: usize = 4;
+/// fig21 cell: DirectReads issued (across all tenants).
+pub const FIG21_OPS: usize = 65_536;
 
 /// One workload's speed measurement.
 #[derive(Debug, Clone)]
@@ -174,6 +184,49 @@ fn fig13_once(ops: usize, trace: &TraceHandle) -> (u64, SimDuration, u64, f64) {
     (events, clock.saturating_since(SimTime::ZERO), fp, wall_secs)
 }
 
+/// Runs the fig21-style mux-mode cell once: [`FIG21_TENANTS`] clients
+/// share one `MuxQp` (weighted QoS on) and take turns issuing doorbell
+/// batches. Returns (events, virt, fingerprint, wall seconds).
+fn fig21_once(ops: usize, trace: &TraceHandle) -> (u64, SimDuration, u64, f64) {
+    use corm_sim_rdma::{MuxQp, QosConfig};
+    let config = ServerConfig {
+        workers: 1,
+        qos: Some(QosConfig::default()),
+        trace: trace.clone(),
+        ..ServerConfig::default()
+    };
+    let store = populate_server(config, FIG13_OBJECTS, FIG13_SIZE);
+    let rnic = store.server.rnic().clone();
+    let shared = MuxQp::connect(rnic.clone(), FIG21_TENANTS);
+    let mut clients: Vec<CormClient> = (0..FIG21_TENANTS)
+        .map(|_| CormClient::connect_mux(store.server.clone(), shared.attach().expect("attach")))
+        .collect();
+    let mut rng = corm_sim_core::rng::root_rng(SEED);
+    let keys: Vec<usize> =
+        (0..ops).map(|_| rand::Rng::gen_range(&mut rng, 0..FIG13_OBJECTS)).collect();
+
+    let wqes0 = rnic.stats.wqes.load(Relaxed);
+    let mut clock = SimTime::ZERO;
+    let mut fp = 0xcbf29ce484222325;
+    let mut bptrs: Vec<GlobalPtr> = Vec::with_capacity(FIG13_BATCH_DEPTH);
+    let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; FIG13_SIZE]; FIG13_BATCH_DEPTH];
+    let wall = Instant::now();
+    for (turn, chunk) in keys.chunks(FIG13_BATCH_DEPTH).enumerate() {
+        bptrs.clear();
+        bptrs.extend(chunk.iter().map(|&k| store.ptrs[k]));
+        let client = &mut clients[turn % FIG21_TENANTS];
+        let tb = client
+            .read_batch(&mut bptrs, &mut bufs[..chunk.len()], clock)
+            .expect("mux batch read in speed cell");
+        debug_assert!(tb.value.iter().all(|&n| n == FIG13_SIZE));
+        clock += tb.cost;
+        fp = mix(fp, clock.as_nanos());
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let events = rnic.stats.wqes.load(Relaxed) - wqes0;
+    (events, clock.saturating_since(SimTime::ZERO), fp, wall_secs)
+}
+
 fn best_of(repeats: usize, run: impl Fn() -> (u64, SimDuration, u64, f64)) -> SpeedCell {
     let mut best: Option<(u64, SimDuration, u64, f64)> = None;
     for _ in 0..repeats.max(1) {
@@ -205,6 +258,13 @@ pub fn run_fig13_cell(trace: &TraceHandle) -> SpeedCell {
     c
 }
 
+/// Runs the fig21 mux-mode cell, best-of-[`REPEATS`] wall clock.
+pub fn run_fig21_cell(trace: &TraceHandle) -> SpeedCell {
+    let mut c = best_of(REPEATS, || fig21_once(FIG21_OPS, trace));
+    c.workload = "fig21";
+    c
+}
+
 /// A committed `BENCH_simspeed.json` snapshot, as far as the regression
 /// gate needs it.
 #[derive(Debug, Clone, Copy)]
@@ -213,6 +273,9 @@ pub struct CommittedBench {
     pub fig12_events_per_sec: f64,
     /// fig13 events/sec at commit time.
     pub fig13_events_per_sec: f64,
+    /// fig21 mux-mode events/sec at commit time; `None` for snapshots
+    /// published before the mux cell existed (the gate then skips it).
+    pub fig21_events_per_sec: Option<f64>,
     /// Pre-optimization `BinaryHeap` baseline, carried forward.
     pub heap_fig12_events_per_sec: f64,
     /// Pre-optimization `BinaryHeap` baseline, carried forward.
@@ -239,6 +302,7 @@ pub fn parse_committed(json: &str) -> Option<CommittedBench> {
     Some(CommittedBench {
         fig12_events_per_sec: extract_number(json, "\"fig12\"", "events_per_sec")?,
         fig13_events_per_sec: extract_number(json, "\"fig13\"", "events_per_sec")?,
+        fig21_events_per_sec: extract_number(json, "\"fig21\"", "events_per_sec"),
         heap_fig12_events_per_sec: extract_number(
             json,
             "\"baseline_heap\"",
@@ -271,14 +335,22 @@ pub fn committed_bench_path() -> PathBuf {
 /// Renders the full benchmark document. `heap` is the pre-optimization
 /// `BinaryHeap` baseline (carried forward from the committed file, or the
 /// measurement itself on first publish).
-pub fn bench_json(fig12: &SpeedCell, fig13: &SpeedCell, heap: (f64, f64)) -> Json {
+pub fn bench_json(
+    fig12: &SpeedCell,
+    fig13: &SpeedCell,
+    fig21: &SpeedCell,
+    heap: (f64, f64),
+) -> Json {
     JsonObject::new()
         .str("schema", "corm-simspeed-v1")
         .uint("fig13_ops", FIG13_OPS as u64)
         .uint("fig12_clients", FIG12_CLIENTS as u64)
+        .uint("fig21_ops", FIG21_OPS as u64)
+        .uint("fig21_tenants", FIG21_TENANTS as u64)
         .uint("seed", SEED)
         .field("fig12", fig12.json())
         .field("fig13", fig13.json())
+        .field("fig21", fig21.json())
         .field(
             "baseline_heap",
             JsonObject::new()
@@ -318,6 +390,15 @@ mod tests {
     }
 
     #[test]
+    fn fig21_mux_cell_replays_from_seed() {
+        let t = TraceHandle::disabled();
+        let (ea, va, fa, _) = fig21_once(512, &t);
+        let (eb, vb, fb, _) = fig21_once(512, &t);
+        assert_eq!((ea, va, fa), (eb, vb, fb), "mux-mode cell must replay from its seed");
+        assert_eq!(ea, 512, "every key becomes exactly one WQE");
+    }
+
+    #[test]
     fn fig12_cell_replays_from_seed() {
         let t = TraceHandle::disabled();
         let (ea, va, fa, _) = fig12_once(&t);
@@ -342,11 +423,31 @@ mod tests {
             virt: SimDuration::from_millis(300),
             fingerprint: 43,
         };
-        let doc = bench_json(&a, &b, (1000.0, 4000.0)).render();
+        let c = SpeedCell {
+            workload: "fig21",
+            events: 3000,
+            wall_secs: 0.5,
+            virt: SimDuration::from_millis(300),
+            fingerprint: 44,
+        };
+        let doc = bench_json(&a, &b, &c, (1000.0, 4000.0)).render();
         let parsed = parse_committed(&doc).expect("parse back");
         assert!((parsed.fig12_events_per_sec - 2000.0).abs() < 1e-9);
         assert!((parsed.fig13_events_per_sec - 8000.0).abs() < 1e-9);
+        assert!((parsed.fig21_events_per_sec.expect("fig21 present") - 6000.0).abs() < 1e-9);
         assert!((parsed.heap_fig12_events_per_sec - 1000.0).abs() < 1e-9);
         assert!((parsed.heap_fig13_events_per_sec - 4000.0).abs() < 1e-9);
+    }
+
+    /// Snapshots published before the mux cell existed still parse; the
+    /// gate simply has no fig21 floor to enforce.
+    #[test]
+    fn pre_mux_snapshot_still_parses() {
+        let doc = r#"{"schema":"corm-simspeed-v1","fig13_ops":131072,
+            "fig12":{"events_per_sec":2000.0},
+            "fig13":{"events_per_sec":8000.0},
+            "baseline_heap":{"fig12_events_per_sec":1000.0,"fig13_events_per_sec":4000.0}}"#;
+        let parsed = parse_committed(doc).expect("parse");
+        assert!(parsed.fig21_events_per_sec.is_none());
     }
 }

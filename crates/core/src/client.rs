@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use corm_sim_core::rng::{stream_rng, DetRng};
 use corm_sim_core::time::{SimDuration, SimTime};
-use corm_sim_rdma::{QueuePair, RdmaError, ReadReq, ReadResult};
+use corm_sim_rdma::{MuxTenant, QueuePair, RdmaError, ReadReq, ReadResult, VerbOutcome};
 use corm_trace::{Stage, TraceHandle, Track};
 
 use crate::consistency::{self, ReadFailure};
@@ -68,6 +68,87 @@ impl Default for ClientConfig {
     }
 }
 
+/// The client's connection to the node: a dedicated reliable QP (the
+/// default, O(QP) host state per client), or one tenant slot on a
+/// DCT-style shared connection ([`MuxTenant`], O(1) state per client) —
+/// the Fig. 21 scale mode. Both expose the same verb surface, and the
+/// dedicated arm delegates straight to [`QueuePair`], so a client built
+/// without mux behaves bit-identically to one predating this enum.
+enum Conn {
+    /// A dedicated queue pair owned by this client.
+    Own(QueuePair),
+    /// A tenant slot on a shared [`corm_sim_rdma::MuxQp`].
+    Mux(MuxTenant),
+}
+
+impl Conn {
+    fn read(
+        &self,
+        rkey: u32,
+        va: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<VerbOutcome, RdmaError> {
+        match self {
+            Conn::Own(qp) => qp.read(rkey, va, buf, now),
+            Conn::Mux(t) => t.read(rkey, va, buf, now),
+        }
+    }
+
+    fn write(
+        &self,
+        rkey: u32,
+        va: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<VerbOutcome, RdmaError> {
+        match self {
+            Conn::Own(qp) => qp.write(rkey, va, data, now),
+            Conn::Mux(t) => t.write(rkey, va, data, now),
+        }
+    }
+
+    fn read_batch_into(
+        &self,
+        reqs: &[ReadReq],
+        outs: &mut [Vec<u8>],
+        now: SimTime,
+        results: &mut Vec<ReadResult>,
+    ) {
+        match self {
+            Conn::Own(qp) => qp.read_batch_into(reqs, outs, now, results),
+            Conn::Mux(t) => t.read_batch_into(reqs, outs, now, results),
+        }
+    }
+
+    /// Re-establishes the connection after a break. On a shared
+    /// connection only the first tenant through pays ([`MuxTenant`] is
+    /// idempotent-by-state); a dedicated QP always pays, as before.
+    fn reconnect(&self) -> SimDuration {
+        match self {
+            Conn::Own(qp) => qp.reconnect(),
+            Conn::Mux(t) => t.reconnect(),
+        }
+    }
+
+    /// The underlying queue pair — the client's own, or the shared one.
+    fn qp(&self) -> &QueuePair {
+        match self {
+            Conn::Own(qp) => qp,
+            Conn::Mux(t) => t.mux().qp(),
+        }
+    }
+
+    /// Host connection-state bytes attributable to *this* client: the
+    /// whole QP when dedicated, the per-tenant share when multiplexed.
+    fn state_bytes(&self) -> usize {
+        match self {
+            Conn::Own(qp) => qp.state_bytes(),
+            Conn::Mux(t) => t.mux().bytes_per_tenant(),
+        }
+    }
+}
+
 /// Result classification of a raw DirectRead attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReadOutcome {
@@ -80,7 +161,7 @@ pub enum ReadOutcome {
 /// A connected CoRM client.
 pub struct CormClient {
     server: Arc<CormServer>,
-    qp: QueuePair,
+    conn: Conn,
     config: ClientConfig,
     rng: DetRng,
     /// Trace recorder, shared with the server node (disabled by default).
@@ -121,12 +202,35 @@ impl CormClient {
 
     /// Connects with explicit client configuration.
     pub fn connect_with(server: Arc<CormServer>, config: ClientConfig) -> Self {
-        let qp = QueuePair::connect(server.rnic().clone());
+        let conn = Conn::Own(QueuePair::connect(server.rnic().clone()));
+        Self::with_conn(server, config, conn)
+    }
+
+    /// Connects over a DCT-style shared connection (Fig. 21 scale mode):
+    /// the client occupies one tenant slot of a
+    /// [`corm_sim_rdma::MuxQp`] instead of owning a queue pair, dropping
+    /// its host connection state to O(1). Attach the tenant with
+    /// [`corm_sim_rdma::MuxQp::attach`] on a mux connected to
+    /// [`CormServer::rnic`].
+    pub fn connect_mux(server: Arc<CormServer>, tenant: MuxTenant) -> Self {
+        Self::connect_mux_with(server, ClientConfig::default(), tenant)
+    }
+
+    /// [`Self::connect_mux`] with explicit client configuration.
+    pub fn connect_mux_with(
+        server: Arc<CormServer>,
+        config: ClientConfig,
+        tenant: MuxTenant,
+    ) -> Self {
+        Self::with_conn(server, config, Conn::Mux(tenant))
+    }
+
+    fn with_conn(server: Arc<CormServer>, config: ClientConfig, conn: Conn) -> Self {
         let rng = stream_rng(config.seed, 0);
         let trace = server.trace().clone();
         CormClient {
             server,
-            qp,
+            conn,
             config,
             rng,
             trace,
@@ -146,9 +250,22 @@ impl CormClient {
         &self.server
     }
 
-    /// The client's queue pair (diagnostics).
+    /// The client's queue pair (diagnostics) — its own, or the shared one
+    /// when connected through a mux.
     pub fn qp(&self) -> &QueuePair {
-        &self.qp
+        self.conn.qp()
+    }
+
+    /// Whether this client rides a DCT-style shared connection.
+    pub fn is_mux(&self) -> bool {
+        matches!(self.conn, Conn::Mux(_))
+    }
+
+    /// Host connection-state bytes attributable to this client (the
+    /// Fig. 21 per-client memory curve): its whole QP when dedicated, its
+    /// share of the mux when multiplexed.
+    pub fn conn_state_bytes(&self) -> usize {
+        self.conn.state_bytes()
     }
 
     fn pick_worker(&mut self) -> usize {
@@ -190,7 +307,7 @@ impl CormClient {
         if backoff > self.config.reconnect_backoff_cap {
             backoff = self.config.reconnect_backoff_cap;
         }
-        let reconnect = self.qp.reconnect();
+        let reconnect = self.conn.reconnect();
         self.trace.span(Track::Client, Stage::Backoff, op, *clock, backoff);
         self.trace.span(Track::Client, Stage::Reconnect, op, *clock + backoff, reconnect);
         let cost = backoff + reconnect;
@@ -312,7 +429,7 @@ impl CormClient {
             }
         };
         image.resize(slot_bytes, 0);
-        let verb = self.qp.read(ptr.rkey, ptr.vaddr, &mut image[..], now)?;
+        let verb = self.conn.read(ptr.rkey, ptr.vaddr, &mut image[..], now)?;
         let check = self.server.model().version_check_cost(slot_bytes);
         self.trace.span(Track::Client, Stage::Verb, op, now, verb.latency);
         self.trace.span(Track::Client, Stage::VersionCheck, op, now + verb.latency, check);
@@ -367,7 +484,7 @@ impl CormClient {
         let slot_bytes = self.slot_bytes(ptr)?;
         let base = ptr.block_base(block_bytes);
         image.resize(block_bytes, 0);
-        let verb = self.qp.read(ptr.rkey, base, &mut image[..], now)?;
+        let verb = self.conn.read(ptr.rkey, base, &mut image[..], now)?;
         let model = self.server.model();
         let slots = block_bytes / slot_bytes;
         let mut cost = verb.latency + model.scan_cost(slots);
@@ -566,12 +683,14 @@ impl CormClient {
             for &i in pending.iter() {
                 match self.slot_bytes(&ptrs[i]) {
                     Ok(slot_bytes) => {
-                        self.batch_reqs.push(ReadReq {
-                            wr_id: i as u64,
-                            rkey: ptrs[i].rkey,
-                            va: ptrs[i].vaddr,
-                            len: slot_bytes,
-                        });
+                        // Multi-gets ride the latency class; on a shared
+                        // connection the mux re-tags the tenant itself.
+                        self.batch_reqs.push(ReadReq::new(
+                            i as u64,
+                            ptrs[i].rkey,
+                            ptrs[i].vaddr,
+                            slot_bytes,
+                        ));
                     }
                     Err(_) => {
                         self.failed_direct_reads += 1;
@@ -590,7 +709,7 @@ impl CormClient {
                 while self.batch_out.len() < posted {
                     self.batch_out.push(Vec::new());
                 }
-                self.qp.read_batch_into(
+                self.conn.read_batch_into(
                     &self.batch_reqs,
                     &mut self.batch_out[..posted],
                     clock,
@@ -725,7 +844,7 @@ impl CormClient {
         let mut locked_last = false;
         for _ in 0..self.config.max_retries {
             let mut image = vec![0u8; slot_bytes];
-            let verb = match self.qp.read(ptr.rkey, ptr.vaddr, &mut image, clock) {
+            let verb = match self.conn.read(ptr.rkey, ptr.vaddr, &mut image, clock) {
                 Ok(v) => v,
                 Err(e) if Self::recoverable(&e) => {
                     self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
@@ -742,7 +861,7 @@ impl CormClient {
             match consistency::gather(&image, Some(ptr.obj_id), 0) {
                 Ok((header, _)) => {
                     let image = consistency::scatter(header.bump_version(), data, slot_bytes);
-                    match self.qp.write(ptr.rkey, ptr.vaddr, &image, clock) {
+                    match self.conn.write(ptr.rkey, ptr.vaddr, &image, clock) {
                         Ok(v) => {
                             let copy = model.copy_cost(data.len());
                             self.trace.span(Track::Client, Stage::Verb, op, clock, v.latency);

@@ -32,7 +32,7 @@ use corm_alloc::{
 use corm_sim_core::rng::{stream_rng, DetRng};
 use corm_sim_core::time::SimDuration;
 use corm_sim_mem::{AddressSpace, MemError, PhysicalMemory};
-use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, RdmaError, Rnic, RnicConfig};
+use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, QosConfig, RdmaError, Rnic, RnicConfig};
 use corm_trace::{Stage, TraceHandle};
 
 use crate::consistency::{self, ReadFailure};
@@ -99,6 +99,13 @@ pub struct ServerConfig {
     /// target. The batch rides the primary target's transition, so alias
     /// targets stop paying the per-target `mmap + mtt_update` cost.
     pub batch_mtt_sync: bool,
+    /// QoS scheduling for the node: SLO-class/tenant weights applied to
+    /// the RNIC's batched-verb dispatch *and* to the threaded server's
+    /// per-worker RPC queues (deficit-weighted class selection). `None` —
+    /// the default — keeps both on their legacy schedules: seeded replays
+    /// are byte-identical to builds predating QoS. Propagated into the
+    /// RNIC's config unless that config carries its own `qos`.
+    pub qos: Option<QosConfig>,
     /// Root seed for object-ID generation.
     pub seed: u64,
     /// Trace recorder for the node. Disabled by default; recording is
@@ -123,6 +130,7 @@ impl Default for ServerConfig {
             compaction_lanes: 1,
             compaction_budget: None,
             batch_mtt_sync: false,
+            qos: None,
             seed: 0xC0_4D,
             trace: TraceHandle::disabled(),
         }
@@ -269,6 +277,9 @@ impl CormServer {
         let mut rnic_config = config.rnic.clone();
         if !rnic_config.trace.is_enabled() {
             rnic_config.trace = config.trace.clone();
+        }
+        if rnic_config.qos.is_none() {
+            rnic_config.qos = config.qos.clone();
         }
         let rnic = Arc::new(Rnic::new(aspace.clone(), rnic_config));
         if config.mtt_strategy.needs_odp() {

@@ -6,11 +6,21 @@
 //! one-sided "NIC" readers (client threads calling into the simulated RNIC)
 //! genuinely race, so the consistency machinery is exercised for real.
 //!
-//! Each worker owns one queue; clients spray requests round-robin across
-//! the queues, and a worker whose own queue runs dry steals from its
-//! siblings before blocking. This keeps workers off a single shared
-//! channel lock (throughput scales with `workers`) without ever stranding
-//! a request behind a busy worker.
+//! Each worker owns one queue *per traffic class*; clients spray requests
+//! round-robin across their class's queues, and a worker whose own queues
+//! run dry steals from its siblings before blocking. This keeps workers
+//! off a single shared channel lock (throughput scales with `workers`)
+//! without ever stranding a request behind a busy worker.
+//!
+//! When several classes have work queued at one worker, the worker picks
+//! by **deficit-weighted virtual time**: the non-empty class with the
+//! least `served_ns / weight` serves next, with weights from the node's
+//! [`QosConfig`] (`ServerConfig::qos`). A latency-only workload — every
+//! workload predating the classes — always finds exactly one non-empty
+//! class, so its serve order is the legacy order regardless of weights.
+//! Stealing is priority-aware: a worker steals only when *all* of its own
+//! queues are dry (so it is provably idle, never backlogged), and scans
+//! sibling queues latency class first.
 //!
 //! Virtual time is kept by a shared Lamport-style clock that advances with
 //! each operation's cost, so `rereg_mr` busy windows behave sensibly even
@@ -23,6 +33,7 @@ use std::time::Duration;
 
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_rdma::rpc::{sharded_rpc_channel, Envelope, RpcClient, RpcQueue};
+use corm_sim_rdma::TrafficClass;
 use corm_trace::{Stage, Track};
 
 use crate::ptr::GlobalPtr;
@@ -105,11 +116,15 @@ pub enum Pacing {
 /// the pass never stalls behind an unbounded backlog.
 const YIELD_SERVE_BURST: usize = 32;
 
+/// Per-worker queue sets, one per traffic class: `queues[class][worker]`.
+type ClassedQueues = Vec<Arc<[RpcQueue<Request, Response>]>>;
+
 /// A running threaded CoRM node.
 pub struct ThreadedServer {
     server: Arc<CormServer>,
-    client_tx: RpcClient<Request, Response>,
-    queues: Arc<[RpcQueue<Request, Response>]>,
+    /// One spraying client per traffic class; index = `TrafficClass`.
+    clients: Vec<RpcClient<Request, Response>>,
+    queues: ClassedQueues,
     shutdown: Arc<AtomicBool>,
     clock_ns: Arc<AtomicU64>,
     handles: Vec<JoinHandle<u64>>,
@@ -117,7 +132,7 @@ pub struct ThreadedServer {
 
 impl ThreadedServer {
     /// Starts `config.workers` worker threads, each polling its own RPC
-    /// queue and stealing from siblings when idle.
+    /// queues and stealing from siblings when idle.
     pub fn start(server: Arc<CormServer>) -> Self {
         Self::start_with_pacing(server, Pacing::None)
     }
@@ -125,8 +140,19 @@ impl ThreadedServer {
     /// Starts the workers with an explicit [`Pacing`] mode.
     pub fn start_with_pacing(server: Arc<CormServer>, pacing: Pacing) -> Self {
         let workers = server.config().workers;
-        let (client_tx, queues) = sharded_rpc_channel::<Request, Response>(workers);
-        let queues: Arc<[RpcQueue<Request, Response>]> = queues.into();
+        let mut clients = Vec::with_capacity(TrafficClass::COUNT);
+        let mut queues: ClassedQueues = Vec::with_capacity(TrafficClass::COUNT);
+        for _ in TrafficClass::ALL {
+            let (client, qs) = sharded_rpc_channel::<Request, Response>(workers);
+            clients.push(client);
+            queues.push(qs.into());
+        }
+        let weights = server
+            .config()
+            .qos
+            .as_ref()
+            .map(|q| q.class_weights.map(|w| w.max(1)))
+            .unwrap_or([1; TrafficClass::COUNT]);
         let shutdown = Arc::new(AtomicBool::new(false));
         let clock_ns = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(workers);
@@ -136,15 +162,24 @@ impl ThreadedServer {
             let shutdown = shutdown.clone();
             let clock = clock_ns.clone();
             handles.push(std::thread::spawn(move || {
-                worker_loop(w, server, queues, shutdown, clock, pacing)
+                worker_loop(w, server, queues, weights, shutdown, clock, pacing)
             }));
         }
-        ThreadedServer { server, client_tx, queues, shutdown, clock_ns, handles }
+        ThreadedServer { server, clients, queues, shutdown, clock_ns, handles }
     }
 
-    /// A handle clients use to issue RPCs.
+    /// A handle clients use to issue RPCs. Requests ride the latency
+    /// class — the semantics every caller predating traffic classes gets.
     pub fn rpc_client(&self) -> RpcClient<Request, Response> {
-        self.client_tx.clone()
+        self.clients[TrafficClass::Latency.index()].clone()
+    }
+
+    /// A handle issuing RPCs under an explicit traffic class: bulk-scan
+    /// tenants and compaction MTT-sync traffic tag themselves so the
+    /// deficit-weighted worker schedule can keep them from crowding out
+    /// latency-sensitive gets.
+    pub fn rpc_client_class(&self, class: TrafficClass) -> RpcClient<Request, Response> {
+        self.clients[class.index()].clone()
     }
 
     /// The underlying server (for DirectReads via its RNIC and for
@@ -181,7 +216,13 @@ impl ThreadedServer {
                 clock.fetch_add(chunk.as_nanos(), Ordering::Relaxed);
                 advanced += chunk;
                 for _ in 0..YIELD_SERVE_BURST {
-                    let Some(envelope) = queues.iter().find_map(|q| q.try_poll()) else {
+                    // Latency-class work drains first at a yield: the
+                    // pause-bounded pass exists to bound exactly that
+                    // class's wait.
+                    let Some(envelope) = TrafficClass::ALL
+                        .iter()
+                        .find_map(|c| queues[c.index()].iter().find_map(|q| q.try_poll()))
+                    else {
                         break;
                     };
                     server
@@ -208,23 +249,59 @@ impl ThreadedServer {
     /// Drop all clones before (or treat timeouts as disconnection).
     pub fn shutdown(self) -> Vec<u64> {
         self.shutdown.store(true, Ordering::Relaxed);
-        drop(self.client_tx);
+        drop(self.clients);
         self.handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     }
+}
+
+/// Among this worker's own class queues with work, the one owed service:
+/// minimal `served_ns / weight`, compared exactly by cross-multiplication,
+/// ties to the higher-priority (lower-index) class. `None` when all own
+/// queues are dry.
+fn pick_class(
+    queues: &ClassedQueues,
+    home: usize,
+    served_ns: &[u64; TrafficClass::COUNT],
+    weights: &[u64; TrafficClass::COUNT],
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for c in 0..TrafficClass::COUNT {
+        if queues[c][home].is_empty() {
+            continue;
+        }
+        best = Some(match best {
+            None => c,
+            Some(b) => {
+                // served_ns[c]/weights[c] < served_ns[b]/weights[b] ?
+                if (served_ns[c] as u128) * (weights[b] as u128)
+                    < (served_ns[b] as u128) * (weights[c] as u128)
+                {
+                    c
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best
 }
 
 fn worker_loop(
     worker: usize,
     server: Arc<CormServer>,
-    queues: Arc<[RpcQueue<Request, Response>]>,
+    queues: ClassedQueues,
+    weights: [u64; TrafficClass::COUNT],
     shutdown: Arc<AtomicBool>,
     clock: Arc<AtomicU64>,
     pacing: Pacing,
 ) -> u64 {
-    let n = queues.len();
+    let n = queues[0].len();
     let home = worker % n;
     let mut served = 0u64;
-    let handle = |envelope: Envelope<Request, Response>| {
+    // Virtual service time this worker has granted each class — the
+    // deficit-weighted schedule's state.
+    let mut served_ns = [0u64; TrafficClass::COUNT];
+    let handle = |envelope: Envelope<Request, Response>| -> SimDuration {
         // Queue wait is host-scheduling time with no virtual meaning: it
         // feeds the secondary (wall) aggregate only, never the event stream.
         server.trace().wall_ns(Stage::RpcQueueWait, envelope.queue_wait().as_nanos() as u64);
@@ -240,36 +317,58 @@ fn worker_loop(
             }
         }
         reply.send(response);
+        cost
     };
     while !shutdown.load(Ordering::Relaxed) {
-        // Own queue first; steal from siblings only when it is dry.
-        if let Some(envelope) = queues[home].try_poll() {
-            handle(envelope);
+        // Own queues first, deficit-weighted across classes; steal from
+        // siblings only when every own queue is dry.
+        if let Some(c) = pick_class(&queues, home, &served_ns, &weights) {
+            if let Some(envelope) = queues[c][home].try_poll() {
+                // Charge at least 1ns so zero-cost error replies still
+                // rotate the schedule instead of pinning their class.
+                served_ns[c] += handle(envelope).as_nanos().max(1);
+                served += 1;
+            }
+            // A dry poll means a sibling stole the entry between the
+            // emptiness check and the poll; re-evaluate either way.
+            continue;
+        }
+        // All own queues dry, so this worker is provably idle — stealing
+        // latency-class work can never pull it into a backlog. Scan
+        // latency first so the highest-priority class migrates first.
+        let stolen = TrafficClass::ALL.iter().find_map(|class| {
+            let c = class.index();
+            (1..n).find_map(|k| queues[c][(home + k) % n].try_poll().map(|e| (c, e)))
+        });
+        if let Some((c, envelope)) = stolen {
+            server.trace().count(Stage::QosSteal);
+            served_ns[c] += handle(envelope).as_nanos().max(1);
             served += 1;
             continue;
         }
-        let stolen = (1..n).find_map(|k| queues[(home + k) % n].try_poll());
-        if let Some(envelope) = stolen {
-            handle(envelope);
-            served += 1;
-            continue;
-        }
-        // Nothing anywhere: block briefly on the home queue so an idle
-        // fleet parks on its own condvars instead of spinning.
-        if let Some(envelope) = queues[home].poll(Duration::from_millis(5)) {
-            handle(envelope);
+        // Nothing anywhere: block briefly on the home latency queue so an
+        // idle fleet parks on its own condvars instead of spinning. Bulk
+        // and sync arrivals at a fully idle node are picked up within the
+        // poll timeout by the next loop iteration.
+        let c = TrafficClass::Latency.index();
+        if let Some(envelope) = queues[c][home].poll(Duration::from_millis(5)) {
+            served_ns[c] += handle(envelope).as_nanos().max(1);
             served += 1;
         }
     }
-    // Drain every queue so no accepted request loses its reply on
-    // shutdown, even if its home worker already exited.
+    // Drain every queue (all classes, latency first) so no accepted
+    // request loses its reply on shutdown, even if its home worker
+    // already exited.
     loop {
         let mut drained = false;
-        for k in 0..n {
-            while let Some(envelope) = queues[(home + k) % n].try_poll() {
-                handle(envelope);
-                served += 1;
-                drained = true;
+        for class in TrafficClass::ALL {
+            let c = class.index();
+            for k in 0..n {
+                while let Some(envelope) = queues[c][(home + k) % n].try_poll() {
+                    handle(envelope);
+                    served += 1;
+                    drained = true;
+                }
             }
         }
         if !drained {
@@ -456,6 +555,61 @@ mod tests {
         // remainder at the end).
         assert_eq!(ts.now(), before + report.total_cost());
         ts.shutdown();
+    }
+
+    #[test]
+    fn classed_clients_all_complete_under_one_worker() {
+        // One worker, all three classes live at once: the deficit-weighted
+        // schedule must stay work-conserving (every request served exactly
+        // once) no matter how the weights skew the interleaving.
+        let server = Arc::new(CormServer::new(ServerConfig {
+            workers: 1,
+            qos: Some(corm_sim_rdma::QosConfig::default()),
+            ..ServerConfig::default()
+        }));
+        let ts = ThreadedServer::start(server);
+        let mut threads = Vec::new();
+        for class in
+            [TrafficClass::Bulk, TrafficClass::Bulk, TrafficClass::Sync, TrafficClass::Latency]
+        {
+            let client = ts.rpc_client_class(class);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    match client.call(Request::Alloc { len: 16 }).unwrap() {
+                        Response::Ptr(_) => {}
+                        other => panic!("{other:?}"),
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let served: u64 = ts.shutdown().iter().sum();
+        assert_eq!(served, 200);
+    }
+
+    #[test]
+    fn bulk_and_sync_classes_round_trip_without_qos_config() {
+        // Classed clients work on a node with no QoS config at all: the
+        // schedule falls back to equal weights.
+        let ts = start();
+        let bulk = ts.rpc_client_class(TrafficClass::Bulk);
+        let ptr = match bulk.call(Request::Alloc { len: 24 }).unwrap() {
+            Response::Ptr(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let sync = ts.rpc_client_class(TrafficClass::Sync);
+        match sync.call(Request::Write { ptr, data: b"classed".to_vec() }).unwrap() {
+            Response::Done(_) => {}
+            other => panic!("{other:?}"),
+        }
+        match bulk.call(Request::Read { ptr, len: 7 }).unwrap() {
+            Response::Data { data, .. } => assert_eq!(&data, b"classed"),
+            other => panic!("{other:?}"),
+        }
+        let served: u64 = ts.shutdown().iter().sum();
+        assert_eq!(served, 3);
     }
 
     #[test]

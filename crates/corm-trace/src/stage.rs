@@ -79,11 +79,17 @@ pub enum Stage {
     CompactionPlan,
     /// A pause-bounded pass yielding so queued RPCs can interleave.
     CompactionYield,
+    /// Scheduler-imposed wait: a WQE or RPC held back by its traffic
+    /// class's share while other classes used the capacity.
+    QosClassWait,
+    /// A worker stealing queued work from a sibling's class queue
+    /// (counter; stealing itself is free).
+    QosSteal,
 }
 
 impl Stage {
     /// Number of stages (sizes the recorder's counter arrays).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 29;
 
     /// Every stage, in declaration order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -114,6 +120,8 @@ impl Stage {
         Stage::MttSync,
         Stage::CompactionPlan,
         Stage::CompactionYield,
+        Stage::QosClassWait,
+        Stage::QosSteal,
     ];
 
     /// Dense index for counter arrays.
@@ -151,6 +159,8 @@ impl Stage {
             Stage::MttSync => "mtt_sync",
             Stage::CompactionPlan => "compaction_plan",
             Stage::CompactionYield => "compaction_yield",
+            Stage::QosClassWait => "qos_class_wait",
+            Stage::QosSteal => "qos_steal",
         }
     }
 

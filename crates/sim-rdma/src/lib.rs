@@ -35,16 +35,20 @@
 pub mod cache;
 pub mod fault;
 pub mod latency;
+pub mod mux;
 pub mod pool;
 pub mod qp;
 pub mod rnic;
 pub mod rpc;
+pub mod sched;
 pub mod wq;
 
 pub use cache::LruCache;
 pub use fault::{FaultBlock, FaultConfig, FaultInjector, FaultKind, ScheduledFault};
 pub use latency::{CpuKind, DeviceKind, LatencyModel, MttUpdateStrategy};
+pub use mux::{MuxQp, MuxTenant};
 pub use pool::{BufPool, PooledBuf};
 pub use qp::{QpDepthStats, QpState, QueuePair};
-pub use rnic::{MemoryRegion, RdmaError, Rnic, RnicConfig};
+pub use rnic::{MemoryRegion, RdmaError, Rnic, RnicConfig, VerbOutcome};
+pub use sched::{QosAdmission, QosConfig, QosScheduler, TrafficClass};
 pub use wq::{Completion, ReadReq, ReadResult, Wqe, WqeOp};

@@ -17,6 +17,7 @@ use corm_trace::Stage;
 
 use crate::pool::PooledBuf;
 use crate::rnic::{RdmaError, Rnic, VerbOutcome};
+use crate::sched::TrafficClass;
 use crate::wq::{Completion, ReadReq, ReadResult, Wqe, WqeOp};
 
 /// Connection state of a queue pair.
@@ -43,6 +44,11 @@ pub struct QpDepthStats {
     pub sq_depth_max: u64,
     /// High-water mark of the completion-queue depth.
     pub cq_depth_max: u64,
+    /// WQEs posted per traffic class, indexed by [`TrafficClass`].
+    pub class_posted: [u64; TrafficClass::COUNT],
+    /// Per-class high-water mark of the send-queue depth, indexed by
+    /// [`TrafficClass`].
+    pub class_sq_depth_max: [u64; TrafficClass::COUNT],
 }
 
 /// A reliable connected queue pair bound to a remote NIC.
@@ -60,6 +66,11 @@ pub struct QueuePair {
     doorbells: AtomicU64,
     sq_depth_max: AtomicU64,
     cq_depth_max: AtomicU64,
+    class_posted: [AtomicU64; TrafficClass::COUNT],
+    /// Current per-class send-queue occupancy (updated under the `sq`
+    /// lock; atomics only so `depth_stats` can read without it).
+    class_sq_depth: [AtomicU64; TrafficClass::COUNT],
+    class_sq_depth_max: [AtomicU64; TrafficClass::COUNT],
 }
 
 impl std::fmt::Debug for QueuePair {
@@ -83,6 +94,9 @@ impl QueuePair {
             doorbells: AtomicU64::new(0),
             sq_depth_max: AtomicU64::new(0),
             cq_depth_max: AtomicU64::new(0),
+            class_posted: Default::default(),
+            class_sq_depth: Default::default(),
+            class_sq_depth_max: Default::default(),
         }
     }
 
@@ -139,20 +153,52 @@ impl QueuePair {
 
     /// Enqueues a READ WQE on the send queue. Nothing executes until
     /// [`QueuePair::ring_doorbell`]; `wr_id` is echoed in the completion.
+    /// Rides the latency class as the default tenant.
     pub fn post_read(&self, rkey: u32, va: u64, len: usize, wr_id: u64) {
-        self.post(Wqe { wr_id, op: WqeOp::Read { rkey, va, len } });
+        self.post_read_tagged(rkey, va, len, wr_id, 0, TrafficClass::Latency);
     }
 
-    /// Enqueues a WRITE WQE on the send queue.
+    /// Enqueues a WRITE WQE on the send queue (latency class, default
+    /// tenant).
     pub fn post_write(&self, rkey: u32, va: u64, data: Vec<u8>, wr_id: u64) {
-        self.post(Wqe { wr_id, op: WqeOp::Write { rkey, va, data } });
+        self.post_write_tagged(rkey, va, data, wr_id, 0, TrafficClass::Latency);
+    }
+
+    /// Enqueues a READ WQE charged to `tenant` under `class`.
+    pub fn post_read_tagged(
+        &self,
+        rkey: u32,
+        va: u64,
+        len: usize,
+        wr_id: u64,
+        tenant: u32,
+        class: TrafficClass,
+    ) {
+        self.post(Wqe { wr_id, op: WqeOp::Read { rkey, va, len }, tenant, class });
+    }
+
+    /// Enqueues a WRITE WQE charged to `tenant` under `class`.
+    pub fn post_write_tagged(
+        &self,
+        rkey: u32,
+        va: u64,
+        data: Vec<u8>,
+        wr_id: u64,
+        tenant: u32,
+        class: TrafficClass,
+    ) {
+        self.post(Wqe { wr_id, op: WqeOp::Write { rkey, va, data }, tenant, class });
     }
 
     fn post(&self, wqe: Wqe) {
         let mut sq = self.sq.lock();
+        let class = wqe.class.index();
         sq.push(wqe);
         self.posted.fetch_add(1, Ordering::Relaxed);
         self.sq_depth_max.fetch_max(sq.len() as u64, Ordering::Relaxed);
+        self.class_posted[class].fetch_add(1, Ordering::Relaxed);
+        let depth = self.class_sq_depth[class].fetch_add(1, Ordering::Relaxed) + 1;
+        self.class_sq_depth_max[class].fetch_max(depth, Ordering::Relaxed);
         // Posting is free in virtual time (the doorbell pays); count it so
         // the metrics registry can report posted-vs-served divergence.
         self.rnic.trace().count(Stage::WqePost);
@@ -166,7 +212,16 @@ impl QueuePair {
     /// if the QP is *already* broken, every WQE completes flushed without
     /// reaching the NIC. Returns the number of completions produced.
     pub fn ring_doorbell(&self, now: SimTime) -> usize {
-        let mut wqes: Vec<Wqe> = std::mem::take(&mut *self.sq.lock());
+        let mut wqes: Vec<Wqe> = {
+            let mut sq = self.sq.lock();
+            let wqes = std::mem::take(&mut *sq);
+            // The whole queue drains in one batch; occupancy resets under
+            // the same lock posts update it with.
+            for depth in &self.class_sq_depth {
+                depth.store(0, Ordering::Relaxed);
+            }
+            wqes
+        };
         if wqes.is_empty() {
             return 0;
         }
@@ -230,6 +285,16 @@ impl QueuePair {
         // bypassed, the accounting is not.
         self.posted.fetch_add(n, Ordering::Relaxed);
         self.sq_depth_max.fetch_max(n, Ordering::Relaxed);
+        let mut per_class = [0u64; TrafficClass::COUNT];
+        for r in reqs {
+            per_class[r.class.index()] += 1;
+        }
+        for (i, &count) in per_class.iter().enumerate() {
+            if count > 0 {
+                self.class_posted[i].fetch_add(count, Ordering::Relaxed);
+                self.class_sq_depth_max[i].fetch_max(count, Ordering::Relaxed);
+            }
+        }
         self.rnic.trace().add(Stage::WqePost, n);
         self.doorbells.fetch_add(1, Ordering::Relaxed);
         if *self.state.lock() == QpState::Error {
@@ -275,7 +340,31 @@ impl QueuePair {
             doorbells: self.doorbells.load(Ordering::Relaxed),
             sq_depth_max: self.sq_depth_max.load(Ordering::Relaxed),
             cq_depth_max: self.cq_depth_max.load(Ordering::Relaxed),
+            class_posted: self.class_posted.each_ref().map(|c| c.load(Ordering::Relaxed)),
+            class_sq_depth_max: self
+                .class_sq_depth_max
+                .each_ref()
+                .map(|c| c.load(Ordering::Relaxed)),
         }
+    }
+
+    /// Queue depth a reliable connection provisions at creation time:
+    /// real verbs providers allocate the send/completion rings from
+    /// `max_send_wr` at `ibv_create_qp`, before any traffic flows, so the
+    /// host footprint of an RC connection is charged at this depth even
+    /// while the simulator's lazily-grown vectors are still small.
+    pub const PROVISIONED_DEPTH: usize = 128;
+
+    /// Bytes of connection state this QP pins on the host: the fixed
+    /// struct plus the send/completion rings at provisioned depth (or the
+    /// actual backing storage once traffic has grown past it). This is
+    /// the per-client cost the [`crate::MuxQp`] shared-connection mode
+    /// amortizes across tenants.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sq.lock().capacity().max(Self::PROVISIONED_DEPTH) * std::mem::size_of::<Wqe>()
+            + self.cq.lock().capacity().max(Self::PROVISIONED_DEPTH)
+                * std::mem::size_of::<Completion>()
     }
 
     /// Re-establishes a broken connection. Returns the recovery cost
@@ -531,9 +620,8 @@ mod tests {
         // Synchronous path, same requests against an identical twin NIC.
         let (rnic_s, mr_s, va_s) = mk();
         let qp_s = QueuePair::connect(rnic_s.clone());
-        let reqs: Vec<ReadReq> = (0..8u64)
-            .map(|i| ReadReq { wr_id: i, rkey: mr_s.rkey, va: va_s + i * 4096, len: 32 })
-            .collect();
+        let reqs: Vec<ReadReq> =
+            (0..8u64).map(|i| ReadReq::new(i, mr_s.rkey, va_s + i * 4096, 32)).collect();
         let mut outs = vec![Vec::new(); 8];
         let mut results = Vec::new();
         qp_s.read_batch_into(&reqs, &mut outs, SimTime::from_micros(3), &mut results);
@@ -573,8 +661,7 @@ mod tests {
         let rnic = Arc::new(Rnic::new(aspace, cfg));
         let (mr, _) = rnic.register(va, 1, false).unwrap();
         let qp = QueuePair::connect(rnic.clone());
-        let reqs: Vec<ReadReq> =
-            (0..5u64).map(|i| ReadReq { wr_id: i, rkey: mr.rkey, va, len: 8 }).collect();
+        let reqs: Vec<ReadReq> = (0..5u64).map(|i| ReadReq::new(i, mr.rkey, va, 8)).collect();
         let mut outs = vec![Vec::new(); 5];
         let mut results = Vec::new();
         qp.read_batch_into(&reqs, &mut outs, SimTime::ZERO, &mut results);

@@ -24,6 +24,7 @@ use crate::cache::LruCache;
 use crate::fault::{FaultBlock, FaultConfig, FaultInjector, FaultKind};
 use crate::latency::LatencyModel;
 use crate::pool::{BufPool, PooledBuf};
+use crate::sched::{QosConfig, QosScheduler, TrafficClass};
 use crate::wq::{Completion, ReadReq, ReadResult, Wqe, WqeOp};
 
 /// Errors surfaced by RNIC verbs. Any error on a one-sided access breaks
@@ -137,6 +138,12 @@ pub struct RnicConfig {
     /// and fault events). The default is disabled; recording is purely
     /// observational, so it never changes virtual time or fault draws.
     pub trace: TraceHandle,
+    /// SLO-class-aware engine scheduling for the batched verb path. `None`
+    /// (the default) keeps the legacy round-robin dispatch byte-for-byte;
+    /// a uniform (equal-weight) config replays it exactly through the
+    /// scheduler, and skewed weights buy latency-class isolation — see
+    /// [`crate::sched`].
+    pub qos: Option<QosConfig>,
 }
 
 impl Default for RnicConfig {
@@ -149,6 +156,7 @@ impl Default for RnicConfig {
             processing_units: 1,
             mtt_shards: 8,
             trace: TraceHandle::disabled(),
+            qos: None,
         }
     }
 }
@@ -235,10 +243,14 @@ pub struct Rnic {
     config: RnicConfig,
     faults: Option<FaultInjector>,
     /// Inbound verb engines, one per processing unit, each serving
-    /// doorbell-batched WQEs in FIFO order.
+    /// doorbell-batched WQEs in FIFO order. Unused when `sched` is on —
+    /// the scheduler owns the engine capacity then.
     engines: Box<[Mutex<FifoResource>]>,
     /// Round-robin cursor for WQE dispatch across processing units.
     next_unit: AtomicUsize,
+    /// The SLO-class scheduler, when `RnicConfig::qos` enabled one. It
+    /// replaces the per-unit FIFO dispatch for doorbell-batched WQEs.
+    sched: Option<Mutex<QosScheduler>>,
     /// Recycled DMA staging buffers for the batched READ path.
     staging: Arc<BufPool>,
     /// Public counters.
@@ -270,6 +282,10 @@ impl Rnic {
         let units = config.processing_units.max(1);
         let engines =
             (0..units).map(|_| Mutex::new(FifoResource::new(config.engine_width.max(1)))).collect();
+        let sched = config
+            .qos
+            .clone()
+            .map(|qos| Mutex::new(QosScheduler::new(qos, units, config.engine_width.max(1))));
         Rnic {
             aspace,
             regions: RwLock::new(RegionTable {
@@ -282,6 +298,7 @@ impl Rnic {
             faults,
             engines,
             next_unit: AtomicUsize::new(0),
+            sched,
             staging: Arc::new(BufPool::new()),
             stats: RnicStats::default(),
         }
@@ -567,14 +584,16 @@ impl Rnic {
         // serialize wall-clock access.
         let rt = self.regions.read();
         let dma = self.aspace.phys().dma();
-        let mut single_engine = (self.engines.len() == 1).then(|| self.engines[0].lock());
+        let mut sched = self.sched.as_ref().map(|s| s.lock());
+        let mut single_engine =
+            (sched.is_none() && self.engines.len() == 1).then(|| self.engines[0].lock());
         let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
         let mut completions = Vec::with_capacity(wqes.len());
         let mut failed = false;
         let (mut n_wqes, mut n_reads, mut n_writes, mut bytes_read) = (0u64, 0u64, 0u64, 0u64);
         let mut iter = wqes.drain(..);
         for wqe in iter.by_ref() {
-            let Wqe { wr_id, op } = wqe;
+            let Wqe { wr_id, op, tenant, class } = wqe;
             n_wqes += 1;
             let (len, outcome, data) = match op {
                 WqeOp::Read { rkey, va, len } => {
@@ -624,9 +643,22 @@ impl Rnic {
                         service +=
                             model.odp_miss.unwrap_or(SimDuration::ZERO) * verb.odp_misses as u64;
                     }
-                    let (done, unit) = match &mut single_engine {
-                        Some(engine) => (engine.admit(arrival, service), 0),
-                        None => self.dispatch(arrival, service),
+                    let (done, unit) = match (&mut sched, &mut single_engine) {
+                        (Some(sched), _) => {
+                            let adm = sched.admit(tenant, class, arrival, service);
+                            if adm.class_wait > SimDuration::ZERO {
+                                self.config.trace.span(
+                                    Track::Nic,
+                                    Stage::QosClassWait,
+                                    wr_id,
+                                    arrival,
+                                    adm.class_wait,
+                                );
+                            }
+                            (adm.done, adm.unit)
+                        }
+                        (None, Some(engine)) => (engine.admit(arrival, service), 0),
+                        (None, None) => self.dispatch(arrival, service),
                     };
                     self.config.trace.span(
                         Track::EngineUnit(unit as u32),
@@ -693,7 +725,9 @@ impl Rnic {
         self.config.trace.span(Track::Nic, Stage::Doorbell, 0, now, model.doorbell_cost);
         let rt = self.regions.read();
         let dma = self.aspace.phys().dma();
-        let mut single_engine = (self.engines.len() == 1).then(|| self.engines[0].lock());
+        let mut sched = self.sched.as_ref().map(|s| s.lock());
+        let mut single_engine =
+            (sched.is_none() && self.engines.len() == 1).then(|| self.engines[0].lock());
         let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
         let (mut n_wqes, mut n_reads, mut bytes_read) = (0u64, 0u64, 0u64);
         let mut flush_from = None;
@@ -719,9 +753,22 @@ impl Rnic {
                         service +=
                             model.odp_miss.unwrap_or(SimDuration::ZERO) * verb.odp_misses as u64;
                     }
-                    let (done, unit) = match &mut single_engine {
-                        Some(engine) => (engine.admit(arrival, service), 0),
-                        None => self.dispatch(arrival, service),
+                    let (done, unit) = match (&mut sched, &mut single_engine) {
+                        (Some(sched), _) => {
+                            let adm = sched.admit(req.tenant, req.class, arrival, service);
+                            if adm.class_wait > SimDuration::ZERO {
+                                self.config.trace.span(
+                                    Track::Nic,
+                                    Stage::QosClassWait,
+                                    req.wr_id,
+                                    arrival,
+                                    adm.class_wait,
+                                );
+                            }
+                            (adm.done, adm.unit)
+                        }
+                        (None, Some(engine)) => (engine.admit(arrival, service), 0),
+                        (None, None) => self.dispatch(arrival, service),
                     };
                     self.config.trace.span(
                         Track::EngineUnit(unit as u32),
@@ -777,9 +824,12 @@ impl Rnic {
     }
 
     /// Total WQEs admitted into the inbound verb engines, summed over all
-    /// processing units.
+    /// processing units (or through the QoS scheduler when one is on).
     pub fn engine_admitted(&self) -> u64 {
-        self.engines.iter().map(|e| e.lock().admitted()).sum()
+        match &self.sched {
+            Some(s) => s.lock().admitted(),
+            None => self.engines.iter().map(|e| e.lock().admitted()).sum(),
+        }
     }
 
     /// Cumulative busy time of the inbound verb engines, summed over all
@@ -787,7 +837,12 @@ impl Rnic {
     /// divided by the window length, give the engine utilization over that
     /// window.
     pub fn engine_busy(&self) -> SimDuration {
-        self.engines.iter().map(|e| e.lock().busy()).fold(SimDuration::ZERO, |a, b| a + b)
+        match &self.sched {
+            Some(s) => s.lock().busy(),
+            None => {
+                self.engines.iter().map(|e| e.lock().busy()).fold(SimDuration::ZERO, |a, b| a + b)
+            }
+        }
     }
 
     /// Mean inbound-engine utilization over `[0, horizon]`, across every
@@ -796,8 +851,34 @@ impl Rnic {
         if horizon == SimTime::ZERO {
             return 0.0;
         }
+        if let Some(s) = &self.sched {
+            return s.lock().utilization(horizon);
+        }
         let servers: usize = self.engines.iter().map(|e| e.lock().servers()).sum();
         self.engine_busy().as_secs_f64() / (horizon.as_secs_f64() * servers as f64)
+    }
+
+    /// Whether the SLO-class scheduler is driving engine admission.
+    pub fn qos_enabled(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    /// WQEs admitted per traffic class (all zero when QoS is off, which
+    /// does not observe classes).
+    pub fn qos_class_admitted(&self) -> [u64; TrafficClass::COUNT] {
+        match &self.sched {
+            Some(s) => s.lock().class_admitted(),
+            None => [0; TrafficClass::COUNT],
+        }
+    }
+
+    /// Scheduler-imposed wait per traffic class, in nanoseconds (all zero
+    /// when QoS is off or uniform).
+    pub fn qos_class_wait_ns(&self) -> [u64; TrafficClass::COUNT] {
+        match &self.sched {
+            Some(s) => s.lock().class_wait_ns(),
+            None => [0; TrafficClass::COUNT],
+        }
     }
 
     fn access(

@@ -15,6 +15,7 @@ use corm_sim_core::time::SimTime;
 
 use crate::pool::PooledBuf;
 use crate::rnic::{RdmaError, VerbOutcome};
+use crate::sched::TrafficClass;
 
 /// The operation a work-queue element requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +47,11 @@ pub struct Wqe {
     pub wr_id: u64,
     /// The requested operation.
     pub op: WqeOp,
+    /// Tenant the WQE is charged to by the QoS scheduler (0 when QoS is
+    /// off or the QP is unshared).
+    pub tenant: u32,
+    /// SLO class the WQE rides under the QoS scheduler.
+    pub class: TrafficClass,
 }
 
 /// A completion-queue entry: the outcome of one executed (or flushed) WQE.
@@ -92,6 +98,18 @@ pub struct ReadReq {
     pub va: u64,
     /// Number of bytes to read.
     pub len: usize,
+    /// Tenant the request is charged to by the QoS scheduler.
+    pub tenant: u32,
+    /// SLO class the request rides under the QoS scheduler.
+    pub class: TrafficClass,
+}
+
+impl ReadReq {
+    /// A latency-class request of the default tenant — the common case for
+    /// unshared QPs.
+    pub fn new(wr_id: u64, rkey: u32, va: u64, len: usize) -> Self {
+        ReadReq { wr_id, rkey, va, len, tenant: 0, class: TrafficClass::Latency }
+    }
 }
 
 /// The outcome of one synchronous READ-batch entry: a [`Completion`]
