@@ -1,7 +1,7 @@
 //! Simulator-speed benchmark binary.
 //!
-//! Measures events/sec and wall-seconds-per-virtual-second on the two
-//! fixed `simspeed` workloads (see `corm_bench::simspeed`) and writes the
+//! Measures events/sec and wall-seconds-per-virtual-second on the fixed
+//! `simspeed` workloads (see `corm_bench::simspeed`) and writes the
 //! measurement to `results/simspeed.json`.
 //!
 //! - `--update` additionally rewrites the committed `BENCH_simspeed.json`
@@ -9,14 +9,20 @@
 //!   from the existing file (or seeding it from this run on first
 //!   publish, or from `CORM_SIMSPEED_HEAP_FIG12`/`_FIG13` if set).
 //! - `--smoke` is the CI gate: it compares the fresh measurement against
-//!   the committed `BENCH_simspeed.json` and exits non-zero if either
+//!   the committed `BENCH_simspeed.json` and exits non-zero if any
 //!   workload's events/sec regressed by more than the tolerance (10% by
 //!   default; override with `CORM_SIMSPEED_TOL=0.25` for noisier hosts).
+//!   It also checks the lane sweep: fingerprints must be identical at
+//!   every executor width, and — only on hosts with more than one logical
+//!   CPU — the 4-thread cell must beat the 1-thread cell's wall clock.
+//! - `--profile` re-runs each cell once with a recording trace handle and
+//!   prints the merged per-stage breakdown (counts, virtual totals, and
+//!   wall totals) from the corm-trace stage registries.
 
 use corm_bench::report::{f2, write_json, Table};
 use corm_bench::simspeed::{
-    bench_json, committed_bench_path, parse_committed, run_fig12_cell, run_fig13_cell,
-    run_fig21_cell, SpeedCell,
+    bench_json, committed_bench_path, host_cpus, parse_committed, run_fig12_cell, run_fig13_cell,
+    run_fig13_lanes_cell, run_fig21_cell, stage_profile, SpeedCell, LANES_CELL_THREADS,
 };
 use corm_trace::TraceHandle;
 
@@ -24,20 +30,51 @@ fn env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok()?.parse().ok()
 }
 
+/// One `--profile` run: executes `run` against a recording handle and
+/// prints the merged per-stage totals table.
+fn profile_cell(name: &str, run: impl FnOnce(&TraceHandle) -> SpeedCell) {
+    let trace = TraceHandle::recording();
+    let cell = run(&trace);
+    let mut t = Table::new(
+        format!(
+            "profile: {} ({:.1} ms best-of wall; totals over {} traced repeats)",
+            name,
+            cell.wall_secs * 1e3,
+            corm_bench::simspeed::REPEATS,
+        ),
+        &["stage", "count", "virt_ms", "wall_ms"],
+    );
+    for (stage, count, virt_ns, wall_ns) in stage_profile(&trace) {
+        t.row(&[
+            stage.to_string(),
+            count.to_string(),
+            f2(virt_ns as f64 / 1e6),
+            f2(wall_ns as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    if trace.dropped() > 0 {
+        println!("note: {} span events dropped (totals above remain exact)", trace.dropped());
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let update = std::env::args().any(|a| a == "--update");
+    let profile = std::env::args().any(|a| a == "--profile");
     let trace = TraceHandle::disabled();
 
     let fig12 = run_fig12_cell(&trace);
     let fig13 = run_fig13_cell(&trace);
     let fig21 = run_fig21_cell(&trace);
+    let lanes: Vec<SpeedCell> =
+        LANES_CELL_THREADS.iter().map(|&n| run_fig13_lanes_cell(n, &trace)).collect();
 
     let mut t = Table::new(
-        "simspeed: simulator wall-clock speed",
+        format!("simspeed: simulator wall-clock speed (host_cpus={})", host_cpus()),
         &["workload", "events", "wall_ms", "events_per_sec", "wall_per_virt_sec"],
     );
-    for c in [&fig12, &fig13, &fig21] {
+    for c in [&fig12, &fig13, &fig21].into_iter().chain(&lanes) {
         t.row(&[
             c.workload.to_string(),
             c.events.to_string(),
@@ -47,6 +84,16 @@ fn main() {
         ]);
     }
     t.print();
+
+    for c in &lanes {
+        assert_eq!(
+            (c.events, c.virt, c.fingerprint),
+            (lanes[0].events, lanes[0].virt, lanes[0].fingerprint),
+            "lane cell {} diverged from {}: executor width must never change results",
+            c.workload,
+            lanes[0].workload,
+        );
+    }
 
     let committed_path = committed_bench_path();
     let committed = std::fs::read_to_string(&committed_path).ok().and_then(|s| {
@@ -67,7 +114,7 @@ fn main() {
             .or(committed.map(|c| c.heap_fig13_events_per_sec))
             .unwrap_or_else(|| fig13.events_per_sec()),
     );
-    let doc = bench_json(&fig12, &fig13, &fig21, heap);
+    let doc = bench_json(&fig12, &fig13, &fig21, &lanes, heap);
     let path = write_json("simspeed", &doc).expect("write results json");
     println!("\njson: {}", path.display());
     println!(
@@ -119,5 +166,70 @@ fn main() {
                  (refresh with --update)"
             ),
         }
+        // Determinism gate: the serial cells' fingerprints are a pure
+        // function of the seed, so they must match the committed snapshot
+        // bit for bit — any drift means the simulator's seeded behaviour
+        // changed, which no perf work is allowed to do.
+        let mut pinned = 0;
+        for (cell, want) in [
+            (&fig12, committed.fig12_fingerprint),
+            (&fig13, committed.fig13_fingerprint),
+            (&fig21, committed.fig21_fingerprint),
+        ] {
+            match want {
+                Some(fp) => {
+                    assert_eq!(
+                        cell.fingerprint, fp,
+                        "seeded {} results drifted from the committed fingerprint",
+                        cell.workload,
+                    );
+                    pinned += 1;
+                }
+                None => println!(
+                    "fingerprint gate skipped for {}: committed snapshot predates \
+                     fingerprint publication (refresh with --update)",
+                    cell.workload,
+                ),
+            }
+        }
+        if pinned > 0 {
+            println!("fingerprint gate passed: {pinned} serial cells match the committed snapshot");
+        }
+        // Lane sweep gate: a multi-CPU host must actually realise the
+        // parallel windows as wall-clock speedup; a 1-CPU host physically
+        // cannot, so only the (always-on) fingerprint identity above
+        // applies there.
+        let (t1, t4) = (&lanes[0], &lanes[1]);
+        if host_cpus() > 1 {
+            assert!(
+                t4.wall_secs < t1.wall_secs,
+                "lane gate: {} ({:.1} ms) should beat {} ({:.1} ms) on a {}-CPU host",
+                t4.workload,
+                t4.wall_secs * 1e3,
+                t1.workload,
+                t1.wall_secs * 1e3,
+                host_cpus(),
+            );
+            println!(
+                "lane gate passed: {} {:.1} ms beats {} {:.1} ms (host_cpus={})",
+                t4.workload,
+                t4.wall_secs * 1e3,
+                t1.workload,
+                t1.wall_secs * 1e3,
+                host_cpus(),
+            );
+        } else {
+            println!(
+                "lane gate skipped: host has 1 logical CPU, thread parallelism cannot \
+                 show wall-clock speedup (fingerprint identity still enforced)"
+            );
+        }
+    }
+
+    if profile {
+        profile_cell("fig12", run_fig12_cell);
+        profile_cell("fig13", run_fig13_cell);
+        profile_cell("fig21", run_fig21_cell);
+        profile_cell("fig13_lanes_t4", |t| run_fig13_lanes_cell(4, t));
     }
 }

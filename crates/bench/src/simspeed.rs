@@ -21,11 +21,18 @@
 //!   weighted QoS scheduler on, so the mux completion routing and the
 //!   deficit-weighted admission are on the measured hot path. An *event*
 //!   is one executed WQE.
+//! - **fig13_lanes cells** — the same batched DirectRead shape partitioned
+//!   into [`LANES_CELL_LANES`] sealed lanes and executed by the
+//!   conservative [`LaneEngine`](corm_sim_core::lanes::LaneEngine) at
+//!   executor widths of 1, 4, and 8 threads. The workload and its
+//!   fingerprint are identical at every width; only wall clock may move,
+//!   and only on hosts with more than one logical CPU (published as
+//!   `host_cpus` provenance).
 //!
-//! Both cells are single-threaded and fully deterministic: same seed →
-//! identical virtual-time results and identical `corm-trace` canonical
-//! event streams (pinned by tests below). Wall-clock numbers are taken as
-//! the best of [`REPEATS`] runs to damp scheduler noise.
+//! Every cell is fully deterministic: same seed → identical virtual-time
+//! results and identical `corm-trace` canonical event streams (pinned by
+//! tests below). Wall-clock numbers are taken as the best of [`REPEATS`]
+//! runs to damp scheduler noise.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering::Relaxed;
@@ -71,6 +78,23 @@ pub const FIG13_OPS: usize = 131_072;
 pub const FIG21_TENANTS: usize = 4;
 /// fig21 cell: DirectReads issued (across all tenants).
 pub const FIG21_OPS: usize = 65_536;
+
+/// Lane cell: logical lanes in the lane-parallel fig13-shaped cell. The
+/// lane count is fixed; the executor width (`threads`) is what the
+/// published sweep varies, so every cell simulates the identical workload.
+pub const LANES_CELL_LANES: usize = 8;
+/// Lane cell: executor widths published in `BENCH_simspeed.json`.
+pub const LANES_CELL_THREADS: [usize; 3] = [1, 4, 8];
+/// Lane cell: per-lane key stream tag (xor'd with the lane index).
+const LANES_KEY_STREAM: u64 = 0x1A9E_5EED;
+
+/// Logical CPUs on this host. Published as provenance next to the lane
+/// cells: wall-clock speedup from `threads > 1` is only physically
+/// possible when this exceeds 1, so readers (and the CI gate) must
+/// interpret the lane sweep relative to it.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
 
 /// One workload's speed measurement.
 #[derive(Debug, Clone)]
@@ -227,6 +251,109 @@ fn fig21_once(ops: usize, trace: &TraceHandle) -> (u64, SimDuration, u64, f64) {
     (events, clock.saturating_since(SimTime::ZERO), fp, wall_secs)
 }
 
+/// Per-lane state of the lane-parallel fig13-shaped cell: one private
+/// server + client + key stream per lane, so lanes never share simulator
+/// state and can be sealed (the whole run drains in one safe window).
+struct LaneCellState {
+    client: CormClient,
+    ptrs: Vec<GlobalPtr>,
+    keys: Vec<usize>,
+    next: usize,
+    bptrs: Vec<GlobalPtr>,
+    bufs: Vec<Vec<u8>>,
+    clock: SimTime,
+    fp: u64,
+}
+
+/// Runs the lane-parallel fig13-shaped cell once: [`LANES_CELL_LANES`]
+/// sealed lanes, each a private populated server driven through the
+/// batched DirectRead path by one event per doorbell batch, executed by
+/// the conservative [`LaneEngine`](corm_sim_core::lanes::LaneEngine) at
+/// the given executor width. Returns (events, virt, fingerprint, wall
+/// seconds); the fingerprint folds per-lane digests in lane order and is
+/// invariant in `threads` (pinned by tests and the CI gate).
+fn fig13_lanes_once(
+    ops: usize,
+    threads: usize,
+    trace: &TraceHandle,
+) -> (u64, SimDuration, u64, f64) {
+    use corm_sim_core::lanes::{Lane, LaneEngine, LaneId};
+    use corm_trace::Stage;
+
+    let per_lane_objects = (FIG13_OBJECTS / LANES_CELL_LANES).max(1);
+    let per_lane_ops = ops.div_ceil(LANES_CELL_LANES);
+    let mut rnics = Vec::with_capacity(LANES_CELL_LANES);
+    let mut lookahead = None;
+    let mut lanes: Vec<Lane<LaneCellState, (), ()>> = (0..LANES_CELL_LANES)
+        .map(|l| {
+            let config =
+                ServerConfig { workers: 1, trace: trace.clone(), ..ServerConfig::default() };
+            let store = populate_server(config, per_lane_objects, FIG13_SIZE);
+            lookahead.get_or_insert_with(|| store.server.model().cross_lane_lookahead());
+            rnics.push(store.server.rnic().clone());
+            let mut rng = corm_sim_core::rng::stream_rng(SEED, LANES_KEY_STREAM ^ l as u64);
+            let keys: Vec<usize> = (0..per_lane_ops)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..per_lane_objects))
+                .collect();
+            let state = LaneCellState {
+                client: CormClient::connect(store.server.clone()),
+                ptrs: store.ptrs,
+                keys,
+                next: 0,
+                bptrs: Vec::with_capacity(FIG13_BATCH_DEPTH),
+                bufs: vec![vec![0u8; FIG13_SIZE]; FIG13_BATCH_DEPTH],
+                clock: SimTime::ZERO,
+                fp: 0xcbf29ce484222325,
+            };
+            let mut lane = Lane::new(LaneId(l as u32), state);
+            lane.seal();
+            lane.seed(SimTime::ZERO, ());
+            lane
+        })
+        .collect();
+
+    let wqes0: Vec<u64> = rnics.iter().map(|r| r.stats.wqes.load(Relaxed)).collect();
+    let engine = LaneEngine::new(lookahead.expect("at least one lane"), threads);
+    let mut window_wall = trace.wall_start();
+    let wall = Instant::now();
+    engine.run(
+        &mut lanes,
+        |st: &mut LaneCellState, _at, (), ctx| {
+            let end = (st.next + FIG13_BATCH_DEPTH).min(st.keys.len());
+            st.bptrs.clear();
+            st.bptrs.extend(st.keys[st.next..end].iter().map(|&k| st.ptrs[k]));
+            let n = end - st.next;
+            let tb = st
+                .client
+                .read_batch(&mut st.bptrs, &mut st.bufs[..n], st.clock)
+                .expect("lane batch read in speed cell");
+            debug_assert!(tb.value.iter().all(|&v| v == FIG13_SIZE));
+            st.clock += tb.cost;
+            st.fp = mix(st.fp, st.clock.as_nanos());
+            st.next = end;
+            if st.next < st.keys.len() {
+                ctx.schedule(st.clock, ());
+            }
+        },
+        |_w| {
+            trace.count(Stage::LaneWindow);
+            trace.wall_since(Stage::LaneWindow, window_wall);
+            window_wall = trace.wall_start();
+        },
+        |_, _, ()| {},
+    );
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let mut fp = 0xcbf29ce484222325;
+    let mut virt = SimDuration::ZERO;
+    for lane in &lanes {
+        fp = mix(fp, lane.state.fp);
+        virt = virt.max(lane.state.clock.saturating_since(SimTime::ZERO));
+    }
+    let events: u64 = rnics.iter().zip(&wqes0).map(|(r, w0)| r.stats.wqes.load(Relaxed) - w0).sum();
+    (events, virt, fp, wall_secs)
+}
+
 fn best_of(repeats: usize, run: impl Fn() -> (u64, SimDuration, u64, f64)) -> SpeedCell {
     let mut best: Option<(u64, SimDuration, u64, f64)> = None;
     for _ in 0..repeats.max(1) {
@@ -265,6 +392,45 @@ pub fn run_fig21_cell(trace: &TraceHandle) -> SpeedCell {
     c
 }
 
+/// Runs the lane-parallel fig13-shaped cell at the given executor width,
+/// best-of-[`REPEATS`] wall clock. The fingerprint is identical for every
+/// `threads` value (same seed, same lanes — only the executor differs).
+pub fn run_fig13_lanes_cell(threads: usize, trace: &TraceHandle) -> SpeedCell {
+    let mut c = best_of(REPEATS, || fig13_lanes_once(FIG13_OPS, threads, trace));
+    c.workload = match threads {
+        1 => "fig13_lanes_t1",
+        4 => "fig13_lanes_t4",
+        8 => "fig13_lanes_t8",
+        _ => "fig13_lanes",
+    };
+    c
+}
+
+/// Merges a trace handle's counters, virtual-duration totals, and
+/// wall-clock totals into one per-stage profile: `(stage name, count,
+/// virtual ns, wall ns)`, in stage declaration order, stages with no
+/// activity omitted. `simspeed --profile` renders this as its breakdown
+/// table.
+pub fn stage_profile(trace: &TraceHandle) -> Vec<(&'static str, u64, u64, u64)> {
+    use corm_trace::Stage;
+    let counters = trace.counters();
+    let virt = trace.sample_totals();
+    let wall = trace.wall_totals();
+    let lookup = |rows: &[corm_trace::StageTotal], s: Stage| {
+        rows.iter().find(|t| t.stage == s).map_or((0, 0), |t| (t.count, t.total_ns))
+    };
+    Stage::ALL
+        .iter()
+        .filter_map(|&s| {
+            let n = counters.iter().find(|(cs, _)| *cs == s).map_or(0, |(_, n)| *n);
+            let (vc, v_ns) = lookup(&virt, s);
+            let (_, w_ns) = lookup(&wall, s);
+            let count = n.max(vc);
+            (count > 0 || v_ns > 0 || w_ns > 0).then_some((s.name(), count, v_ns, w_ns))
+        })
+        .collect()
+}
+
 /// A committed `BENCH_simspeed.json` snapshot, as far as the regression
 /// gate needs it.
 #[derive(Debug, Clone, Copy)]
@@ -280,6 +446,12 @@ pub struct CommittedBench {
     pub heap_fig12_events_per_sec: f64,
     /// Pre-optimization `BinaryHeap` baseline, carried forward.
     pub heap_fig13_events_per_sec: f64,
+    /// fig12 result fingerprint at commit time (`None` for old snapshots).
+    pub fig12_fingerprint: Option<u64>,
+    /// fig13 result fingerprint at commit time (`None` for old snapshots).
+    pub fig13_fingerprint: Option<u64>,
+    /// fig21 result fingerprint at commit time (`None` for old snapshots).
+    pub fig21_fingerprint: Option<u64>,
 }
 
 /// Extracts the number following `"key":` after the first occurrence of
@@ -294,6 +466,19 @@ fn extract_number(json: &str, anchor: &str, key: &str) -> Option<f64> {
     let end = tail
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Extracts the unsigned integer following `"key":` after the first
+/// occurrence of `anchor`, without a float round-trip — fingerprints are
+/// full-width `u64`s that do not survive `f64` parsing.
+fn extract_u64(json: &str, anchor: &str, key: &str) -> Option<u64> {
+    let scope = json.find(anchor)? + anchor.len();
+    let rest = &json[scope..];
+    let k = format!("\"{key}\":");
+    let at = rest.find(&k)? + k.len();
+    let tail = &rest[at..];
+    let end = tail.find(|c: char| !c.is_ascii_digit()).unwrap_or(tail.len());
     tail[..end].parse().ok()
 }
 
@@ -313,6 +498,9 @@ pub fn parse_committed(json: &str) -> Option<CommittedBench> {
             "\"baseline_heap\"",
             "fig13_events_per_sec",
         )?,
+        fig12_fingerprint: extract_u64(json, "\"fig12\"", "fingerprint"),
+        fig13_fingerprint: extract_u64(json, "\"fig13\"", "fingerprint"),
+        fig21_fingerprint: extract_u64(json, "\"fig21\"", "fingerprint"),
     })
 }
 
@@ -339,8 +527,15 @@ pub fn bench_json(
     fig12: &SpeedCell,
     fig13: &SpeedCell,
     fig21: &SpeedCell,
+    lanes: &[SpeedCell],
     heap: (f64, f64),
 ) -> Json {
+    let mut lanes_obj = JsonObject::new()
+        .uint("lane_count", LANES_CELL_LANES as u64)
+        .uint("host_cpus", host_cpus() as u64);
+    for c in lanes {
+        lanes_obj = lanes_obj.field(c.workload, c.json());
+    }
     JsonObject::new()
         .str("schema", "corm-simspeed-v1")
         .uint("fig13_ops", FIG13_OPS as u64)
@@ -348,9 +543,11 @@ pub fn bench_json(
         .uint("fig21_ops", FIG21_OPS as u64)
         .uint("fig21_tenants", FIG21_TENANTS as u64)
         .uint("seed", SEED)
+        .uint("host_cpus", host_cpus() as u64)
         .field("fig12", fig12.json())
         .field("fig13", fig13.json())
         .field("fig21", fig21.json())
+        .field("fig13_lanes", lanes_obj.build())
         .field(
             "baseline_heap",
             JsonObject::new()
@@ -398,6 +595,36 @@ mod tests {
         assert_eq!(ea, 512, "every key becomes exactly one WQE");
     }
 
+    /// The lane cell's results are a pure function of the seed — the
+    /// executor width must never leak into events, virtual time, or the
+    /// fingerprint (the invariant the published lanes sweep rests on).
+    #[test]
+    fn lane_cell_fingerprint_is_invariant_in_executor_width() {
+        let t = TraceHandle::disabled();
+        let (e1, v1, f1, _) = fig13_lanes_once(2048, 1, &t);
+        for threads in [2, 4, 8] {
+            let (e, v, f, _) = fig13_lanes_once(2048, threads, &t);
+            assert_eq!((e1, v1, f1), (e, v, f), "threads={threads} diverged from serial");
+        }
+        assert_eq!(e1, 2048, "every key becomes exactly one WQE across the lanes");
+    }
+
+    /// `--profile`'s merged per-stage rows: the lane cell must surface
+    /// `lane_window` activity (count and wall total) through the trace
+    /// handle's stage totals.
+    #[test]
+    fn lane_cell_profiles_its_windows() {
+        let trace = TraceHandle::recording();
+        let _ = fig13_lanes_once(1024, 2, &trace);
+        let rows = stage_profile(&trace);
+        let lane_window = rows
+            .iter()
+            .find(|(name, ..)| *name == "lane_window")
+            .expect("lane cell records lane_window stage totals");
+        assert!(lane_window.1 > 0, "at least one window counted");
+        assert!(lane_window.3 > 0, "window drains accumulate wall time");
+    }
+
     #[test]
     fn fig12_cell_replays_from_seed() {
         let t = TraceHandle::disabled();
@@ -414,7 +641,7 @@ mod tests {
             events: 1000,
             wall_secs: 0.5,
             virt: SimDuration::from_millis(150),
-            fingerprint: 42,
+            fingerprint: 18_184_976_033_452_833_882,
         };
         let b = SpeedCell {
             workload: "fig13",
@@ -430,13 +657,40 @@ mod tests {
             virt: SimDuration::from_millis(300),
             fingerprint: 44,
         };
-        let doc = bench_json(&a, &b, &c, (1000.0, 4000.0)).render();
+        let lanes = [
+            SpeedCell {
+                workload: "fig13_lanes_t1",
+                events: 4000,
+                wall_secs: 1.0,
+                virt: SimDuration::from_millis(300),
+                fingerprint: 45,
+            },
+            SpeedCell {
+                workload: "fig13_lanes_t4",
+                events: 4000,
+                wall_secs: 0.5,
+                virt: SimDuration::from_millis(300),
+                fingerprint: 45,
+            },
+        ];
+        let doc = bench_json(&a, &b, &c, &lanes, (1000.0, 4000.0)).render();
+        assert!(
+            extract_number(&doc, "\"fig13_lanes_t4\"", "events_per_sec")
+                .is_some_and(|eps| (eps - 8000.0).abs() < 1e-9),
+            "lane cells must be addressable by their own anchors"
+        );
+        assert!(extract_number(&doc, "\"fig13_lanes\"", "host_cpus").is_some());
         let parsed = parse_committed(&doc).expect("parse back");
         assert!((parsed.fig12_events_per_sec - 2000.0).abs() < 1e-9);
         assert!((parsed.fig13_events_per_sec - 8000.0).abs() < 1e-9);
         assert!((parsed.fig21_events_per_sec.expect("fig21 present") - 6000.0).abs() < 1e-9);
         assert!((parsed.heap_fig12_events_per_sec - 1000.0).abs() < 1e-9);
         assert!((parsed.heap_fig13_events_per_sec - 4000.0).abs() < 1e-9);
+        assert_eq!(
+            (parsed.fig12_fingerprint, parsed.fig13_fingerprint, parsed.fig21_fingerprint),
+            (Some(18_184_976_033_452_833_882), Some(43), Some(44)),
+            "fingerprints must round-trip exactly (no f64 loss)"
+        );
     }
 
     /// Snapshots published before the mux cell existed still parse; the

@@ -1,0 +1,178 @@
+//! Lane-determinism suite: same-seed runs of lane-partitioned workloads
+//! shaped like the published fig12 (closed-loop Zipf mix) and fig21
+//! (mux-mode QoS batches) cells must produce identical fingerprints at
+//! every executor width. (The fig13 shape is pinned inside
+//! `corm_bench::simspeed`, and the torn-window property lives in
+//! `corm-sim-core`'s `prop_lanes` suite.)
+
+use corm_bench::setup::populate_server;
+use corm_bench::sim::{run_closed_loop, ClosedLoopSpec, ReadPath};
+use corm_core::client::CormClient;
+use corm_core::server::ServerConfig;
+use corm_core::GlobalPtr;
+use corm_sim_core::lanes::{Lane, LaneEngine, LaneId};
+use corm_sim_core::time::{SimDuration, SimTime};
+use corm_sim_rdma::{MuxQp, QosConfig};
+use corm_trace::TraceHandle;
+use corm_workloads::ycsb::{KeyDist, Mix, Workload};
+
+const SEED: u64 = 0x51EED;
+const LANES: usize = 4;
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100000001b3)
+}
+
+/// fig12 shape: each lane runs a private closed-loop Zipf cell (own
+/// server, own seed stream); the fold of the per-lane result digests must
+/// not depend on how many threads drained the lanes.
+fn fig12_shaped_fingerprint(threads: usize) -> u64 {
+    struct LaneState {
+        server: std::sync::Arc<corm_core::server::CormServer>,
+        ptrs: Vec<GlobalPtr>,
+        seed: u64,
+        fp: u64,
+    }
+    let trace = TraceHandle::disabled();
+    let mut lookahead = None;
+    let mut lanes: Vec<Lane<LaneState, (), ()>> = (0..LANES)
+        .map(|l| {
+            let config = ServerConfig { trace: trace.clone(), ..ServerConfig::default() };
+            let store = populate_server(config, 256, 32);
+            lookahead.get_or_insert_with(|| store.server.model().cross_lane_lookahead());
+            let state = LaneState {
+                server: store.server,
+                ptrs: store.ptrs,
+                seed: SEED ^ (l as u64) << 8,
+                fp: 0xcbf29ce484222325,
+            };
+            let mut lane = Lane::new(LaneId(l as u32), state);
+            lane.seal();
+            lane.seed(SimTime::ZERO, ());
+            lane
+        })
+        .collect();
+    let engine = LaneEngine::new(lookahead.expect("lanes exist"), threads);
+    engine.run(
+        &mut lanes,
+        |st: &mut LaneState, _at, (), _ctx| {
+            let spec = ClosedLoopSpec {
+                duration: SimDuration::from_millis(6),
+                warmup: SimDuration::from_millis(2),
+                read_path: ReadPath::Rdma,
+                seed: st.seed,
+                ..ClosedLoopSpec::new(Workload::new(256, KeyDist::Zipf(0.99), Mix::BALANCED), 2)
+            };
+            let out = run_closed_loop(&st.server, &mut st.ptrs, &spec);
+            for v in [out.completed, out.reads, out.writes, out.conflicts, out.corrections] {
+                st.fp = mix(st.fp, v);
+            }
+        },
+        |_| {},
+        |_, _, ()| {},
+    );
+    lanes.iter().fold(0xcbf29ce484222325, |fp, l| mix(fp, l.state.fp))
+}
+
+/// fig21 shape: each lane holds a private mux'd QP with two QoS tenants
+/// taking turns over doorbell batches; one event per batch.
+fn fig21_shaped_fingerprint(threads: usize) -> u64 {
+    const TENANTS: usize = 2;
+    const DEPTH: usize = 16;
+    const OPS: usize = 1024;
+    struct LaneState {
+        clients: Vec<CormClient>,
+        ptrs: Vec<GlobalPtr>,
+        keys: Vec<usize>,
+        next: usize,
+        bptrs: Vec<GlobalPtr>,
+        bufs: Vec<Vec<u8>>,
+        clock: SimTime,
+        fp: u64,
+    }
+    let trace = TraceHandle::disabled();
+    let mut lookahead = None;
+    let mut lanes: Vec<Lane<LaneState, (), ()>> = (0..LANES)
+        .map(|l| {
+            let config = ServerConfig {
+                workers: 1,
+                qos: Some(QosConfig::default()),
+                trace: trace.clone(),
+                ..ServerConfig::default()
+            };
+            let store = populate_server(config, 256, 64);
+            lookahead.get_or_insert_with(|| store.server.model().cross_lane_lookahead());
+            let shared = MuxQp::connect(store.server.rnic().clone(), TENANTS);
+            let clients = (0..TENANTS)
+                .map(|_| {
+                    CormClient::connect_mux(store.server.clone(), shared.attach().expect("attach"))
+                })
+                .collect();
+            let mut rng = corm_sim_core::rng::stream_rng(SEED, 0x21F1 ^ l as u64);
+            let keys = (0..OPS).map(|_| rand::Rng::gen_range(&mut rng, 0..256)).collect();
+            let state = LaneState {
+                clients,
+                ptrs: store.ptrs,
+                keys,
+                next: 0,
+                bptrs: Vec::with_capacity(DEPTH),
+                bufs: vec![vec![0u8; 64]; DEPTH],
+                clock: SimTime::ZERO,
+                fp: 0xcbf29ce484222325,
+            };
+            let mut lane = Lane::new(LaneId(l as u32), state);
+            lane.seal();
+            lane.seed(SimTime::ZERO, ());
+            lane
+        })
+        .collect();
+    let engine = LaneEngine::new(lookahead.expect("lanes exist"), threads);
+    engine.run(
+        &mut lanes,
+        |st: &mut LaneState, _at, (), ctx| {
+            let end = (st.next + DEPTH).min(st.keys.len());
+            st.bptrs.clear();
+            st.bptrs.extend(st.keys[st.next..end].iter().map(|&k| st.ptrs[k]));
+            let n = end - st.next;
+            let turn = st.next / DEPTH;
+            let client = &mut st.clients[turn % TENANTS];
+            let tb = client
+                .read_batch(&mut st.bptrs, &mut st.bufs[..n], st.clock)
+                .expect("mux batch read");
+            st.clock += tb.cost;
+            st.fp = mix(st.fp, st.clock.as_nanos());
+            st.next = end;
+            if st.next < st.keys.len() {
+                ctx.schedule(st.clock, ());
+            }
+        },
+        |_| {},
+        |_, _, ()| {},
+    );
+    lanes.iter().fold(0xcbf29ce484222325, |fp, l| mix(fp, l.state.fp))
+}
+
+#[test]
+fn fig12_shaped_lanes_are_executor_width_invariant() {
+    let reference = fig12_shaped_fingerprint(WIDTHS[0]);
+    for w in &WIDTHS[1..] {
+        assert_eq!(
+            fig12_shaped_fingerprint(*w),
+            reference,
+            "fig12-shaped lane fingerprint diverged at {w} threads"
+        );
+    }
+}
+
+#[test]
+fn fig21_shaped_lanes_are_executor_width_invariant() {
+    let reference = fig21_shaped_fingerprint(WIDTHS[0]);
+    for w in &WIDTHS[1..] {
+        assert_eq!(
+            fig21_shaped_fingerprint(*w),
+            reference,
+            "fig21-shaped lane fingerprint diverged at {w} threads"
+        );
+    }
+}

@@ -74,6 +74,10 @@ impl Default for ClientConfig {
 /// the Fig. 21 scale mode. Both expose the same verb surface, and the
 /// dedicated arm delegates straight to [`QueuePair`], so a client built
 /// without mux behaves bit-identically to one predating this enum.
+// A client embeds exactly one `Conn` — never collections of them — so the
+// Own/Mux size disparity wastes nothing, while boxing the QP would put an
+// indirection on every verb.
+#[allow(clippy::large_enum_variant)]
 enum Conn {
     /// A dedicated queue pair owned by this client.
     Own(QueuePair),
@@ -668,7 +672,10 @@ impl CormClient {
             return Ok(Timed::new(lens, SimDuration::ZERO));
         }
         let op = self.begin_op();
-        let model = self.server.model().clone();
+        // Clone the Arc, not the ~400-byte model: the reference must
+        // outlive mutable borrows of the batch scratch fields below.
+        let server = Arc::clone(&self.server);
+        let model = server.model();
         let mut total = SimDuration::ZERO;
         let mut clock = now;
         let mut reconnects = 0usize;
@@ -837,7 +844,10 @@ impl CormClient {
             return Err(CormError::PayloadTooLarge(data.len()));
         }
         let op = self.begin_op();
-        let model = self.server.model().clone();
+        // Clone the Arc, not the ~400-byte model: the reference must
+        // outlive mutable borrows of the batch scratch fields below.
+        let server = Arc::clone(&self.server);
+        let model = server.model();
         let mut total = SimDuration::ZERO;
         let mut clock = now;
         let mut reconnects = 0usize;

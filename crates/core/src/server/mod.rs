@@ -106,6 +106,16 @@ pub struct ServerConfig {
     /// are byte-identical to builds predating QoS. Propagated into the
     /// RNIC's config unless that config carries its own `qos`.
     pub qos: Option<QosConfig>,
+    /// Execution lanes for windowed lane-parallel simulation. At `1` (the
+    /// default) the node runs the exact classic code path. Above `1`: the
+    /// RNIC is partitioned into this many lanes (per-lane fault streams,
+    /// lane-pinned engine dispatch — see
+    /// [`RnicConfig::lanes`](corm_sim_rdma::RnicConfig)), and the threaded
+    /// server's workers batch their shared-clock advances into
+    /// lookahead-bounded windows committed per lane instead of per op.
+    /// Propagated into the RNIC's config unless that config already asks
+    /// for multiple lanes itself.
+    pub sim_lanes: usize,
     /// Root seed for object-ID generation.
     pub seed: u64,
     /// Trace recorder for the node. Disabled by default; recording is
@@ -131,6 +141,7 @@ impl Default for ServerConfig {
             compaction_budget: None,
             batch_mtt_sync: false,
             qos: None,
+            sim_lanes: 1,
             seed: 0xC0_4D,
             trace: TraceHandle::disabled(),
         }
@@ -280,6 +291,9 @@ impl CormServer {
         }
         if rnic_config.qos.is_none() {
             rnic_config.qos = config.qos.clone();
+        }
+        if rnic_config.lanes <= 1 {
+            rnic_config.lanes = config.sim_lanes.max(1);
         }
         let rnic = Arc::new(Rnic::new(aspace.clone(), rnic_config));
         if config.mtt_strategy.needs_odp() {

@@ -85,11 +85,18 @@ pub enum Stage {
     /// A worker stealing queued work from a sibling's class queue
     /// (counter; stealing itself is free).
     QosSteal,
+    /// One lane's safe execution window under windowed lane-parallel
+    /// execution: the virtual span `[open, committed)` the lane drained
+    /// before its clock advance was published.
+    LaneWindow,
+    /// A lane committing its window to the shared timeline (counter;
+    /// the commit itself is free in virtual time).
+    LaneCommit,
 }
 
 impl Stage {
     /// Number of stages (sizes the recorder's counter arrays).
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 31;
 
     /// Every stage, in declaration order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -122,6 +129,8 @@ impl Stage {
         Stage::CompactionYield,
         Stage::QosClassWait,
         Stage::QosSteal,
+        Stage::LaneWindow,
+        Stage::LaneCommit,
     ];
 
     /// Dense index for counter arrays.
@@ -161,6 +170,8 @@ impl Stage {
             Stage::CompactionYield => "compaction_yield",
             Stage::QosClassWait => "qos_class_wait",
             Stage::QosSteal => "qos_steal",
+            Stage::LaneWindow => "lane_window",
+            Stage::LaneCommit => "lane_commit",
         }
     }
 
@@ -195,6 +206,8 @@ pub enum Track {
     Worker(u32),
     /// The compaction leader's timeline.
     Compaction,
+    /// One execution lane's windowed timeline.
+    Lane(u32),
 }
 
 impl Track {
@@ -206,6 +219,7 @@ impl Track {
             Track::Compaction => 3,
             Track::EngineUnit(u) => 16 + u as u64,
             Track::Worker(w) => 4096 + w as u64,
+            Track::Lane(l) => 65536 + l as u64,
         }
     }
 
@@ -217,6 +231,7 @@ impl Track {
             Track::Compaction => "compaction".to_string(),
             Track::EngineUnit(u) => format!("engine-unit-{u}"),
             Track::Worker(w) => format!("worker-{w}"),
+            Track::Lane(l) => format!("lane-{l}"),
         }
     }
 }
@@ -268,6 +283,8 @@ mod tests {
             Track::EngineUnit(7),
             Track::Worker(0),
             Track::Worker(63),
+            Track::Lane(0),
+            Track::Lane(7),
         ];
         let mut tids: Vec<u64> = tracks.iter().map(|t| t.tid()).collect();
         tids.sort_unstable();

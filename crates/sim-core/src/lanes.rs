@@ -1,0 +1,463 @@
+//! Conservative lane-parallel discrete-event execution.
+//!
+//! A *lane* is an independently clocked partition of the simulation — an
+//! RNIC engine unit, an RPC worker, an MTT shard's traffic — holding its
+//! own calendar queue ([`EventQueue`]). Lanes interact only by *sending*
+//! events to each other, and every cross-lane send takes at least the
+//! engine's **lookahead** of virtual time to land (in the RDMA stack the
+//! doorbell cost — the NP-RDMA anchor — is such a hard minimum). That
+//! bound is exactly what a conservative (Chandy–Misra–Bryant-style)
+//! parallel engine needs: if the earliest pending event on any lane that
+//! can still send is at `t_open`, then no lane can receive anything new
+//! before `horizon = t_open + lookahead`, so every lane may execute its
+//! events in `[now, horizon)` in parallel without ever seeing a message
+//! from the "future".
+//!
+//! Determinism does not come from the thread schedule — it comes from
+//! *intrinsic ordering keys*. Every event carries a key that is a pure
+//! function of its origin: locally scheduled events use the lane's own
+//! insertion counter (top bit clear), cross-lane deliveries use
+//! `(1 << 63) | (source lane << 47) | source send counter`. Equal-time
+//! events therefore pop in an order that no thread interleaving can
+//! perturb, and the per-lane commit journals merge into one global
+//! `(at, lane, seq)` order that is byte-identical whether the window ran
+//! on one thread or eight, and whether the lookahead was wide or
+//! artificially shrunk (the *torn-window* invariant the property tests
+//! pin).
+//!
+//! A lane that statically never sends can be *sealed*
+//! ([`Lane::seal`]). Sealed lanes don't constrain the horizon; when every
+//! lane with pending events is sealed the horizon is unbounded and the
+//! whole remaining simulation drains in a single window — the fast path
+//! for embarrassingly separable workloads.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Cross-lane deliveries set this bit in their ordering key, placing them
+/// after same-instant local events deterministically.
+const DELIVERY_BIT: u64 = 1 << 63;
+
+/// Bits reserved for the source lane's send counter in a delivery key.
+const SEND_SEQ_BITS: u32 = 47;
+
+/// Identifies one lane. The scheduler derives these from engine unit /
+/// RPC worker / MTT shard indices; the engine only requires them to be
+/// dense indices into the lane slice passed to [`LaneEngine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId(pub u32);
+
+/// One lane: user state `S`, a calendar queue of pending events `E`, and
+/// the window-scoped buffers (outbox of cross-lane sends, journal of
+/// committed records `T`).
+#[derive(Debug)]
+pub struct Lane<S, E, T> {
+    id: LaneId,
+    /// The lane's simulation state, handed mutably to the handler.
+    pub state: S,
+    queue: EventQueue<E>,
+    sealed: bool,
+    local_seq: u64,
+    send_seq: u64,
+    commit_seq: u64,
+    outbox: Vec<(SimTime, LaneId, u64, E)>,
+    journal: Vec<(SimTime, u64, T)>,
+}
+
+impl<S, E, T> Lane<S, E, T> {
+    /// Creates lane `id` wrapping `state`, with an empty queue.
+    pub fn new(id: LaneId, state: S) -> Self {
+        Lane {
+            id,
+            state,
+            queue: EventQueue::new(),
+            sealed: false,
+            local_seq: 0,
+            send_seq: 0,
+            commit_seq: 0,
+            outbox: Vec::new(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// The lane's identifier.
+    pub fn id(&self) -> LaneId {
+        self.id
+    }
+
+    /// Declares that this lane never sends cross-lane. Sealed lanes don't
+    /// bound the safe window, so an all-sealed run drains in one window;
+    /// a send from a sealed lane panics.
+    pub fn seal(&mut self) -> &mut Self {
+        self.sealed = true;
+        self
+    }
+
+    /// Schedules an initial event before the run starts (or between runs).
+    pub fn seed(&mut self, at: SimTime, event: E) {
+        let key = self.local_seq;
+        self.local_seq += 1;
+        self.queue.schedule_keyed(at, key, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The handler's view of its lane during one event: schedule more local
+/// work, send to other lanes (≥ lookahead ahead), or commit a record into
+/// the globally ordered journal.
+#[derive(Debug)]
+pub struct LaneCtx<'a, E, T> {
+    lane: LaneId,
+    at: SimTime,
+    horizon: SimTime,
+    sealed: bool,
+    queue: &'a mut EventQueue<E>,
+    local_seq: &'a mut u64,
+    send_seq: &'a mut u64,
+    commit_seq: &'a mut u64,
+    outbox: &'a mut Vec<(SimTime, LaneId, u64, E)>,
+    journal: &'a mut Vec<(SimTime, u64, T)>,
+}
+
+impl<E, T> LaneCtx<'_, E, T> {
+    /// The lane being executed.
+    pub fn lane(&self) -> LaneId {
+        self.lane
+    }
+
+    /// The current event's timestamp.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Schedules a lane-local follow-up event. May land inside the current
+    /// window — lane-local causality is preserved by the queue itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the lane's current time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let key = *self.local_seq;
+        *self.local_seq += 1;
+        self.queue.schedule_keyed(at, key, event);
+    }
+
+    /// Sends `event` to lane `dst` at `at`. Buffered until the window
+    /// barrier, then delivered with an intrinsic `(source lane, send
+    /// counter)` ordering key, so delivery order never depends on thread
+    /// timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this lane is sealed, or if `at` lands before the window's
+    /// horizon — that send would violate the conservative lookahead bound
+    /// the parallel schedule is built on.
+    pub fn send(&mut self, dst: LaneId, at: SimTime, event: E) {
+        assert!(!self.sealed, "lane {:?} is sealed but tried to send", self.lane);
+        assert!(
+            at >= self.horizon,
+            "cross-lane send at {at} lands before the window horizon {}: \
+             the declared lookahead is not a true minimum",
+            self.horizon,
+        );
+        let seq = *self.send_seq;
+        *self.send_seq += 1;
+        self.outbox.push((at, dst, seq, event));
+    }
+
+    /// Commits `value` at the current event's time into the lane journal;
+    /// after the window barrier all journals merge in `(at, lane, seq)`
+    /// order and reach the engine's commit observer.
+    pub fn commit(&mut self, value: T) {
+        let seq = *self.commit_seq;
+        *self.commit_seq += 1;
+        self.journal.push((self.at, seq, value));
+    }
+}
+
+/// Per-window telemetry handed to the window observer.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStats {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Earliest pending event time when the window opened.
+    pub open: SimTime,
+    /// Exclusive end of the safe window ([`SimTime::MAX`] when unbounded).
+    pub horizon: SimTime,
+    /// Events executed across all lanes in this window.
+    pub executed: u64,
+    /// Cross-lane events delivered at the window barrier.
+    pub delivered: u64,
+}
+
+/// The conservative windowed executor. `lookahead` must be a true lower
+/// bound on every cross-lane latency; `threads` only chooses how many OS
+/// threads drain lanes concurrently and never affects results.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneEngine {
+    lookahead: SimDuration,
+    threads: usize,
+}
+
+impl LaneEngine {
+    /// Creates an engine with the given lookahead and executor width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero — a zero lookahead admits no parallel
+    /// window at all (and would loop forever).
+    pub fn new(lookahead: SimDuration, threads: usize) -> Self {
+        assert!(lookahead > SimDuration::ZERO, "lane lookahead must be positive");
+        LaneEngine { lookahead, threads: threads.max(1) }
+    }
+
+    /// Runs the lanes to quiescence.
+    ///
+    /// Per window: compute `horizon = t_open + lookahead` over unsealed
+    /// lanes (unbounded if only sealed lanes still hold events), drain
+    /// every lane's events in `[its now, horizon)` — in parallel when
+    /// `threads > 1` — then, at the barrier, deliver buffered sends with
+    /// intrinsic keys and merge the commit journals in `(at, lane, seq)`
+    /// order into `on_commit`. `on_window` observes each window after its
+    /// barrier (trace recorders hang off this).
+    pub fn run<S, E, T>(
+        &self,
+        lanes: &mut [Lane<S, E, T>],
+        handler: impl Fn(&mut S, SimTime, E, &mut LaneCtx<'_, E, T>) + Sync,
+        mut on_window: impl FnMut(&WindowStats),
+        mut on_commit: impl FnMut(SimTime, LaneId, T),
+    ) where
+        S: Send,
+        E: Send,
+        T: Send,
+    {
+        let mut index = 0u64;
+        loop {
+            let open = match lanes.iter().filter_map(|l| l.queue.peek_time()).min() {
+                Some(t) => t,
+                None => return,
+            };
+            let horizon = lanes
+                .iter()
+                .filter(|l| !l.sealed)
+                .filter_map(|l| l.queue.peek_time())
+                .min()
+                .map_or(SimTime::MAX, |t| t + self.lookahead);
+
+            // Drain phase: lanes are data-independent inside the window.
+            let threads = self.threads.min(lanes.len()).max(1);
+            let executed = if threads == 1 {
+                let mut n = 0u64;
+                for lane in lanes.iter_mut() {
+                    n += drain_lane(lane, horizon, &handler);
+                }
+                n
+            } else {
+                let chunk = lanes.len().div_ceil(threads);
+                let handler = &handler;
+                std::thread::scope(|scope| {
+                    let mut joins = Vec::with_capacity(threads);
+                    for part in lanes.chunks_mut(chunk) {
+                        // Idle partitions skip the spawn entirely.
+                        if part.iter().any(|l| l.queue.peek_time().is_some_and(|t| t < horizon)) {
+                            joins.push(scope.spawn(move || {
+                                let mut n = 0u64;
+                                for lane in part {
+                                    n += drain_lane(lane, horizon, &handler);
+                                }
+                                n
+                            }));
+                        }
+                    }
+                    joins.into_iter().map(|j| j.join().expect("lane drain panicked")).sum()
+                })
+            };
+
+            // Barrier: deliver cross-lane sends with intrinsic keys. Lane
+            // iteration order is fixed and each outbox is in deterministic
+            // (execution) order, so scheduling order — and therefore queue
+            // internals — never depends on the thread schedule either.
+            let mut delivered = 0u64;
+            for src in 0..lanes.len() {
+                let outbox = std::mem::take(&mut lanes[src].outbox);
+                let src_id = lanes[src].id;
+                for (at, dst, seq, event) in outbox {
+                    assert!(seq < 1 << SEND_SEQ_BITS, "send counter overflow");
+                    let key = DELIVERY_BIT | ((src_id.0 as u64) << SEND_SEQ_BITS) | seq;
+                    lanes[dst.0 as usize].queue.schedule_keyed(at, key, event);
+                    delivered += 1;
+                }
+            }
+
+            // Commit phase: one global (at, lane, seq) order.
+            let mut commits: Vec<(SimTime, LaneId, u64, T)> = Vec::new();
+            for lane in lanes.iter_mut() {
+                let id = lane.id;
+                commits.extend(lane.journal.drain(..).map(|(at, seq, v)| (at, id, seq, v)));
+            }
+            commits.sort_by_key(|&(at, lane, seq, _)| (at, lane, seq));
+            for (at, lane, _, v) in commits {
+                on_commit(at, lane, v);
+            }
+
+            on_window(&WindowStats { index, open, horizon, executed, delivered });
+            index += 1;
+        }
+    }
+}
+
+/// Drains one lane's events in `[now, horizon)`.
+fn drain_lane<S, E, T>(
+    lane: &mut Lane<S, E, T>,
+    horizon: SimTime,
+    handler: &(impl Fn(&mut S, SimTime, E, &mut LaneCtx<'_, E, T>) + Sync),
+) -> u64 {
+    let mut n = 0u64;
+    while let Some((at, event)) = lane.queue.pop_before(horizon) {
+        let mut ctx = LaneCtx {
+            lane: lane.id,
+            at,
+            horizon,
+            sealed: lane.sealed,
+            queue: &mut lane.queue,
+            local_seq: &mut lane.local_seq,
+            send_seq: &mut lane.send_seq,
+            commit_seq: &mut lane.commit_seq,
+            outbox: &mut lane.outbox,
+            journal: &mut lane.journal,
+        };
+        handler(&mut lane.state, at, event, &mut ctx);
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong pair plus a sealed bystander: checks window structure,
+    /// delivery, and that results don't depend on thread count.
+    fn ping_pong(threads: usize) -> (Vec<(u64, u32, u64)>, u64) {
+        const HOP: SimDuration = SimDuration::from_nanos(400);
+        let mut lanes: Vec<Lane<u64, u64, u64>> =
+            (0..3).map(|i| Lane::new(LaneId(i), 0u64)).collect();
+        lanes[2].seal();
+        lanes[0].seed(SimTime::from_nanos(100), 1);
+        for i in 0..8 {
+            lanes[2].seed(SimTime::from_nanos(50 + i * 333), 1000 + i);
+        }
+        let engine = LaneEngine::new(SimDuration::from_nanos(250), threads);
+        let mut commits = Vec::new();
+        let mut windows = 0u64;
+        engine.run(
+            &mut lanes,
+            |state, at, ev, ctx| {
+                *state += ev;
+                ctx.commit(ev);
+                // Lanes 0/1 ping-pong 10 hops; lane 2 only absorbs.
+                if ctx.lane().0 < 2 && ev < 10 {
+                    let dst = LaneId(1 - ctx.lane().0);
+                    ctx.send(dst, at + HOP, ev + 1);
+                }
+            },
+            |w| {
+                assert!(w.horizon > w.open);
+                windows += 1;
+            },
+            |at, lane, v| commits.push((at.as_nanos(), lane.0, v)),
+        );
+        assert_eq!(lanes[0].state + lanes[1].state, (1..=10).sum::<u64>());
+        (commits, windows)
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let (c1, w1) = ping_pong(1);
+        let (c2, w2) = ping_pong(2);
+        let (c8, w8) = ping_pong(8);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, c8);
+        assert_eq!(w1, w2);
+        assert_eq!(w1, w8);
+        // The ping-pong takes 10 hops of 400 ns with 250 ns lookahead:
+        // definitely more than one window.
+        assert!(w1 > 5, "expected many windows, got {w1}");
+    }
+
+    #[test]
+    fn all_sealed_lanes_drain_in_one_window() {
+        let mut lanes: Vec<Lane<u64, u64, ()>> =
+            (0..4).map(|i| Lane::new(LaneId(i), 0u64)).collect();
+        for lane in lanes.iter_mut() {
+            lane.seal();
+            for j in 0..100 {
+                lane.seed(SimTime::from_nanos(j * 997), 1);
+            }
+        }
+        let engine = LaneEngine::new(SimDuration::from_nanos(250), 4);
+        let mut windows = Vec::new();
+        engine.run(&mut lanes, |state, _, ev, _| *state += ev, |w| windows.push(*w), |_, _, ()| {});
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].horizon, SimTime::MAX);
+        assert_eq!(windows[0].executed, 400);
+        assert!(lanes.iter().all(|l| l.state == 100));
+    }
+
+    #[test]
+    fn commit_order_is_global_time_lane_seq() {
+        let mut lanes: Vec<Lane<(), u64, u64>> = (0..3).map(|i| Lane::new(LaneId(i), ())).collect();
+        // Same-instant commits across lanes: order must be by lane id.
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            lane.seal();
+            lane.seed(SimTime::from_nanos(500), 10 + i as u64);
+            lane.seed(SimTime::from_nanos(100 * (3 - i as u64)), i as u64);
+        }
+        let engine = LaneEngine::new(SimDuration::from_nanos(100), 2);
+        let mut commits = Vec::new();
+        engine.run(
+            &mut lanes,
+            |_, _, ev, ctx| ctx.commit(ev),
+            |_| {},
+            |at, lane, v| commits.push((at.as_nanos(), lane.0, v)),
+        );
+        // Times 100 (lane2), 200 (lane1), 300 (lane0), then 500 on every
+        // lane in lane order.
+        assert_eq!(
+            commits,
+            vec![(100, 2, 2), (200, 1, 1), (300, 0, 0), (500, 0, 10), (500, 1, 11), (500, 2, 12)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn sealed_lane_sending_panics() {
+        let mut lanes: Vec<Lane<(), u64, ()>> = (0..2).map(|i| Lane::new(LaneId(i), ())).collect();
+        lanes[0].seal();
+        lanes[0].seed(SimTime::from_nanos(10), 1);
+        LaneEngine::new(SimDuration::from_nanos(100), 1).run(
+            &mut lanes,
+            |_, at, ev, ctx| ctx.send(LaneId(1), at + SimDuration::from_nanos(500), ev),
+            |_| {},
+            |_, _, ()| {},
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before the window horizon")]
+    fn send_inside_window_panics() {
+        let mut lanes: Vec<Lane<(), u64, ()>> = (0..2).map(|i| Lane::new(LaneId(i), ())).collect();
+        lanes[0].seed(SimTime::from_nanos(10), 1);
+        LaneEngine::new(SimDuration::from_nanos(100), 1).run(
+            &mut lanes,
+            // 50 ns hop < 100 ns lookahead: the conservative bound is violated.
+            |_, at, ev, ctx| ctx.send(LaneId(1), at + SimDuration::from_nanos(50), ev),
+            |_| {},
+            |_, _, ()| {},
+        );
+    }
+}

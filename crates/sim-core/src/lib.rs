@@ -8,6 +8,8 @@
 //! - [`SimTime`] / [`SimDuration`]: a nanosecond-resolution virtual clock.
 //! - [`EventQueue`]: a monotonic future-event list used to drive closed-loop
 //!   client simulations (YCSB, throughput timelines).
+//! - [`lanes`]: conservative lane-parallel windowed execution on top of
+//!   per-lane event queues, deterministic regardless of thread count.
 //! - [`FifoResource`]: a multi-server FIFO queueing resource used to model
 //!   server worker pools and the RNIC inbound engine.
 //! - [`rng`]: seeded, reproducible random number utilities.
@@ -20,6 +22,7 @@
 //! calls produce bit-identical results, which the test suite relies on.
 
 pub mod hash;
+pub mod lanes;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -27,6 +30,7 @@ pub mod stats;
 pub mod time;
 
 pub use hash::{FastBuildHasher, FastHashMap, FastHasher};
+pub use lanes::{Lane, LaneCtx, LaneEngine, LaneId, WindowStats};
 pub use queue::EventQueue;
 pub use resource::FifoResource;
 pub use stats::{Histogram, OnlineStats, TimeSeries};

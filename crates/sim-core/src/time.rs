@@ -22,6 +22,10 @@ impl SimTime {
     /// The origin of the simulation timeline.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far end of the timeline — later than every reachable instant.
+    /// Used as the "unbounded" horizon by windowed lane execution.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates an instant `ns` nanoseconds after the origin.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)

@@ -331,11 +331,19 @@ impl DmaSession<'_> {
             pos += n;
             out = &mut out[n..];
         }
-        while out.len() >= 8 {
-            let w = frame.data[pos / 8].load(Ordering::Relaxed);
-            out[..8].copy_from_slice(&w.to_le_bytes());
-            pos += 8;
-            out = &mut out[8..];
+        // Word-at-a-time so a concurrent `copy_frame` tears at u64
+        // granularity at most (the torn-read model); zipping aligned
+        // words against 8-byte output chunks hoists every bounds check
+        // out of the loop.
+        let whole = out.len() / 8;
+        if whole > 0 {
+            let words = &frame.data[pos / 8..pos / 8 + whole];
+            let (chunks, _) = out.as_chunks_mut::<8>();
+            for (w, dst) in words.iter().zip(chunks.iter_mut()) {
+                *dst = w.load(Ordering::Relaxed).to_le_bytes();
+            }
+            pos += whole * 8;
+            out = &mut out[whole * 8..];
         }
         if !out.is_empty() {
             let w = frame.data[pos / 8].load(Ordering::Relaxed).to_le_bytes();
@@ -367,11 +375,15 @@ impl DmaSession<'_> {
             pos += n;
             src = &src[n..];
         }
-        while src.len() >= 8 {
-            let w = u64::from_le_bytes(src[..8].try_into().expect("8-byte chunk"));
-            frame.data[pos / 8].store(w, Ordering::Relaxed);
-            pos += 8;
-            src = &src[8..];
+        let whole = src.len() / 8;
+        if whole > 0 {
+            let words = &frame.data[pos / 8..pos / 8 + whole];
+            let (chunks, _) = src.as_chunks::<8>();
+            for (w, s) in words.iter().zip(chunks.iter()) {
+                w.store(u64::from_le_bytes(*s), Ordering::Relaxed);
+            }
+            pos += whole * 8;
+            src = &src[whole * 8..];
         }
         if !src.is_empty() {
             store_partial(&frame.data[pos / 8], 0, src);

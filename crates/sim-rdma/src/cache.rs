@@ -21,9 +21,17 @@ struct Node<K, V> {
     value: V,
     prev: usize,
     next: usize,
+    stamp: u64,
 }
 
 /// Fixed-capacity least-recently-used cache.
+///
+/// Until the cache first reaches capacity, recency is tracked as a
+/// monotonic stamp per node instead of splicing the intrusive list on
+/// every touch — eviction order is irrelevant while nothing can be
+/// evicted. The first insert that needs to evict sorts the live nodes by
+/// stamp into the list (exact LRU order) and the cache runs eagerly from
+/// then on. Externally the two regimes are indistinguishable.
 #[derive(Debug)]
 pub struct LruCache<K: Eq + Hash + Clone, V> {
     map: FastHashMap<K, usize>,
@@ -34,6 +42,8 @@ pub struct LruCache<K: Eq + Hash + Clone, V> {
     capacity: usize,
     hits: u64,
     misses: u64,
+    stamp: u64,
+    lazy: bool,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -53,6 +63,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             capacity,
             hits: 0,
             misses: 0,
+            stamp: 0,
+            lazy: true,
         }
     }
 
@@ -77,8 +89,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         match self.map.get(key).copied() {
             Some(idx) => {
                 self.hits += 1;
-                self.detach(idx);
-                self.attach_front(idx);
+                if self.lazy {
+                    self.stamp += 1;
+                    self.slab[idx].stamp = self.stamp;
+                } else {
+                    self.detach(idx);
+                    self.attach_front(idx);
+                }
                 Some(&self.slab[idx].value)
             }
             None => {
@@ -98,12 +115,20 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
-            self.detach(idx);
-            self.attach_front(idx);
+            if self.lazy {
+                self.stamp += 1;
+                self.slab[idx].stamp = self.stamp;
+            } else {
+                self.detach(idx);
+                self.attach_front(idx);
+            }
             return None;
         }
         let mut evicted = None;
         if self.map.len() == self.capacity {
+            if self.lazy {
+                self.materialize();
+            }
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
             self.detach(lru);
@@ -112,19 +137,41 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.free.push(lru);
             evicted = Some(old_key);
         }
+        self.stamp += 1;
+        let node = Node { key: key.clone(), value, prev: NIL, next: NIL, stamp: self.stamp };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.slab[i] = Node { key: key.clone(), value, prev: NIL, next: NIL };
+                self.slab[i] = node;
                 i
             }
             None => {
-                self.slab.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slab.push(node);
                 self.slab.len() - 1
             }
         };
         self.map.insert(key, idx);
-        self.attach_front(idx);
+        if !self.lazy {
+            self.attach_front(idx);
+        }
         evicted
+    }
+
+    /// Sorts the live nodes by stamp into the intrusive list and switches
+    /// to eager splicing. Called at most once between `clear`s, on the
+    /// first insert that has to evict.
+    fn materialize(&mut self) {
+        let mut live: Vec<usize> = self.map.values().copied().collect();
+        live.sort_unstable_by_key(|&idx| self.slab[idx].stamp);
+        self.head = NIL;
+        self.tail = NIL;
+        for idx in live {
+            // Ascending stamps: each attach pushes the previous front
+            // down, leaving the freshest stamp at the head (MRU).
+            self.slab[idx].prev = NIL;
+            self.slab[idx].next = NIL;
+            self.attach_front(idx);
+        }
+        self.lazy = false;
     }
 
     /// Removes `key` if present.
@@ -145,6 +192,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.stamp = 0;
+        self.lazy = true;
     }
 
     /// Lookups that hit.
@@ -254,6 +303,34 @@ mod tests {
         assert!(c.is_empty());
         c.insert(9, 9);
         assert_eq!(c.get(&9), Some(&9));
+    }
+
+    #[test]
+    fn lazy_regime_materializes_exact_lru_order() {
+        // Touch entries in a known order while under capacity (the lazy
+        // regime), then force the first eviction and check that the
+        // materialized list evicts in exactly the stamp order a fully
+        // eager cache would have produced.
+        let mut c = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i * 10);
+        }
+        // Recency after these touches, LRU..MRU: 1, 3, 0, 2.
+        c.get(&3);
+        c.get(&0);
+        c.get(&2);
+        assert_eq!(c.insert(100, 0), Some(1));
+        assert_eq!(c.insert(101, 0), Some(3));
+        assert_eq!(c.insert(102, 0), Some(0));
+        assert_eq!(c.insert(103, 0), Some(2));
+        // remove() while lazy must not corrupt the later transition.
+        let mut c = LruCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.remove(&1), Some(1));
+        c.insert(3, 3);
+        c.insert(4, 4); // fills to capacity: 2, 3, 4
+        assert_eq!(c.insert(5, 5), Some(2));
     }
 
     #[test]

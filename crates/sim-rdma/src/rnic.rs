@@ -12,9 +12,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use corm_sim_core::hash::FastHashMap;
+use corm_sim_core::lanes::LaneId;
 use corm_sim_core::resource::FifoResource;
 use corm_sim_core::time::{SimDuration, SimTime};
 use corm_sim_mem::{AddressSpace, DmaSession, FrameId, MemError, PAGE_SIZE};
@@ -144,6 +145,15 @@ pub struct RnicConfig {
     /// scheduler, and skewed weights buy latency-class isolation — see
     /// [`crate::sched`].
     pub qos: Option<QosConfig>,
+    /// Number of execution lanes the NIC is partitioned for (windowed
+    /// lane-parallel simulation). At `1` (the default) everything is
+    /// byte-identical to the classic NIC. Above `1`: fault draws come from
+    /// per-lane decorrelated RNG streams (lane 0 keeps the classic
+    /// stream), and lane-tagged doorbell batches are pinned to engine unit
+    /// `lane % processing_units` instead of the round-robin cursor, so
+    /// dispatch is a pure function of the lane rather than of wall-clock
+    /// arrival interleaving.
+    pub lanes: usize,
 }
 
 impl Default for RnicConfig {
@@ -157,6 +167,7 @@ impl Default for RnicConfig {
             mtt_shards: 8,
             trace: TraceHandle::disabled(),
             qos: None,
+            lanes: 1,
         }
     }
 }
@@ -185,6 +196,34 @@ struct RegionTable {
 struct MttShard {
     mtt: FastHashMap<u64, MttEntry>,
     cache: LruCache<u64, ()>,
+}
+
+/// Doorbell-batch-scoped MTT shard guards. The serve paths prescan which
+/// shards a batch's pages hash to and lock exactly those once, in
+/// ascending index order, instead of locking per page per WQE. Ascending
+/// acquisition gives concurrent batches one global order, and every other
+/// shard user (registration, rereg, advise, the single-verb path) holds at
+/// most one shard at a time, so no cycle is possible. Wall-clock-only: the
+/// guards serialize exactly the accesses the per-page locks would have,
+/// batch-at-a-time instead of page-at-a-time, and virtual time never
+/// depends on lock timing.
+struct ShardGuards<'a> {
+    guards: Vec<Option<MutexGuard<'a, MttShard>>>,
+}
+
+impl<'a> ShardGuards<'a> {
+    /// The held guard for shard `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prescan did not cover `idx` — the mask is computed
+    /// from the same request list the serve loop walks, so a miss is a
+    /// bug, not a recoverable state (locking late would break the
+    /// ascending-order invariant).
+    #[inline]
+    fn shard(&mut self, idx: usize) -> &mut MttShard {
+        self.guards[idx].as_mut().expect("shard prescan covered every page")
+    }
 }
 
 /// The outcome of a one-sided verb: end-to-end latency plus diagnostics.
@@ -241,7 +280,9 @@ pub struct Rnic {
     /// MTT + translation-cache shards, indexed by `vpn % shards.len()`.
     shards: Box<[Mutex<MttShard>]>,
     config: RnicConfig,
-    faults: Option<FaultInjector>,
+    /// Fault injectors, one per execution lane (a single injector — the
+    /// classic stream — when `RnicConfig::lanes` is 1).
+    faults: Option<Box<[FaultInjector]>>,
     /// Inbound verb engines, one per processing unit, each serving
     /// doorbell-batched WQEs in FIFO order. Unused when `sched` is on —
     /// the scheduler owns the engine capacity then.
@@ -266,7 +307,12 @@ impl fmt::Debug for Rnic {
 impl Rnic {
     /// Creates a NIC attached to `aspace`.
     pub fn new(aspace: Arc<AddressSpace>, config: RnicConfig) -> Self {
-        let faults = config.faults.clone().map(FaultInjector::new);
+        let n_lanes = config.lanes.max(1) as u32;
+        let faults = config.faults.clone().map(|cfg| {
+            (0..n_lanes)
+                .map(|lane| FaultInjector::for_lane(cfg.clone(), lane))
+                .collect::<Box<[_]>>()
+        });
         let n_shards = config.mtt_shards.max(1);
         // Split the cache budget evenly; every shard keeps at least one
         // entry so small caches still cache.
@@ -310,14 +356,64 @@ impl Rnic {
         &self.shards[(vpn % self.shards.len() as u64) as usize]
     }
 
-    /// The fault injector, if fault injection is enabled.
-    pub fn fault_injector(&self) -> Option<&FaultInjector> {
-        self.faults.as_ref()
+    /// Locks the MTT shards a doorbell batch will touch, once, in
+    /// ascending index order. `accesses` yields each WQE's `(va, len)`;
+    /// pages of requests that later fail region checks are harmlessly
+    /// over-approximated into the mask. Returns `None` when the NIC has
+    /// more shards than the 64-bit mask can name — callers then fall back
+    /// to per-page locking, the exact pre-batch behaviour.
+    fn lock_batch_shards(
+        &self,
+        accesses: impl Iterator<Item = (u64, usize)>,
+    ) -> Option<ShardGuards<'_>> {
+        let n = self.shards.len();
+        if n > 64 {
+            return None;
+        }
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut mask = 0u64;
+        for (va, len) in accesses {
+            let first = va / PAGE_SIZE as u64;
+            let last = (va + len.max(1) as u64 - 1) / PAGE_SIZE as u64;
+            if last - first + 1 >= n as u64 {
+                mask = full;
+            } else {
+                for vpn in first..=last {
+                    mask |= 1 << (vpn % n as u64);
+                }
+            }
+            if mask == full {
+                break;
+            }
+        }
+        let mut guards = Vec::with_capacity(n);
+        for (i, shard) in self.shards.iter().enumerate() {
+            guards.push(((mask >> i) & 1 == 1).then(|| shard.lock()));
+        }
+        Some(ShardGuards { guards })
     }
 
-    /// The replay log of injected faults (empty when injection is off).
+    /// The fault injector (lane 0's — the classic stream), if fault
+    /// injection is enabled.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults_for(LaneId(0))
+    }
+
+    /// The fault injector serving `lane`'s verb traffic, if injection is
+    /// enabled. Lanes beyond `RnicConfig::lanes` fold back modulo.
+    pub fn faults_for(&self, lane: LaneId) -> Option<&FaultInjector> {
+        self.faults.as_ref().map(|f| &f[lane.0 as usize % f.len()])
+    }
+
+    /// The replay log of injected faults on lane 0 (empty when injection
+    /// is off). Use [`Rnic::fault_log_for`] for other lanes.
     pub fn fault_log(&self) -> Vec<(u64, FaultKind)> {
-        self.faults.as_ref().map(|f| f.fired()).unwrap_or_default()
+        self.fault_log_for(LaneId(0))
+    }
+
+    /// The replay log of faults injected on `lane`'s stream.
+    pub fn fault_log_for(&self, lane: LaneId) -> Vec<(u64, FaultKind)> {
+        self.faults_for(lane).map(|f| f.fired()).unwrap_or_default()
     }
 
     /// The latency model in force.
@@ -572,7 +668,16 @@ impl Rnic {
     ///
     /// The batch is drained from `wqes`, leaving the (empty) vector's
     /// capacity for the caller to recycle into the send queue.
-    pub(crate) fn serve_batch(&self, wqes: &mut Vec<Wqe>, now: SimTime) -> Vec<Completion> {
+    /// The batch carries an execution-lane tag: faults draw from `lane`'s
+    /// injector stream and, when the NIC is configured with `lanes > 1`,
+    /// engine dispatch pins to `lane % processing_units`. Lane 0 on a
+    /// single-lane NIC is exactly the classic untagged path.
+    pub(crate) fn serve_batch_on(
+        &self,
+        lane: LaneId,
+        wqes: &mut Vec<Wqe>,
+        now: SimTime,
+    ) -> Vec<Completion> {
         let model = &self.config.model;
         let arrival = now + model.doorbell_cost;
         self.stats.doorbells.fetch_add(1, Ordering::Relaxed);
@@ -587,7 +692,15 @@ impl Rnic {
         let mut sched = self.sched.as_ref().map(|s| s.lock());
         let mut single_engine =
             (sched.is_none() && self.engines.len() == 1).then(|| self.engines[0].lock());
-        let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
+        let mut fault = self.faults_for(lane).map(|inj| inj.begin_block());
+        // Last in the lock order (regions -> sched/engine -> fault ->
+        // shards ascending): hold the batch's MTT shards for the whole
+        // doorbell instead of relocking per page.
+        let mut held = self.lock_batch_shards(wqes.iter().map(|w| match &w.op {
+            WqeOp::Read { va, len, .. } => (*va, *len),
+            WqeOp::Write { va, data, .. } => (*va, data.len()),
+        }));
+        let mut memo = None;
         let mut completions = Vec::with_capacity(wqes.len());
         let mut failed = false;
         let (mut n_wqes, mut n_reads, mut n_writes, mut bytes_read) = (0u64, 0u64, 0u64, 0u64);
@@ -602,6 +715,8 @@ impl Rnic {
                         &rt,
                         &dma,
                         &mut fault,
+                        &mut held,
+                        &mut memo,
                         rkey,
                         va,
                         len,
@@ -623,6 +738,8 @@ impl Rnic {
                             &rt,
                             &dma,
                             &mut fault,
+                            &mut held,
+                            &mut memo,
                             rkey,
                             va,
                             len,
@@ -658,7 +775,7 @@ impl Rnic {
                             (adm.done, adm.unit)
                         }
                         (None, Some(engine)) => (engine.admit(arrival, service), 0),
-                        (None, None) => self.dispatch(arrival, service),
+                        (None, None) => self.dispatch(lane, arrival, service),
                     };
                     self.config.trace.span(
                         Track::EngineUnit(unit as u32),
@@ -704,16 +821,17 @@ impl Rnic {
         completions
     }
 
-    /// The synchronous twin of [`Rnic::serve_batch`] for all-READ batches:
+    /// The synchronous twin of [`Rnic::serve_batch_on`] for all-READ batches:
     /// each payload DMAs straight into the caller's buffer (`outs[k]`,
     /// resized to the request's length) instead of staging through a pooled
     /// completion. Doorbell cost, per-request fault draws, engine
     /// admission, trace spans, and first-failure flush semantics are
-    /// identical to `serve_batch` WQE by WQE, so virtual-time results are
+    /// identical to `serve_batch_on` WQE by WQE, so virtual-time results are
     /// byte-for-byte the same as the queued path. Results are pushed in
     /// posting order and NOT sorted — the caller owns completion ordering.
-    pub(crate) fn serve_reads_into(
+    pub(crate) fn serve_reads_into_on(
         &self,
+        lane: LaneId,
         reqs: &[ReadReq],
         outs: &mut [Vec<u8>],
         now: SimTime,
@@ -728,7 +846,10 @@ impl Rnic {
         let mut sched = self.sched.as_ref().map(|s| s.lock());
         let mut single_engine =
             (sched.is_none() && self.engines.len() == 1).then(|| self.engines[0].lock());
-        let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
+        let mut fault = self.faults_for(lane).map(|inj| inj.begin_block());
+        // Same lock position as `serve_batch`: shards last, ascending.
+        let mut held = self.lock_batch_shards(reqs.iter().map(|r| (r.va, r.len)));
+        let mut memo = None;
         let (mut n_wqes, mut n_reads, mut bytes_read) = (0u64, 0u64, 0u64);
         let mut flush_from = None;
         for (k, req) in reqs.iter().enumerate() {
@@ -739,6 +860,8 @@ impl Rnic {
                 &rt,
                 &dma,
                 &mut fault,
+                &mut held,
+                &mut memo,
                 req.rkey,
                 req.va,
                 req.len,
@@ -768,7 +891,7 @@ impl Rnic {
                             (adm.done, adm.unit)
                         }
                         (None, Some(engine)) => (engine.admit(arrival, service), 0),
-                        (None, None) => self.dispatch(arrival, service),
+                        (None, None) => self.dispatch(lane, arrival, service),
                     };
                     self.config.trace.span(
                         Track::EngineUnit(unit as u32),
@@ -809,12 +932,19 @@ impl Rnic {
         }
     }
 
-    /// Admits one WQE's engine service, dispatching round-robin across the
-    /// NIC's processing units. With one unit this is exactly the
-    /// single-engine FIFO admission. Returns the completion time and the
-    /// unit index that served the WQE (which names its trace track).
-    fn dispatch(&self, arrival: SimTime, service: SimDuration) -> (SimTime, usize) {
-        let unit = self.next_unit.fetch_add(1, Ordering::Relaxed) % self.engines.len();
+    /// Admits one WQE's engine service. On a single-lane NIC this is the
+    /// classic round-robin across processing units (with one unit, exactly
+    /// the single-engine FIFO admission). On a multi-lane NIC the unit is
+    /// `lane % processing_units` — a pure function of the lane, so
+    /// dispatch never depends on how parallel lanes interleave in wall
+    /// clock. Returns the completion time and the unit index that served
+    /// the WQE (which names its trace track).
+    fn dispatch(&self, lane: LaneId, arrival: SimTime, service: SimDuration) -> (SimTime, usize) {
+        let unit = if self.config.lanes > 1 {
+            lane.0 as usize % self.engines.len()
+        } else {
+            self.next_unit.fetch_add(1, Ordering::Relaxed) % self.engines.len()
+        };
         (self.engines[unit].lock().admit(arrival, service), unit)
     }
 
@@ -891,20 +1021,25 @@ impl Rnic {
     ) -> Result<(VerbOutcome, usize), RdmaError> {
         let rt = self.regions.read();
         let dma = self.aspace.phys().dma();
-        let mut fault = self.faults.as_ref().map(|inj| inj.begin_block());
-        self.access_locked(&rt, &dma, &mut fault, rkey, va, len, now, dir)
+        let mut fault = self.faults_for(LaneId(0)).map(|inj| inj.begin_block());
+        self.access_locked(&rt, &dma, &mut fault, &mut None, &mut None, rkey, va, len, now, dir)
     }
 
     /// The verb path proper, under a caller-held region-table snapshot,
     /// DMA session, and fault-draw block. The batched serve paths acquire
-    /// all three once per doorbell batch; the sequential
-    /// [`Rnic::read`]/[`Rnic::write`] wrappers acquire them per verb.
+    /// all three once per doorbell batch, plus batch-held shard guards in
+    /// `held` and a one-entry region memo in `memo` (valid because the
+    /// region snapshot is pinned and every WQE in a batch shares one
+    /// arrival time); the sequential [`Rnic::read`]/[`Rnic::write`]
+    /// wrappers pass `None` for both and acquire per verb.
     #[allow(clippy::too_many_arguments)]
     fn access_locked(
         &self,
         rt: &RegionTable,
         dma: &DmaSession<'_>,
         fault: &mut Option<FaultBlock<'_>>,
+        held: &mut Option<ShardGuards<'_>>,
+        memo: &mut Option<(u32, MemoryRegion)>,
         rkey: u32,
         va: u64,
         len: usize,
@@ -948,14 +1083,21 @@ impl Rnic {
                 None => {}
             }
         }
-        let mr = *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
-        if !rt.busy_until.is_empty() {
-            if let Some(&until) = rt.busy_until.get(&rkey) {
-                if now < until {
-                    return Err(RdmaError::RegionBusy(rkey));
+        let mr = match memo {
+            Some((k, mr)) if *k == rkey => *mr,
+            _ => {
+                let mr = *rt.regions.get(&rkey).ok_or(RdmaError::InvalidKey(rkey))?;
+                if !rt.busy_until.is_empty() {
+                    if let Some(&until) = rt.busy_until.get(&rkey) {
+                        if now < until {
+                            return Err(RdmaError::RegionBusy(rkey));
+                        }
+                    }
                 }
+                *memo = Some((rkey, mr));
+                mr
             }
-        }
+        };
         if !mr.covers(va, len) {
             return Err(RdmaError::OutOfRange { rkey, va, len });
         }
@@ -977,8 +1119,16 @@ impl Rnic {
         };
         let mut all_hit = true;
         let mut odp_misses = 0u32;
+        let n_shards = self.shards.len() as u64;
         for vpn in first_vpn..=last_vpn {
-            let mut shard = self.shard_of(vpn).lock();
+            let mut fresh;
+            let shard: &mut MttShard = match held {
+                Some(h) => h.shard((vpn % n_shards) as usize),
+                None => {
+                    fresh = self.shard_of(vpn).lock();
+                    &mut fresh
+                }
+            };
             if forced_miss {
                 // A forced MTT-cache-miss fault evicts the page's
                 // translation so the normal lookup below takes a genuine
