@@ -22,7 +22,8 @@
 use corm_bench::report::{f2, write_json, Table};
 use corm_bench::simspeed::{
     bench_json, committed_bench_path, host_cpus, parse_committed, run_fig12_cell, run_fig13_cell,
-    run_fig13_lanes_cell, run_fig21_cell, stage_profile, SpeedCell, LANES_CELL_THREADS,
+    run_fig13_lanes_cell, run_fig21_cell, run_fig22_cell, stage_profile, SpeedCell,
+    LANES_CELL_THREADS,
 };
 use corm_trace::TraceHandle;
 
@@ -67,6 +68,7 @@ fn main() {
     let fig12 = run_fig12_cell(&trace);
     let fig13 = run_fig13_cell(&trace);
     let fig21 = run_fig21_cell(&trace);
+    let fig22 = run_fig22_cell(&trace);
     let lanes: Vec<SpeedCell> =
         LANES_CELL_THREADS.iter().map(|&n| run_fig13_lanes_cell(n, &trace)).collect();
 
@@ -74,7 +76,7 @@ fn main() {
         format!("simspeed: simulator wall-clock speed (host_cpus={})", host_cpus()),
         &["workload", "events", "wall_ms", "events_per_sec", "wall_per_virt_sec"],
     );
-    for c in [&fig12, &fig13, &fig21].into_iter().chain(&lanes) {
+    for c in [&fig12, &fig13, &fig21, &fig22].into_iter().chain(&lanes) {
         t.row(&[
             c.workload.to_string(),
             c.events.to_string(),
@@ -114,7 +116,7 @@ fn main() {
             .or(committed.map(|c| c.heap_fig13_events_per_sec))
             .unwrap_or_else(|| fig13.events_per_sec()),
     );
-    let doc = bench_json(&fig12, &fig13, &fig21, &lanes, heap);
+    let doc = bench_json(&fig12, &fig13, &fig21, &fig22, &lanes, heap);
     let path = write_json("simspeed", &doc).expect("write results json");
     println!("\njson: {}", path.display());
     println!(
@@ -166,6 +168,13 @@ fn main() {
                  (refresh with --update)"
             ),
         }
+        match committed.fig22_events_per_sec {
+            Some(eps) => gate(&fig22, eps),
+            None => println!(
+                "smoke gate skipped for fig22: committed snapshot predates the tiering cell \
+                 (refresh with --update)"
+            ),
+        }
         // Determinism gate: the serial cells' fingerprints are a pure
         // function of the seed, so they must match the committed snapshot
         // bit for bit — any drift means the simulator's seeded behaviour
@@ -175,6 +184,7 @@ fn main() {
             (&fig12, committed.fig12_fingerprint),
             (&fig13, committed.fig13_fingerprint),
             (&fig21, committed.fig21_fingerprint),
+            (&fig22, committed.fig22_fingerprint),
         ] {
             match want {
                 Some(fp) => {
@@ -230,6 +240,7 @@ fn main() {
         profile_cell("fig12", run_fig12_cell);
         profile_cell("fig13", run_fig13_cell);
         profile_cell("fig21", run_fig21_cell);
+        profile_cell("fig22", run_fig22_cell);
         profile_cell("fig13_lanes_t4", |t| run_fig13_lanes_cell(4, t));
     }
 }

@@ -321,7 +321,7 @@ pub fn engine_metrics(rnic: &Rnic, qp: &QueuePair, elapsed: SimTime) -> Json {
             })
             .collect(),
     );
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .uint("doorbells", s.doorbells.load(Relaxed))
         .uint("wqes", s.wqes.load(Relaxed))
         .uint("engine_admitted", rnic.engine_admitted())
@@ -334,7 +334,48 @@ pub fn engine_metrics(rnic: &Rnic, qp: &QueuePair, elapsed: SimTime) -> Json {
         .uint("cq_depth_max", d.cq_depth_max)
         .field("qos_enabled", Json::Bool(rnic.qos_enabled()))
         .field("classes", classes)
-        .uint("qp_state_bytes", qp.state_bytes() as u64)
+        .uint("qp_state_bytes", qp.state_bytes() as u64);
+    // With a far tier attached, append residency gauges and the tier's
+    // traffic counters so oversubscription runs export both sides of the
+    // fault path: what the NIC saw (pin faults, hard misses) and what the
+    // tier moved (spills/fetches with byte volumes).
+    if let Some(tier) = rnic.tier() {
+        let res = rnic.aspace().phys().residency_counts();
+        let t = tier.stats();
+        obj = obj.field(
+            "tiering",
+            JsonObject::new()
+                .uint("frames_pinned", res.pinned)
+                .uint("frames_resident", res.resident)
+                .uint("frames_far", res.far)
+                .uint("spills", t.spills)
+                .uint("fetches", t.fetches)
+                .uint("pin_faults", t.pin_faults)
+                .uint("hard_misses", t.hard_misses)
+                .uint("bytes_spilled", t.bytes_spilled)
+                .uint("bytes_fetched", t.bytes_fetched)
+                .uint("nic_pin_faults", s.pin_faults.load(Relaxed))
+                .uint("nic_tier_fetches", s.tier_fetches.load(Relaxed))
+                .uint("nic_hard_misses", s.hard_misses.load(Relaxed))
+                .build(),
+        );
+    }
+    obj.build()
+}
+
+/// Server-side tiering state — the pin-budget manager's eviction and heat
+/// counters — as a JSON object, exported next to [`engine_metrics`] (which
+/// covers the NIC/tier side) by oversubscription runs. Returns an empty
+/// object when the server runs without a pin budget.
+pub fn tier_metrics(server: &corm_core::CormServer) -> Json {
+    let Some(t) = server.tiering() else {
+        return JsonObject::new().build();
+    };
+    let histogram = Json::Arr(t.heat_histogram().into_iter().map(Json::UInt).collect());
+    JsonObject::new()
+        .uint("pin_budget_frames", t.budget() as u64)
+        .uint("evictions", t.evictions())
+        .field("heat_histogram", histogram)
         .build()
 }
 

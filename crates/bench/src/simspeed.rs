@@ -79,6 +79,13 @@ pub const FIG21_TENANTS: usize = 4;
 /// fig21 cell: DirectReads issued (across all tenants).
 pub const FIG21_OPS: usize = 65_536;
 
+/// fig22 cell: DirectReads issued against the tiered pinless server.
+pub const FIG22_OPS: usize = 32_768;
+/// fig22 cell: oversubscription ratio (logical footprint / DRAM budget).
+pub const FIG22_RATIO: u64 = 2;
+/// fig22 cell: budget enforcement period, in doorbell batches.
+pub const FIG22_ENFORCE_EVERY: usize = 64;
+
 /// Lane cell: logical lanes in the lane-parallel fig13-shaped cell. The
 /// lane count is fixed; the executor width (`threads`) is what the
 /// published sweep varies, so every cell simulates the identical workload.
@@ -251,6 +258,70 @@ fn fig21_once(ops: usize, trace: &TraceHandle) -> (u64, SimDuration, u64, f64) {
     (events, clock.saturating_since(SimTime::ZERO), fp, wall_secs)
 }
 
+/// Runs the fig22-style tiered-serving cell once: a 2×-oversubscribed
+/// pinless server (NP-RDMA dynamic pinning over an NVMe-ish far tier)
+/// under the fig13-shaped batched DirectRead stream, with the pin budget
+/// enforced every [`FIG22_ENFORCE_EVERY`] batches — so the residency
+/// checks, NIC fault path, spill/fetch byte movement, and heat-ranked
+/// eviction are all on the measured hot path. The fingerprint folds the
+/// virtual clock after every batch plus the eviction order. Returns
+/// (events, virt, fingerprint, wall seconds).
+fn fig22_once(ops: usize, trace: &TraceHandle) -> (u64, SimDuration, u64, f64) {
+    use corm_sim_mem::TierConfig;
+    use corm_sim_rdma::{MttUpdateStrategy, RnicConfig};
+    let config = ServerConfig {
+        workers: 1,
+        mtt_strategy: MttUpdateStrategy::Rereg,
+        pin_budget_frames: Some(usize::MAX),
+        tier: Some(TierConfig::nvme()),
+        rnic: RnicConfig { dynamic_pin: true, ..RnicConfig::default() },
+        trace: trace.clone(),
+        ..ServerConfig::default()
+    };
+    let store = populate_server(config, FIG13_OBJECTS, FIG13_SIZE);
+    let server = &store.server;
+    let rnic = server.rnic().clone();
+    let (live, _) = server.block_frames();
+    assert!(server.set_pin_budget((live / FIG22_RATIO).max(1) as usize));
+    let mut clock = SimTime::ZERO;
+    server.enforce_pin_budget(clock).expect("initial enforcement");
+
+    let mut client = CormClient::connect(server.clone());
+    let mut rng = corm_sim_core::rng::root_rng(SEED);
+    let keys: Vec<usize> =
+        (0..ops).map(|_| rand::Rng::gen_range(&mut rng, 0..FIG13_OBJECTS)).collect();
+
+    let wqes0 = rnic.stats.wqes.load(Relaxed);
+    let mut fp = 0xcbf29ce484222325;
+    let mut bptrs: Vec<GlobalPtr> = Vec::with_capacity(FIG13_BATCH_DEPTH);
+    let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; FIG13_SIZE]; FIG13_BATCH_DEPTH];
+    let wall = Instant::now();
+    for (batch, chunk) in keys.chunks(FIG13_BATCH_DEPTH).enumerate() {
+        bptrs.clear();
+        bptrs.extend(chunk.iter().map(|&k| store.ptrs[k]));
+        let tb = client
+            .read_batch(&mut bptrs, &mut bufs[..chunk.len()], clock)
+            .expect("tiered batch read in speed cell");
+        debug_assert!(tb.value.iter().all(|&n| n == FIG13_SIZE));
+        clock += tb.cost;
+        fp = mix(fp, clock.as_nanos());
+        for &k in chunk {
+            server.note_access(&store.ptrs[k]);
+        }
+        if (batch + 1) % FIG22_ENFORCE_EVERY == 0 {
+            server.enforce_pin_budget(clock).expect("periodic enforcement");
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    if let Some(t) = server.tiering() {
+        for base in t.eviction_log() {
+            fp = mix(fp, base);
+        }
+    }
+    let events = rnic.stats.wqes.load(Relaxed) - wqes0;
+    (events, clock.saturating_since(SimTime::ZERO), fp, wall_secs)
+}
+
 /// Per-lane state of the lane-parallel fig13-shaped cell: one private
 /// server + client + key stream per lane, so lanes never share simulator
 /// state and can be sealed (the whole run drains in one safe window).
@@ -392,6 +463,13 @@ pub fn run_fig21_cell(trace: &TraceHandle) -> SpeedCell {
     c
 }
 
+/// Runs the fig22 tiered-serving cell, best-of-[`REPEATS`] wall clock.
+pub fn run_fig22_cell(trace: &TraceHandle) -> SpeedCell {
+    let mut c = best_of(REPEATS, || fig22_once(FIG22_OPS, trace));
+    c.workload = "fig22";
+    c
+}
+
 /// Runs the lane-parallel fig13-shaped cell at the given executor width,
 /// best-of-[`REPEATS`] wall clock. The fingerprint is identical for every
 /// `threads` value (same seed, same lanes — only the executor differs).
@@ -442,6 +520,9 @@ pub struct CommittedBench {
     /// fig21 mux-mode events/sec at commit time; `None` for snapshots
     /// published before the mux cell existed (the gate then skips it).
     pub fig21_events_per_sec: Option<f64>,
+    /// fig22 tiered-serving events/sec at commit time; `None` for
+    /// snapshots published before the tiering cell existed.
+    pub fig22_events_per_sec: Option<f64>,
     /// Pre-optimization `BinaryHeap` baseline, carried forward.
     pub heap_fig12_events_per_sec: f64,
     /// Pre-optimization `BinaryHeap` baseline, carried forward.
@@ -452,6 +533,8 @@ pub struct CommittedBench {
     pub fig13_fingerprint: Option<u64>,
     /// fig21 result fingerprint at commit time (`None` for old snapshots).
     pub fig21_fingerprint: Option<u64>,
+    /// fig22 result fingerprint at commit time (`None` for old snapshots).
+    pub fig22_fingerprint: Option<u64>,
 }
 
 /// Extracts the number following `"key":` after the first occurrence of
@@ -488,6 +571,7 @@ pub fn parse_committed(json: &str) -> Option<CommittedBench> {
         fig12_events_per_sec: extract_number(json, "\"fig12\"", "events_per_sec")?,
         fig13_events_per_sec: extract_number(json, "\"fig13\"", "events_per_sec")?,
         fig21_events_per_sec: extract_number(json, "\"fig21\"", "events_per_sec"),
+        fig22_events_per_sec: extract_number(json, "\"fig22\"", "events_per_sec"),
         heap_fig12_events_per_sec: extract_number(
             json,
             "\"baseline_heap\"",
@@ -501,6 +585,7 @@ pub fn parse_committed(json: &str) -> Option<CommittedBench> {
         fig12_fingerprint: extract_u64(json, "\"fig12\"", "fingerprint"),
         fig13_fingerprint: extract_u64(json, "\"fig13\"", "fingerprint"),
         fig21_fingerprint: extract_u64(json, "\"fig21\"", "fingerprint"),
+        fig22_fingerprint: extract_u64(json, "\"fig22\"", "fingerprint"),
     })
 }
 
@@ -527,6 +612,7 @@ pub fn bench_json(
     fig12: &SpeedCell,
     fig13: &SpeedCell,
     fig21: &SpeedCell,
+    fig22: &SpeedCell,
     lanes: &[SpeedCell],
     heap: (f64, f64),
 ) -> Json {
@@ -542,11 +628,14 @@ pub fn bench_json(
         .uint("fig12_clients", FIG12_CLIENTS as u64)
         .uint("fig21_ops", FIG21_OPS as u64)
         .uint("fig21_tenants", FIG21_TENANTS as u64)
+        .uint("fig22_ops", FIG22_OPS as u64)
+        .uint("fig22_ratio", FIG22_RATIO)
         .uint("seed", SEED)
         .uint("host_cpus", host_cpus() as u64)
         .field("fig12", fig12.json())
         .field("fig13", fig13.json())
         .field("fig21", fig21.json())
+        .field("fig22", fig22.json())
         .field("fig13_lanes", lanes_obj.build())
         .field(
             "baseline_heap",
@@ -625,6 +714,17 @@ mod tests {
         assert!(lane_window.3 > 0, "window drains accumulate wall time");
     }
 
+    /// The tiered pinless cell is seeded-deterministic end to end: costs,
+    /// fault counts (via the folded clock), and eviction order all replay.
+    #[test]
+    fn fig22_tiered_cell_replays_from_seed() {
+        let t = TraceHandle::disabled();
+        let (ea, va, fa, _) = fig22_once(2048, &t);
+        let (eb, vb, fb, _) = fig22_once(2048, &t);
+        assert_eq!((ea, va, fa), (eb, vb, fb), "tiered cell must replay from its seed");
+        assert_eq!(ea, 2048, "every key becomes exactly one WQE");
+    }
+
     #[test]
     fn fig12_cell_replays_from_seed() {
         let t = TraceHandle::disabled();
@@ -657,6 +757,13 @@ mod tests {
             virt: SimDuration::from_millis(300),
             fingerprint: 44,
         };
+        let d = SpeedCell {
+            workload: "fig22",
+            events: 1500,
+            wall_secs: 0.5,
+            virt: SimDuration::from_millis(300),
+            fingerprint: 46,
+        };
         let lanes = [
             SpeedCell {
                 workload: "fig13_lanes_t1",
@@ -673,7 +780,7 @@ mod tests {
                 fingerprint: 45,
             },
         ];
-        let doc = bench_json(&a, &b, &c, &lanes, (1000.0, 4000.0)).render();
+        let doc = bench_json(&a, &b, &c, &d, &lanes, (1000.0, 4000.0)).render();
         assert!(
             extract_number(&doc, "\"fig13_lanes_t4\"", "events_per_sec")
                 .is_some_and(|eps| (eps - 8000.0).abs() < 1e-9),
@@ -684,6 +791,8 @@ mod tests {
         assert!((parsed.fig12_events_per_sec - 2000.0).abs() < 1e-9);
         assert!((parsed.fig13_events_per_sec - 8000.0).abs() < 1e-9);
         assert!((parsed.fig21_events_per_sec.expect("fig21 present") - 6000.0).abs() < 1e-9);
+        assert!((parsed.fig22_events_per_sec.expect("fig22 present") - 3000.0).abs() < 1e-9);
+        assert_eq!(parsed.fig22_fingerprint, Some(46));
         assert!((parsed.heap_fig12_events_per_sec - 1000.0).abs() < 1e-9);
         assert!((parsed.heap_fig13_events_per_sec - 4000.0).abs() < 1e-9);
         assert_eq!(

@@ -39,11 +39,51 @@ const NODE_SHIFT: u8 = 4;
 
 impl GlobalPtr {
     /// The cluster node this pointer belongs to (upper nibble of flags).
+    ///
+    /// An untagged pointer reads as node 0, so single-node code never has
+    /// to think about tags:
+    ///
+    /// ```
+    /// use corm_core::{GlobalPtr, NodeId};
+    ///
+    /// let p = GlobalPtr { vaddr: 0x1000, rkey: 1, obj_id: 2, class: 3, flags: 0 };
+    /// assert_eq!(p.node(), NodeId(0));
+    /// ```
     pub fn node(&self) -> NodeId {
         NodeId(self.flags >> NODE_SHIFT)
     }
 
     /// Returns the pointer tagged as belonging to `node`.
+    ///
+    /// The tag round-trips through every addressable node and never
+    /// disturbs the low-nibble correction flags — the two halves of the
+    /// flag byte are independent:
+    ///
+    /// ```
+    /// use corm_core::{GlobalPtr, NodeId};
+    /// use corm_core::cluster::MAX_NODES;
+    ///
+    /// // Correction flags live in the low nibble; keep them set while the
+    /// // tag sweeps all 16 nodes.
+    /// let p = GlobalPtr { vaddr: 0x1000, rkey: 1, obj_id: 2, class: 3, flags: 0x0F };
+    /// for id in 0..MAX_NODES as u8 {
+    ///     let tagged = p.with_node(NodeId(id));
+    ///     assert_eq!(tagged.node(), NodeId(id));
+    ///     assert_eq!(tagged.flags & 0x0F, 0x0F, "correction flags survive tagging");
+    /// }
+    ///
+    /// // Re-tagging replaces the node without accumulating bits.
+    /// let hop = p.with_node(NodeId(15)).with_node(NodeId(3));
+    /// assert_eq!(hop.node(), NodeId(3));
+    /// assert_eq!(hop.flags, 0x3F);
+    /// ```
+    ///
+    /// ```should_panic
+    /// use corm_core::{GlobalPtr, NodeId};
+    ///
+    /// let p = GlobalPtr { vaddr: 0, rkey: 0, obj_id: 0, class: 0, flags: 0 };
+    /// p.with_node(NodeId(16)); // only 0..=15 fit in the nibble
+    /// ```
     pub fn with_node(mut self, node: NodeId) -> GlobalPtr {
         assert!((node.0 as usize) < MAX_NODES, "node id out of range");
         self.flags = (self.flags & 0x0F) | (node.0 << NODE_SHIFT);

@@ -139,9 +139,16 @@ impl CormServer {
         // Stage 2: plan the greedy merge pairing up front (least-utilized
         // sources into the most-utilized compatible destinations) and lay
         // it out on disjoint lanes. Planning is metadata-only and free.
-        candidates.sort_by_key(|b| b.lock().live());
+        // Under a pin budget the plan breaks live-count ties by heat, so
+        // hot blocks survive as destinations and stay pinned while cold
+        // blocks drain away — packing the working set under the budget.
         let lanes = self.config().compaction_lanes.max(1);
-        let plan = MergePlan::build(&candidates, lanes);
+        let plan = if let Some(t) = &self.tiering {
+            MergePlan::build_heat_aware(&mut candidates, lanes, |base| t.heat_of(base))
+        } else {
+            candidates.sort_by_key(|b| b.lock().live());
+            MergePlan::build(&candidates, lanes)
+        };
         let start = now + collection_cost;
         self.trace().span(Track::Compaction, Stage::CompactionPlan, pass, start, SimDuration::ZERO);
 
@@ -272,6 +279,14 @@ impl CormServer {
         scratch: &mut Vec<u8>,
     ) -> Result<MergeStats, CormError> {
         let model = self.model().clone();
+        // Spilled blocks must come back to DRAM before the CPU copies any
+        // bytes (the spill poisoned their frames); the fetch transfers are
+        // folded into the merge's cost below.
+        let mut tier_cost = SimDuration::ZERO;
+        if self.tiering.is_some() {
+            tier_cost += self.ensure_resident(src)?;
+            tier_cost += self.ensure_resident(dst)?;
+        }
         // Lock both blocks in address order (the only two-block lock site).
         let (src_base, dst_base) = (src.lock().vaddr(), dst.lock().vaddr());
         assert_ne!(src_base, dst_base);
@@ -396,6 +411,12 @@ impl CormServer {
         // its count — release the alias vaddr right away (§3.3).
         self.try_release_vaddr(src_base);
 
+        // The survivor inherits the merged-away block's heat, so packing
+        // does not reset the destination's standing in the eviction rank.
+        if let Some(t) = &self.tiering {
+            t.merge_heat(src_base, dst_base);
+        }
+
         // One block_compaction_cost covers bookkeeping + copies + the
         // primary remap; extra alias remaps each add an mmap + MTT update —
         // unless the batched verb covers them, in which case they ride the
@@ -415,6 +436,7 @@ impl CormServer {
                     + model.mtt_update_cost(self.config().mtt_strategy, pages))
                     * extra_remaps
         };
+        let cost = cost + tier_cost;
         Ok(MergeStats { relocated, copied: objects.len(), cost, extra_remaps, mtt_batches })
     }
 }

@@ -15,6 +15,7 @@ pub mod compaction;
 pub mod plan;
 pub mod registry;
 pub mod threaded;
+pub mod tiering;
 pub mod vaddrs;
 
 pub use compaction::CompactionReport;
@@ -30,10 +31,10 @@ use corm_alloc::{
     AllocConfig, AllocError, FragmentationReport, ProcessAllocator, SizeClasses, ThreadAllocator,
 };
 use corm_sim_core::rng::{stream_rng, DetRng};
-use corm_sim_core::time::SimDuration;
-use corm_sim_mem::{AddressSpace, MemError, PhysicalMemory};
+use corm_sim_core::time::{SimDuration, SimTime};
+use corm_sim_mem::{AddressSpace, FarTier, MemError, PhysicalMemory, Residency, TierConfig};
 use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, QosConfig, RdmaError, Rnic, RnicConfig};
-use corm_trace::{Stage, TraceHandle};
+use corm_trace::{Stage, TraceHandle, Track};
 
 use crate::consistency::{self, ReadFailure};
 use crate::header::{home_base, home_index, LockState, ObjectHeader, HEADER_BYTES};
@@ -41,6 +42,7 @@ use crate::ptr::GlobalPtr;
 use crate::Timed;
 
 use registry::BlockRegistry;
+use tiering::TierDirector;
 use vaddrs::VaddrTracker;
 
 /// How many times an RPC handler re-attempts an object that is transiently
@@ -116,6 +118,18 @@ pub struct ServerConfig {
     /// Propagated into the RNIC's config unless that config already asks
     /// for multiple lanes itself.
     pub sim_lanes: usize,
+    /// Pin budget: maximum DRAM-resident frames before the server starts
+    /// spilling cold blocks to the far tier. `None` (the default) disables
+    /// tiering entirely — residency is never consulted, no far tier is
+    /// attached to the RNIC, and seeded replays are byte-identical to
+    /// pre-tiering builds. Enforcement is explicit: callers invoke
+    /// [`CormServer::enforce_pin_budget`] from the same maintenance context
+    /// that drives compaction.
+    pub pin_budget_frames: Option<usize>,
+    /// Far-tier cost model used when a pin budget is set; defaults to
+    /// [`TierConfig::cxl`]. Ignored when `pin_budget_frames` is `None` or
+    /// when the RNIC config already carries its own tier.
+    pub tier: Option<TierConfig>,
     /// Root seed for object-ID generation.
     pub seed: u64,
     /// Trace recorder for the node. Disabled by default; recording is
@@ -142,6 +156,8 @@ impl Default for ServerConfig {
             batch_mtt_sync: false,
             qos: None,
             sim_lanes: 1,
+            pin_budget_frames: None,
+            tier: None,
             seed: 0xC0_4D,
             trace: TraceHandle::disabled(),
         }
@@ -257,6 +273,8 @@ pub struct CormServer {
     pub(crate) workers: Vec<Mutex<WorkerState>>,
     pub(crate) registry: BlockRegistry,
     pub(crate) vaddrs: Mutex<VaddrTracker>,
+    /// Pin-budget manager, present iff `ServerConfig::pin_budget_frames`.
+    pub(crate) tiering: Option<TierDirector>,
     /// Lifetime counters.
     pub stats: ServerStats,
 }
@@ -295,6 +313,20 @@ impl CormServer {
         if rnic_config.lanes <= 1 {
             rnic_config.lanes = config.sim_lanes.max(1);
         }
+        // A pin budget brings a far tier with it. The director and the RNIC
+        // share one tier instance so NIC-side fetches and server-side
+        // spills contend for the same virtual-time channels.
+        let tiering = config.pin_budget_frames.map(|budget| {
+            let tier = rnic_config.tier.clone().unwrap_or_else(|| {
+                Arc::new(FarTier::new(config.tier.clone().unwrap_or_else(TierConfig::cxl)))
+            });
+            TierDirector::new(tier, budget)
+        });
+        if let Some(t) = &tiering {
+            if rnic_config.tier.is_none() {
+                rnic_config.tier = Some(t.tier().clone());
+            }
+        }
         let rnic = Arc::new(Rnic::new(aspace.clone(), rnic_config));
         if config.mtt_strategy.needs_odp() {
             assert!(rnic.model().odp_miss.is_some(), "ODP strategy requires an ODP-capable device");
@@ -319,6 +351,7 @@ impl CormServer {
             workers,
             registry,
             vaddrs: Mutex::new(VaddrTracker::new()),
+            tiering,
             stats: ServerStats::default(),
         }
     }
@@ -347,6 +380,154 @@ impl CormServer {
     /// The node's physical memory.
     pub fn phys(&self) -> &Arc<PhysicalMemory> {
         &self.phys
+    }
+
+    /// The pin-budget manager, when tiering is enabled.
+    pub fn tiering(&self) -> Option<&TierDirector> {
+        self.tiering.as_ref()
+    }
+
+    /// Frames owned by live blocks as `(total, dram_resident)` — the
+    /// logical footprint the pin budget is enforced against (benches size
+    /// the budget as a fraction of the total). File frames never handed
+    /// to a block are excluded on both sides.
+    pub fn block_frames(&self) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut in_dram = 0u64;
+        for b in self.registry.live_blocks() {
+            let g = b.lock();
+            for &f in g.frames() {
+                total += 1;
+                if self.phys.residency(f) != Residency::Far {
+                    in_dram += 1;
+                }
+            }
+        }
+        (total, in_dram)
+    }
+
+    /// Adjusts the pin budget at runtime (benches size it after populating,
+    /// once the logical footprint is known). Returns `false` when tiering
+    /// is disabled.
+    pub fn set_pin_budget(&self, frames: usize) -> bool {
+        match &self.tiering {
+            Some(t) => {
+                t.set_budget(frames);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Feeds one access into the block-heat counters — the hook for
+    /// one-sided traffic, which bypasses the RPC handlers that feed heat
+    /// implicitly. Models the host's access-sampling daemon (NP-RDMA's
+    /// host agent sees every dynamic-pin fault and samples the rest).
+    /// No-op without tiering.
+    pub fn note_access(&self, ptr: &GlobalPtr) {
+        if let Some(t) = &self.tiering {
+            t.touch(ptr.block_base(self.block_bytes()));
+        }
+    }
+
+    /// Fetches any far frames of `block` back into DRAM so CPU-side access
+    /// (header reads, scatter/gather, compaction copies) sees real bytes
+    /// instead of spill poison. Returns the virtual-time fetch cost, which
+    /// the caller charges into its RPC/merge total. Zero without tiering.
+    fn ensure_resident(&self, block: &SharedBlock) -> Result<SimDuration, CormError> {
+        let Some(t) = &self.tiering else {
+            return Ok(SimDuration::ZERO);
+        };
+        let b = block.lock();
+        let mut cost = SimDuration::ZERO;
+        let dma = self.phys.dma();
+        for &f in b.frames() {
+            if dma.residency(f) == Some(Residency::Far) {
+                cost += t.tier().fetch_untimed(&dma, f).map_err(CormError::Mem)?;
+            }
+        }
+        if cost > SimDuration::ZERO {
+            self.config.trace.sample(Stage::TierFetch, cost);
+        }
+        Ok(cost)
+    }
+
+    /// Enforces the pin budget: while more than `budget` frames sit in
+    /// DRAM, the coldest live block — ranked by `(heat, base)` ascending,
+    /// so seeded replays evict in identical order — is spilled whole to
+    /// the far tier. Each pass ends with a heat decay (LRU aging).
+    ///
+    /// Runs from the same maintenance context as compaction (never
+    /// concurrently with a pass: eviction poisons DRAM copies, and a
+    /// mid-merge source must not lose its bytes). Returns the number of
+    /// blocks evicted; the cost is the virtual time until the last spill
+    /// transfer completes, counted from `now`.
+    pub fn enforce_pin_budget(&self, now: SimTime) -> Result<Timed<usize>, CormError> {
+        let Some(t) = &self.tiering else {
+            return Ok(Timed::new(0, SimDuration::ZERO));
+        };
+        let budget = t.budget() as u64;
+        let trace = &self.config.trace;
+        // Budget accounting covers frames owned by live blocks only — file
+        // frames never handed to a block carry no data and would not be
+        // faulted in on a real host, so they are not chargeable.
+        let mut in_dram = 0u64;
+        let mut ranked: Vec<(u64, u64, SharedBlock)> = self
+            .registry
+            .live_blocks()
+            .into_iter()
+            .map(|b| {
+                let (base, resident) = {
+                    let g = b.lock();
+                    let resident = g
+                        .frames()
+                        .iter()
+                        .filter(|&&f| self.phys.residency(f) != Residency::Far)
+                        .count() as u64;
+                    (g.vaddr(), resident)
+                };
+                in_dram += resident;
+                (t.heat_of(base), base, b)
+            })
+            .collect();
+        if in_dram <= budget {
+            t.decay();
+            return Ok(Timed::new(0, SimDuration::ZERO));
+        }
+        ranked.sort_by_key(|&(heat, base, _)| (heat, base));
+        let mut evicted = 0usize;
+        let mut cost = SimDuration::ZERO;
+        for (_, base, block) in ranked {
+            if in_dram <= budget {
+                break;
+            }
+            let b = block.lock();
+            let dma = self.phys.dma();
+            let mut block_cost = SimDuration::ZERO;
+            let mut spilled = 0u64;
+            for &f in b.frames() {
+                if dma.residency(f) == Some(Residency::Far) {
+                    continue;
+                }
+                let d = t.tier().spill_with(&dma, f, now).map_err(CormError::Mem)?;
+                block_cost = block_cost.max(d);
+                spilled += 1;
+            }
+            drop(dma);
+            drop(b);
+            if spilled > 0 {
+                in_dram -= spilled;
+                evicted += 1;
+                t.note_eviction(base);
+                trace.add(Stage::TierSpill, spilled);
+                trace.span(Track::Compaction, Stage::Evict, 0, now, block_cost);
+                // Spills queue on shared tier channels; the pass completes
+                // when the slowest transfer does.
+                cost = cost.max(block_cost);
+            }
+        }
+        t.decay();
+        Ok(Timed::new(evicted, cost))
     }
 
     /// The configuration in force.
@@ -432,6 +613,13 @@ impl CormServer {
                 b.obj_size(),
             )
         };
+        // A recycled slot may sit in a spilled block; the header stamp
+        // below must land on real bytes, and the fresh allocation makes
+        // the block hot by definition.
+        cost += self.ensure_resident(&out.block)?;
+        if let Some(t) = &self.tiering {
+            t.touch(base);
+        }
         // Stamp the slot: header + version bytes over the whole slot so
         // lock-free readers of a never-written object still validate.
         let home = home_index(base, self.mmap_base(), self.block_bytes());
@@ -472,6 +660,11 @@ impl CormServer {
         let block = resolved.block;
         let offset = ptr.block_offset(block_bytes);
         let b = block.lock();
+        // Heat feeds off the *resolved* block (not the pointer's possibly
+        // aliased base), so eviction ranks live blocks by real traffic.
+        if let Some(t) = &self.tiering {
+            t.touch(b.vaddr());
+        }
         let slot = b.slot_of_offset(offset).ok_or(CormError::BadPointer)?;
         if b.id_at_slot(slot) == Some(ptr.obj_id as u32) {
             return Ok((block.clone(), slot, SimDuration::ZERO, false));
@@ -532,6 +725,7 @@ impl CormServer {
         for attempt in 0..RPC_BACKOFF_ATTEMPTS {
             let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
             corr_total += corr_cost;
+            corr_total += self.ensure_resident(&block)?;
             let gathered = SLOT_SCRATCH.with(|scratch| {
                 let mut image = scratch.borrow_mut();
                 let b = block.lock();
@@ -618,6 +812,7 @@ impl CormServer {
         for attempt in 0..RPC_BACKOFF_ATTEMPTS {
             let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
             corr_total += corr_cost;
+            corr_total += self.ensure_resident(&block)?;
             let b = block.lock();
             let slot_bytes = b.obj_size();
             if data.len() > consistency::layout(slot_bytes).capacity {
@@ -672,6 +867,7 @@ impl CormServer {
         for attempt in 0..RPC_BACKOFF_ATTEMPTS {
             let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
             corr_total += corr_cost;
+            corr_total += self.ensure_resident(&block)?;
             let mut b = block.lock();
             let slot_vaddr = b.slot_vaddr(slot);
             let mut hdr_bytes = [0u8; HEADER_BYTES];
@@ -727,6 +923,7 @@ impl CormServer {
         for attempt in 0..RPC_BACKOFF_ATTEMPTS {
             let (block, slot, corr_cost, _) = self.locate(worker, ptr)?;
             corr_total += corr_cost;
+            corr_total += self.ensure_resident(&block)?;
             let b = block.lock();
             let slot_vaddr = b.slot_vaddr(slot);
             let mut hdr_bytes = [0u8; HEADER_BYTES];
@@ -823,6 +1020,9 @@ impl CormServer {
         drop(w);
         debug_assert!(self.vaddrs.lock().releasable(base), "empty live block with homed objects");
         self.registry.remove(base);
+        if let Some(t) = &self.tiering {
+            t.forget(base);
+        }
         let b = block.lock();
         if let Some((_, rkey)) = b.keys() {
             let _ = self.rnic.deregister(rkey);

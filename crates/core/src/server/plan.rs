@@ -119,6 +119,30 @@ impl MergePlan {
         let survivors = (0..n).filter(|&i| !gone[i]).collect();
         MergePlan { merges, lanes, components, survivors }
     }
+
+    /// Heat-aware variant used when a pin budget is active: re-sorts the
+    /// candidates by `(live, heat)` ascending before running the identical
+    /// greedy pairing. Among equally-utilized blocks the *cold* ones sort
+    /// first (becoming merge sources) and the *hot* ones last — and since
+    /// the pairing picks destinations from the tail, hot survivors absorb
+    /// the live objects. The result: surviving blocks concentrate heat, so
+    /// the pin-budget manager's `(heat, base)` eviction ranking keeps them
+    /// DRAM-resident while the drained cold blocks are freed or spilled.
+    ///
+    /// Without a heat signal (`heat_of` returning a constant) the sort is
+    /// stable, so the plan is byte-identical to [`MergePlan::build`] on
+    /// live-sorted input.
+    pub fn build_heat_aware(
+        candidates: &mut [SharedBlock],
+        lanes: usize,
+        heat_of: impl Fn(u64) -> u64,
+    ) -> MergePlan {
+        candidates.sort_by_cached_key(|b| {
+            let b = b.lock();
+            (b.live(), heat_of(b.vaddr()))
+        });
+        Self::build(candidates, lanes)
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +220,50 @@ mod tests {
         assert_eq!(plan.components, 1);
         assert!(plan.merges.iter().all(|m| m.lane == 0));
         assert_eq!(plan.survivors.len(), 1);
+    }
+
+    #[test]
+    fn heat_aware_plan_keeps_hot_blocks_as_survivors() {
+        // Four equally-utilized blocks with distinct heats: the heat-aware
+        // sort sends the cold blocks in as sources, so the two hottest
+        // blocks survive (and receive the merged objects).
+        let mut candidates: Vec<SharedBlock> = (0..4)
+            .map(|i| {
+                let objs: Vec<(u32, u32)> = (0..4).map(|k| (i * 10 + k, k)).collect();
+                block(i, &objs)
+            })
+            .collect();
+        let vaddrs: Vec<u64> = candidates.iter().map(|b| b.lock().vaddr()).collect();
+        let heats = [9u64, 1, 5, 0];
+        let heat_of = |base: u64| {
+            let idx = vaddrs.iter().position(|&v| v == base).unwrap();
+            heats[idx]
+        };
+        let plan = MergePlan::build_heat_aware(&mut candidates, 1, heat_of);
+        let pairs: Vec<(u64, u64)> =
+            plan.merges.iter().map(|m| (m.src.lock().vaddr(), m.dst.lock().vaddr())).collect();
+        // Sorted candidate order by heat ascending: [3, 1, 2, 0]. Sources
+        // ascend from the cold end, destinations from the hot end:
+        // block 3 (heat 0) → block 0 (heat 9), block 1 (heat 1) → block 2.
+        assert_eq!(pairs, vec![(vaddrs[3], vaddrs[0]), (vaddrs[1], vaddrs[2])]);
+        // Survivors are the hottest blocks.
+        let survivor_vaddrs: Vec<u64> =
+            plan.survivors.iter().map(|&i| candidates[i].lock().vaddr()).collect();
+        assert_eq!(survivor_vaddrs, vec![vaddrs[2], vaddrs[0]]);
+        // With a constant heat signal, the stable sort leaves live-sorted
+        // input untouched: same plan as the plain builder.
+        let mut flat: Vec<SharedBlock> = (0..4)
+            .map(|i| {
+                let objs: Vec<(u32, u32)> = (0..4).map(|k| (i * 10 + k, k)).collect();
+                block(i, &objs)
+            })
+            .collect();
+        let baseline = MergePlan::build(&flat.clone(), 1);
+        let flat_plan = MergePlan::build_heat_aware(&mut flat, 1, |_| 0);
+        let key = |p: &MergePlan| -> Vec<(u64, u64)> {
+            p.merges.iter().map(|m| (m.src.lock().vaddr(), m.dst.lock().vaddr())).collect()
+        };
+        assert_eq!(key(&baseline), key(&flat_plan));
     }
 
     #[test]

@@ -92,11 +92,21 @@ pub enum Stage {
     /// A lane committing its window to the shared timeline (counter;
     /// the commit itself is free in virtual time).
     LaneCommit,
+    /// One page spilled out of DRAM to the far tier (duration = transfer
+    /// completion including channel queueing).
+    TierSpill,
+    /// One page fetched back from the far tier into DRAM.
+    TierFetch,
+    /// NP-RDMA dynamic-pin fault: the NIC pinning an unpinned page so a
+    /// one-sided access may proceed.
+    DynamicPin,
+    /// The pin-budget manager evicting one block (all its frames spilled).
+    Evict,
 }
 
 impl Stage {
     /// Number of stages (sizes the recorder's counter arrays).
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 35;
 
     /// Every stage, in declaration order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -131,6 +141,10 @@ impl Stage {
         Stage::QosSteal,
         Stage::LaneWindow,
         Stage::LaneCommit,
+        Stage::TierSpill,
+        Stage::TierFetch,
+        Stage::DynamicPin,
+        Stage::Evict,
     ];
 
     /// Dense index for counter arrays.
@@ -172,6 +186,10 @@ impl Stage {
             Stage::QosSteal => "qos_steal",
             Stage::LaneWindow => "lane_window",
             Stage::LaneCommit => "lane_commit",
+            Stage::TierSpill => "tier_spill",
+            Stage::TierFetch => "tier_fetch",
+            Stage::DynamicPin => "dynamic_pin",
+            Stage::Evict => "evict",
         }
     }
 

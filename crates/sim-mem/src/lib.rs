@@ -24,8 +24,13 @@
 
 pub mod file;
 pub mod phys;
+pub mod tier;
 pub mod vspace;
 
 pub use file::{FileId, MemFile};
-pub use phys::{DmaSession, FrameId, MemError, PhysicalMemory, PAGE_SIZE, POISON_BYTE};
+pub use phys::{
+    DmaSession, FrameId, MemError, PhysicalMemory, Residency, ResidencySnapshot, PAGE_SIZE,
+    POISON_BYTE,
+};
+pub use tier::{FarTier, TierConfig, TierStats};
 pub use vspace::{AddressSpace, Translation};

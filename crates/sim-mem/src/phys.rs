@@ -6,7 +6,7 @@
 //! of silently looking valid.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -21,6 +21,82 @@ pub const POISON_BYTE: u8 = 0xDF;
 /// Index of a physical frame in the frame table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FrameId(pub u32);
+
+/// Where a live frame's contents currently sit in the tiering lattice.
+///
+/// `Pinned > Resident > Far`: a *pinned* frame is DRAM-resident and
+/// registered for DMA (the only state that existed before tiering — every
+/// allocation starts here, so nothing changes unless a pin budget demotes
+/// frames). A *resident* frame holds its bytes in DRAM but is not pinned:
+/// the CPU may touch it freely, while a one-sided NIC access must first pin
+/// it (NP-RDMA's dynamic-pin fault) or take a host fault. A *far* frame's
+/// bytes live in the far tier (see [`crate::tier::FarTier`]); its DRAM
+/// words are poisoned so any access that skips the fetch path is
+/// observable, exactly like reads through stale translations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Residency {
+    /// DRAM-resident and DMA-registered; the pre-tiering default.
+    Pinned = 0,
+    /// DRAM-resident but unpinned: NIC access requires a pin fault.
+    Resident = 1,
+    /// Spilled to the far tier; DRAM words are poison until fetched.
+    Far = 2,
+}
+
+impl Residency {
+    fn from_u8(v: u8) -> Residency {
+        match v {
+            0 => Residency::Pinned,
+            1 => Residency::Resident,
+            _ => Residency::Far,
+        }
+    }
+}
+
+/// Gauge counters for the residency lattice, one per [`Residency`] state.
+/// They count *live* frames only; freed frames leave the gauge.
+#[derive(Default)]
+struct ResidencyCounts {
+    pinned: AtomicU64,
+    resident: AtomicU64,
+    far: AtomicU64,
+}
+
+impl ResidencyCounts {
+    fn slot(&self, r: Residency) -> &AtomicU64 {
+        match r {
+            Residency::Pinned => &self.pinned,
+            Residency::Resident => &self.resident,
+            Residency::Far => &self.far,
+        }
+    }
+
+    fn transition(&self, from: Residency, to: Residency) {
+        if from != to {
+            self.slot(from).fetch_sub(1, Ordering::Relaxed);
+            self.slot(to).fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Snapshot of the residency gauges (live frames per state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencySnapshot {
+    /// Live frames in [`Residency::Pinned`].
+    pub pinned: u64,
+    /// Live frames in [`Residency::Resident`].
+    pub resident: u64,
+    /// Live frames in [`Residency::Far`].
+    pub far: u64,
+}
+
+impl ResidencySnapshot {
+    /// Frames currently occupying DRAM (pinned + resident).
+    pub fn in_dram(&self) -> u64 {
+        self.pinned + self.resident
+    }
+}
 
 impl fmt::Display for FrameId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -83,18 +159,27 @@ struct Frame {
     /// Number of virtual pages (or other owners, e.g. a memfd file) holding
     /// this frame. Zero means the frame is on the free list.
     refs: u32,
+    /// [`Residency`] as a `u8`, atomic so tier transitions (spill/fetch/pin)
+    /// can flip it under the shared frame-table read guard the data plane
+    /// already holds — taking the write lock there would deadlock a DMA
+    /// session against itself.
+    residency: AtomicU8,
 }
 
 impl Frame {
     fn new() -> Self {
         let data = (0..FRAME_WORDS).map(|_| AtomicU64::new(0)).collect();
-        Frame { data, refs: 1 }
+        Frame { data, refs: 1, residency: AtomicU8::new(Residency::Pinned as u8) }
     }
 
     fn fill(&self, word: u64) {
         for w in self.data.iter() {
             w.store(word, Ordering::Relaxed);
         }
+    }
+
+    fn residency(&self) -> Residency {
+        Residency::from_u8(self.residency.load(Ordering::Relaxed))
     }
 }
 
@@ -130,6 +215,7 @@ pub struct PhysicalMemory {
     live: AtomicU64,
     peak: AtomicU64,
     total_allocs: AtomicU64,
+    res: ResidencyCounts,
 }
 
 impl fmt::Debug for PhysicalMemory {
@@ -157,6 +243,7 @@ impl PhysicalMemory {
             live: AtomicU64::new(0),
             peak: AtomicU64::new(0),
             total_allocs: AtomicU64::new(0),
+            res: ResidencyCounts::default(),
         }
     }
 
@@ -179,6 +266,7 @@ impl PhysicalMemory {
             let frame = &frames[idx as usize];
             debug_assert_eq!(frame.refs, 0);
             frame.fill(0);
+            frame.residency.store(Residency::Pinned as u8, Ordering::Relaxed);
             drop(frames);
             self.frames.write()[idx as usize].refs = 1;
             FrameId(idx)
@@ -187,6 +275,7 @@ impl PhysicalMemory {
             frames.push(Frame::new());
             FrameId((frames.len() - 1) as u32)
         };
+        self.res.pinned.fetch_add(1, Ordering::Relaxed);
         let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(live, Ordering::Relaxed);
         self.total_allocs.fetch_add(1, Ordering::Relaxed);
@@ -232,7 +321,9 @@ impl PhysicalMemory {
         frame.refs -= 1;
         if frame.refs == 0 {
             frame.fill(POISON_WORD);
+            let res = frame.residency();
             drop(frames);
+            self.res.slot(res).fetch_sub(1, Ordering::Relaxed);
             self.free_list.lock().push(id.0);
             self.live.fetch_sub(1, Ordering::Relaxed);
             true
@@ -251,7 +342,33 @@ impl PhysicalMemory {
     /// doorbell batch; frame alloc/free block for the session's duration,
     /// exactly as if the batch's accesses had interleaved with them.
     pub fn dma(&self) -> DmaSession<'_> {
-        DmaSession { frames: self.frames.read() }
+        DmaSession { frames: self.frames.read(), res: &self.res }
+    }
+
+    /// Current residency of a frame. Freed frames report their last state;
+    /// callers gate on liveness separately (residency only matters for live
+    /// frames — the gauges in [`Self::residency_counts`] track live frames
+    /// only).
+    pub fn residency(&self, id: FrameId) -> Residency {
+        self.frames.read().get(id.0 as usize).map(|f| f.residency()).unwrap_or(Residency::Pinned)
+    }
+
+    /// Moves a live frame to `to` in the residency lattice, returning the
+    /// previous state. Data movement is the caller's job (see
+    /// [`DmaSession::spill_out`] / [`DmaSession::fetch_in`] for the
+    /// byte-preserving transitions); this is the bookkeeping-only flip used
+    /// for pin/unpin, which never touches the frame's bytes.
+    pub fn set_residency(&self, id: FrameId, to: Residency) -> Result<Residency, MemError> {
+        self.dma().set_residency(id, to)
+    }
+
+    /// Live-frame gauges per residency state.
+    pub fn residency_counts(&self) -> ResidencySnapshot {
+        ResidencySnapshot {
+            pinned: self.res.pinned.load(Ordering::Relaxed),
+            resident: self.res.resident.load(Ordering::Relaxed),
+            far: self.res.far.load(Ordering::Relaxed),
+        }
     }
 
     /// Reads `buf.len()` bytes at `offset` within the frame.
@@ -308,9 +425,67 @@ impl PhysicalMemory {
 /// without per-access locking. See [`PhysicalMemory::dma`].
 pub struct DmaSession<'a> {
     frames: parking_lot::RwLockReadGuard<'a, Vec<Frame>>,
+    res: &'a ResidencyCounts,
 }
 
 impl DmaSession<'_> {
+    /// Residency of a frame, or `None` if the id is out of range.
+    pub fn residency(&self, id: FrameId) -> Option<Residency> {
+        self.frames.get(id.0 as usize).map(|f| f.residency())
+    }
+
+    /// Bookkeeping-only residency flip under the held session; semantics of
+    /// [`PhysicalMemory::set_residency`]. The simulated RNIC uses this to
+    /// pin a resident page mid-batch (NP-RDMA's dynamic-pin fault) without
+    /// re-acquiring the frame-table lock it already holds.
+    pub fn set_residency(&self, id: FrameId, to: Residency) -> Result<Residency, MemError> {
+        let frame = self.frames.get(id.0 as usize).ok_or(MemError::DeadFrame(id))?;
+        if frame.refs == 0 {
+            return Err(MemError::DeadFrame(id));
+        }
+        let prev = Residency::from_u8(frame.residency.swap(to as u8, Ordering::Relaxed));
+        self.res.transition(prev, to);
+        Ok(prev)
+    }
+
+    /// Evicts a live frame's bytes out of DRAM: copies the full page into
+    /// the returned buffer, poisons the frame (so any access that skips the
+    /// fetch path observably reads garbage), and marks it [`Residency::Far`].
+    /// The caller owns the bytes — handing them to a far-tier store and
+    /// restoring them via [`Self::fetch_in`] round-trips byte-exactly.
+    pub fn spill_out(&self, id: FrameId) -> Result<Box<[u8]>, MemError> {
+        let frame = self.frames.get(id.0 as usize).ok_or(MemError::DeadFrame(id))?;
+        if frame.refs == 0 {
+            return Err(MemError::DeadFrame(id));
+        }
+        let mut bytes = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let (chunks, _) = bytes.as_chunks_mut::<8>();
+        for (w, dst) in frame.data.iter().zip(chunks.iter_mut()) {
+            *dst = w.load(Ordering::Relaxed).to_le_bytes();
+        }
+        frame.fill(POISON_WORD);
+        self.set_residency(id, Residency::Far)?;
+        Ok(bytes)
+    }
+
+    /// Restores a far frame's bytes into DRAM and marks it
+    /// [`Residency::Resident`] (unpinned — pinning is a separate,
+    /// bookkeeping-only step charged by the caller's cost model).
+    pub fn fetch_in(&self, id: FrameId, bytes: &[u8]) -> Result<(), MemError> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(MemError::FrameBounds { offset: 0, len: bytes.len() });
+        }
+        let frame = self.frames.get(id.0 as usize).ok_or(MemError::DeadFrame(id))?;
+        if frame.refs == 0 {
+            return Err(MemError::DeadFrame(id));
+        }
+        let (chunks, _) = bytes.as_chunks::<8>();
+        for (w, src) in frame.data.iter().zip(chunks.iter()) {
+            w.store(u64::from_le_bytes(*src), Ordering::Relaxed);
+        }
+        self.set_residency(id, Residency::Resident)?;
+        Ok(())
+    }
     /// Reads `buf.len()` bytes at `offset` within the frame; semantics of
     /// [`PhysicalMemory::read`].
     pub fn read(&self, id: FrameId, offset: usize, buf: &mut [u8]) -> Result<(), MemError> {
@@ -522,5 +697,58 @@ mod tests {
         let f = pm.alloc().unwrap();
         pm.release(f);
         assert_eq!(pm.write(f, 0, b"x"), Err(MemError::DeadFrame(f)));
+    }
+
+    #[test]
+    fn residency_defaults_pinned_and_gauges_track_transitions() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        assert_eq!(pm.residency(f), Residency::Pinned);
+        assert_eq!(pm.residency_counts(), ResidencySnapshot { pinned: 1, resident: 0, far: 0 });
+        assert_eq!(pm.set_residency(f, Residency::Resident).unwrap(), Residency::Pinned);
+        assert_eq!(pm.residency_counts(), ResidencySnapshot { pinned: 0, resident: 1, far: 0 });
+        // Freeing a demoted frame drains the right gauge; reuse re-pins.
+        pm.release(f);
+        assert_eq!(pm.residency_counts(), ResidencySnapshot { pinned: 0, resident: 0, far: 0 });
+        let g = pm.alloc().unwrap();
+        assert_eq!(g, f);
+        assert_eq!(pm.residency(g), Residency::Pinned);
+        assert_eq!(pm.residency_counts().pinned, 1);
+    }
+
+    #[test]
+    fn spill_poisons_and_fetch_restores_byte_exactly() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        let pattern: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 249) as u8).collect();
+        pm.write(f, 0, &pattern).unwrap();
+
+        let dma = pm.dma();
+        let bytes = dma.spill_out(f).unwrap();
+        assert_eq!(&bytes[..], &pattern[..]);
+        assert_eq!(dma.residency(f), Some(Residency::Far));
+        // A read that skips the fetch path sees poison, not stale data.
+        let mut probe = [0u8; 8];
+        dma.read(f, 64, &mut probe).unwrap();
+        assert_eq!(probe, [POISON_BYTE; 8]);
+
+        dma.fetch_in(f, &bytes).unwrap();
+        assert_eq!(dma.residency(f), Some(Residency::Resident));
+        let mut out = vec![0u8; PAGE_SIZE];
+        dma.read(f, 0, &mut out).unwrap();
+        assert_eq!(out, pattern);
+        drop(dma);
+        assert_eq!(pm.residency_counts(), ResidencySnapshot { pinned: 0, resident: 1, far: 0 });
+    }
+
+    #[test]
+    fn tier_transitions_reject_dead_frames() {
+        let pm = PhysicalMemory::new();
+        let f = pm.alloc().unwrap();
+        pm.release(f);
+        let dma = pm.dma();
+        assert_eq!(dma.set_residency(f, Residency::Far), Err(MemError::DeadFrame(f)));
+        assert!(dma.spill_out(f).is_err());
+        assert!(dma.fetch_in(f, &vec![0u8; PAGE_SIZE]).is_err());
     }
 }

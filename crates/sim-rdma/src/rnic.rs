@@ -18,7 +18,7 @@ use corm_sim_core::hash::FastHashMap;
 use corm_sim_core::lanes::LaneId;
 use corm_sim_core::resource::FifoResource;
 use corm_sim_core::time::{SimDuration, SimTime};
-use corm_sim_mem::{AddressSpace, DmaSession, FrameId, MemError, PAGE_SIZE};
+use corm_sim_mem::{AddressSpace, DmaSession, FarTier, FrameId, MemError, Residency, PAGE_SIZE};
 use corm_trace::{Stage, TraceHandle, Track};
 
 use crate::cache::LruCache;
@@ -154,6 +154,21 @@ pub struct RnicConfig {
     /// dispatch is a pure function of the lane rather than of wall-clock
     /// arrival interleaving.
     pub lanes: usize,
+    /// The far tier behind unpinned memory, when the host runs a pin
+    /// budget. `None` (the default) disables tiering entirely: residency
+    /// is never consulted and the NIC is byte-identical to the pre-tiering
+    /// build. When set, an access resolving to a non-pinned frame pays the
+    /// tier's fault-path charge (see [`RnicConfig::dynamic_pin`]).
+    pub tier: Option<Arc<FarTier>>,
+    /// Whether the NIC supports NP-RDMA-style dynamic pinning: an MTT
+    /// lookup that resolves to an unpinned or far frame triggers a
+    /// host round trip that (fetches and) pins the page, charging
+    /// `TierConfig::dynamic_pin` instead of failing. Without it, an ODP
+    /// region degenerates to its existing lazy fault (the page is serviced
+    /// in place and stays unpinned), and a non-ODP region takes the
+    /// pinned-only *hard miss*: a synchronous host fault charged
+    /// `TierConfig::hard_miss_extra` on top of the fetch.
+    pub dynamic_pin: bool,
 }
 
 impl Default for RnicConfig {
@@ -168,6 +183,8 @@ impl Default for RnicConfig {
             trace: TraceHandle::disabled(),
             qos: None,
             lanes: 1,
+            tier: None,
+            dynamic_pin: false,
         }
     }
 }
@@ -235,6 +252,9 @@ pub struct VerbOutcome {
     pub cache_hit: bool,
     /// Number of ODP misses taken.
     pub odp_misses: u32,
+    /// Number of dynamic-pin faults taken (tiering only; always zero when
+    /// no far tier is attached).
+    pub pin_faults: u32,
 }
 
 /// Counters exposed for the benchmark harness.
@@ -271,6 +291,12 @@ pub struct RnicStats {
     /// WQEs executed through the batched path (including failed, excluding
     /// flushed ones, which never reach the NIC).
     pub wqes: AtomicU64,
+    /// Dynamic-pin faults taken (tiering with [`RnicConfig::dynamic_pin`]).
+    pub pin_faults: AtomicU64,
+    /// Pages fetched from the far tier on the NIC fault path.
+    pub tier_fetches: AtomicU64,
+    /// Pinned-only hard misses taken (tiering without dynamic pin or ODP).
+    pub hard_misses: AtomicU64,
 }
 
 /// The simulated RDMA-capable NIC.
@@ -1164,6 +1190,72 @@ impl Rnic {
             }
             frames[(vpn - first_vpn) as usize] = entry.frame;
         }
+        // Tiering fault path (NP-RDMA): an access that resolved to an
+        // unpinned or far frame cannot DMA yet — the page must be made
+        // DMA-able first, and the cost model charges the host round trip
+        // into the verb's latency. Deliberately *after* every fault draw
+        // and translation above and *before* the DMA below: residency is a
+        // deterministic check that consumes no RNG, so seeded fault-draw
+        // order is byte-identical with and without a tier attached.
+        let mut pin_faults = 0u32;
+        let mut tier_delay = SimDuration::ZERO;
+        if let Some(tier) = &self.config.tier {
+            for &frame in frames.iter() {
+                match dma.residency(frame) {
+                    Some(Residency::Pinned) | None => continue,
+                    Some(res) => {
+                        let tcfg = tier.config();
+                        if self.config.dynamic_pin || mr.odp {
+                            // NIC-side faults fetch through the tier's
+                            // parallel channels: a batch of faulting reads
+                            // overlaps its transfers.
+                            let fetch = if res == Residency::Far {
+                                let d = tier.fetch_with(dma, frame, now)?;
+                                self.stats.tier_fetches.fetch_add(1, Ordering::Relaxed);
+                                trace.span(Track::Nic, Stage::TierFetch, 0, now, d);
+                                d
+                            } else {
+                                SimDuration::ZERO
+                            };
+                            if self.config.dynamic_pin {
+                                // Dynamic pin: the NIC faults to the host,
+                                // which pins the (now resident) page; DMA
+                                // then proceeds against pinned memory.
+                                dma.set_residency(frame, Residency::Pinned)?;
+                                tier.note_pin_fault();
+                                self.stats.pin_faults.fetch_add(1, Ordering::Relaxed);
+                                pin_faults += 1;
+                                trace.span(Track::Nic, Stage::DynamicPin, 0, now, tcfg.dynamic_pin);
+                                tier_delay += fetch + tcfg.dynamic_pin;
+                            } else if res == Residency::Far {
+                                // ODP degenerates to its existing lazy
+                                // fault: a far page is fetched and serviced
+                                // in place, staying unpinned; a page that is
+                                // already resident needs no fault at all.
+                                odp_misses += 1;
+                                self.stats.odp_misses.fetch_add(1, Ordering::Relaxed);
+                                tier_delay += fetch;
+                            }
+                        } else {
+                            // Pinned-only hard miss: the host services the
+                            // fault synchronously (swap-in + re-pin +
+                            // re-registration) while the verb stalls, and
+                            // concurrent hard misses serialize on the
+                            // host's single fault path.
+                            let far = res == Residency::Far;
+                            let d = tier.hard_miss_with(dma, frame, now)?;
+                            if far {
+                                self.stats.tier_fetches.fetch_add(1, Ordering::Relaxed);
+                                trace.span(Track::Nic, Stage::TierFetch, 0, now, d);
+                            }
+                            dma.set_residency(frame, Residency::Pinned)?;
+                            self.stats.hard_misses.fetch_add(1, Ordering::Relaxed);
+                            tier_delay += d;
+                        }
+                    }
+                }
+            }
+        }
         // Perform the DMA against the translated frames.
         let mut done = 0usize;
         let mut addr = va;
@@ -1196,8 +1288,13 @@ impl Rnic {
         if odp_misses > 0 {
             latency += model.odp_miss.unwrap_or(SimDuration::ZERO) * odp_misses as u64;
         }
-        latency += injected_delay;
-        Ok((VerbOutcome { latency, cache_hit: all_hit, odp_misses }, len))
+        latency += injected_delay + tier_delay;
+        Ok((VerbOutcome { latency, cache_hit: all_hit, odp_misses, pin_faults }, len))
+    }
+
+    /// The far tier attached to this NIC, if the host runs a pin budget.
+    pub fn tier(&self) -> Option<&Arc<FarTier>> {
+        self.config.tier.as_ref()
     }
 
     /// Cache hit/miss counters of the translation cache, summed over all
@@ -1393,6 +1490,95 @@ mod tests {
         assert_eq!(rnic.register(va, 1, true).unwrap_err(), RdmaError::OdpUnsupported);
         let (mr, _) = rnic.register(va, 1, false).unwrap();
         assert_eq!(rnic.advise(mr.rkey, va, 1).unwrap_err(), RdmaError::OdpUnsupported);
+    }
+
+    #[test]
+    fn dynamic_pin_fetches_pins_and_charges() {
+        use corm_sim_mem::{Residency, TierConfig};
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm.clone()));
+        let va = aspace.mmap(&frames).unwrap();
+        let tier = Arc::new(FarTier::new(TierConfig::nvme()));
+        let rnic = Rnic::new(
+            aspace.clone(),
+            RnicConfig { tier: Some(tier.clone()), dynamic_pin: true, ..RnicConfig::default() },
+        );
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        aspace.write(va, b"tiered").unwrap();
+        let mut buf = [0u8; 6];
+        rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        let warm = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(warm.pin_faults, 0);
+
+        tier.spill(&pm, frames[0], SimTime::ZERO).unwrap();
+        let faulted = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"tiered", "fetch must restore the page byte-exactly");
+        assert_eq!(faulted.pin_faults, 1);
+        assert_eq!(
+            faulted.latency,
+            warm.latency + tier.config().fetch_cost() + tier.config().dynamic_pin
+        );
+        assert_eq!(pm.residency(frames[0]), Residency::Pinned);
+
+        // Once pinned, the fault path is off again.
+        let again = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!((again.pin_faults, again.latency), (0, warm.latency));
+        assert_eq!(rnic.stats.pin_faults.load(Ordering::Relaxed), 1);
+        assert_eq!(rnic.stats.tier_fetches.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn hard_miss_and_odp_degenerate_paths() {
+        use corm_sim_mem::{Residency, TierConfig};
+        // Pinned-only NIC (no dynamic pin, non-ODP region): a far page is a
+        // hard miss — fetch plus the synchronous host fault charge — and
+        // the host re-pins the page.
+        let pm = Arc::new(PhysicalMemory::new());
+        let frames = pm.alloc_n(1).unwrap();
+        let aspace = Arc::new(AddressSpace::new(pm.clone()));
+        let va = aspace.mmap(&frames).unwrap();
+        let tier = Arc::new(FarTier::new(TierConfig::cxl()));
+        let rnic = Rnic::new(
+            aspace.clone(),
+            RnicConfig { tier: Some(tier.clone()), ..RnicConfig::default() },
+        );
+        let (mr, _) = rnic.register(va, 1, false).unwrap();
+        let mut buf = [0u8; 8];
+        rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        let warm = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        tier.spill(&pm, frames[0], SimTime::ZERO).unwrap();
+        let hard = rnic.read(mr.rkey, va, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(
+            hard.latency,
+            warm.latency + tier.config().fetch_cost() + tier.config().hard_miss_extra
+        );
+        assert_eq!(hard.pin_faults, 0);
+        assert_eq!(pm.residency(frames[0]), Residency::Pinned);
+        assert_eq!(rnic.stats.hard_misses.load(Ordering::Relaxed), 1);
+
+        // ODP region: the far page degenerates to the existing lazy fault
+        // (odp_miss charge) and stays unpinned afterwards.
+        let pm2 = Arc::new(PhysicalMemory::new());
+        let frames2 = pm2.alloc_n(1).unwrap();
+        let aspace2 = Arc::new(AddressSpace::new(pm2.clone()));
+        let va2 = aspace2.mmap(&frames2).unwrap();
+        let tier2 = Arc::new(FarTier::new(TierConfig::cxl()));
+        let rnic2 =
+            Rnic::new(aspace2, RnicConfig { tier: Some(tier2.clone()), ..RnicConfig::default() });
+        let (mr2, _) = rnic2.register(va2, 1, true).unwrap();
+        rnic2.read(mr2.rkey, va2, &mut buf, SimTime::ZERO).unwrap();
+        let warm2 = rnic2.read(mr2.rkey, va2, &mut buf, SimTime::ZERO).unwrap();
+        tier2.spill(&pm2, frames2[0], SimTime::ZERO).unwrap();
+        let lazy = rnic2.read(mr2.rkey, va2, &mut buf, SimTime::ZERO).unwrap();
+        let odp_miss = rnic2.config.model.odp_miss.unwrap();
+        assert_eq!(lazy.odp_misses, 1);
+        assert_eq!(lazy.latency, warm2.latency + tier2.config().fetch_cost() + odp_miss);
+        assert_eq!(pm2.residency(frames2[0]), Residency::Resident);
+        // Resident-but-unpinned is free under ODP.
+        let settled = rnic2.read(mr2.rkey, va2, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(settled.latency, warm2.latency);
+        assert_eq!(pm2.residency(frames2[0]), Residency::Resident);
     }
 
     #[test]
