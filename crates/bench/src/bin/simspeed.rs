@@ -19,21 +19,34 @@
 //!   prints the merged per-stage breakdown (counts, virtual totals, and
 //!   wall totals) from the corm-trace stage registries.
 
-use corm_bench::report::{f2, write_json, Table};
+use corm_bench::report::{f2, write_json, Json, JsonObject, Table};
 use corm_bench::simspeed::{
-    bench_json, committed_bench_path, host_cpus, parse_committed, run_fig12_cell, run_fig13_cell,
-    run_fig13_lanes_cell, run_fig21_cell, run_fig22_cell, stage_profile, SpeedCell,
-    LANES_CELL_THREADS,
+    bench_json, committed_bench_path, host_cpus, parse_committed, parse_trajectory,
+    push_trajectory, run_fig12_cell, run_fig13_cell, run_fig13_lanes_cell, run_fig21_cell,
+    run_fig22_cell, stage_profile, SpeedCell, TrajectoryEntry, LANES_CELL_THREADS,
 };
 use corm_trace::TraceHandle;
+
+/// `git <args>` in the current directory, trimmed stdout; `None` off a
+/// work tree (the committed history then records `unknown`).
+fn git(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let t = s.trim();
+    (!t.is_empty()).then(|| t.to_string())
+}
 
 fn env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok()?.parse().ok()
 }
 
-/// One `--profile` run: executes `run` against a recording handle and
-/// prints the merged per-stage totals table.
-fn profile_cell(name: &str, run: impl FnOnce(&TraceHandle) -> SpeedCell) {
+/// One `--profile` run: executes `run` against a recording handle, prints
+/// the merged per-stage totals table, and returns the totals as a JSON
+/// object for the machine-readable profile artifact.
+fn profile_cell(name: &str, run: impl FnOnce(&TraceHandle) -> SpeedCell) -> Json {
     let trace = TraceHandle::recording();
     let cell = run(&trace);
     let mut t = Table::new(
@@ -57,6 +70,23 @@ fn profile_cell(name: &str, run: impl FnOnce(&TraceHandle) -> SpeedCell) {
     if trace.dropped() > 0 {
         println!("note: {} span events dropped (totals above remain exact)", trace.dropped());
     }
+    let mut stages = JsonObject::new();
+    for (stage, count, virt_ns, wall_ns) in stage_profile(&trace) {
+        stages = stages.field(
+            stage,
+            JsonObject::new()
+                .uint("count", count)
+                .uint("virt_ns", virt_ns)
+                .uint("wall_ns", wall_ns)
+                .build(),
+        );
+    }
+    JsonObject::new()
+        .str("workload", name)
+        .float("best_wall_secs", cell.wall_secs)
+        .uint("traced_repeats", corm_bench::simspeed::REPEATS as u64)
+        .field("stages", stages.build())
+        .build()
 }
 
 fn main() {
@@ -98,25 +128,49 @@ fn main() {
     }
 
     let committed_path = committed_bench_path();
-    let committed = std::fs::read_to_string(&committed_path).ok().and_then(|s| {
-        let parsed = parse_committed(&s);
+    let committed_text = std::fs::read_to_string(&committed_path).ok();
+    let committed = committed_text.as_deref().and_then(|s| {
+        let parsed = parse_committed(s);
         if parsed.is_none() {
             eprintln!("warning: {} exists but did not parse", committed_path.display());
         }
         parsed
     });
+    let mut trajectory = committed_text.as_deref().map(parse_trajectory).unwrap_or_default();
+    if update {
+        trajectory = push_trajectory(
+            trajectory,
+            TrajectoryEntry {
+                sha: git(&["rev-parse", "--short=12", "HEAD"]).unwrap_or_else(|| "unknown".into()),
+                date: git(&["show", "-s", "--format=%cs", "HEAD"])
+                    .unwrap_or_else(|| "unknown".into()),
+                fig12_events_per_sec: fig12.events_per_sec(),
+                fig13_events_per_sec: fig13.events_per_sec(),
+                fig21_events_per_sec: fig21.events_per_sec(),
+                fig22_events_per_sec: fig22.events_per_sec(),
+            },
+        );
+    }
 
     // The BinaryHeap-era baseline rides along in every snapshot so the
-    // speedup column stays anchored to the pre-optimization simulator.
+    // speedup column stays anchored to the pre-optimization simulator. A
+    // snapshot that lost it (hand edit, truncated publish) is recomputed
+    // from the slowest trajectory point — the closest surviving record of
+    // the pre-optimization speed — before falling back to this run.
+    let slowest = |pick: fn(&TrajectoryEntry) -> f64| {
+        trajectory.iter().map(pick).fold(f64::INFINITY, f64::min)
+    };
     let heap = (
         env_f64("CORM_SIMSPEED_HEAP_FIG12")
-            .or(committed.map(|c| c.heap_fig12_events_per_sec))
+            .or(committed.as_ref().map(|c| c.heap_fig12_events_per_sec))
+            .or((!trajectory.is_empty()).then(|| slowest(|e| e.fig12_events_per_sec)))
             .unwrap_or_else(|| fig12.events_per_sec()),
         env_f64("CORM_SIMSPEED_HEAP_FIG13")
-            .or(committed.map(|c| c.heap_fig13_events_per_sec))
+            .or(committed.as_ref().map(|c| c.heap_fig13_events_per_sec))
+            .or((!trajectory.is_empty()).then(|| slowest(|e| e.fig13_events_per_sec)))
             .unwrap_or_else(|| fig13.events_per_sec()),
     );
-    let doc = bench_json(&fig12, &fig13, &fig21, &fig22, &lanes, heap);
+    let doc = bench_json(&fig12, &fig13, &fig21, &fig22, &lanes, heap, &trajectory);
     let path = write_json("simspeed", &doc).expect("write results json");
     println!("\njson: {}", path.display());
     println!(
@@ -205,6 +259,21 @@ fn main() {
         if pinned > 0 {
             println!("fingerprint gate passed: {pinned} serial cells match the committed snapshot");
         }
+        // The lane sweep is gated too: every executor width already agreed
+        // with lanes[0] above, so pinning t1 pins the whole sweep.
+        match committed.fig13_lanes_fingerprint {
+            Some(fp) => {
+                assert_eq!(
+                    lanes[0].fingerprint, fp,
+                    "seeded lane-sweep results drifted from the committed fingerprint",
+                );
+                println!("fingerprint gate passed: lane sweep matches the committed snapshot");
+            }
+            None => println!(
+                "fingerprint gate skipped for the lane sweep: committed snapshot predates \
+                 its fingerprint publication (refresh with --update)"
+            ),
+        }
         // Lane sweep gate: a multi-CPU host must actually realise the
         // parallel windows as wall-clock speedup; a 1-CPU host physically
         // cannot, so only the (always-on) fingerprint identity above
@@ -237,10 +306,19 @@ fn main() {
     }
 
     if profile {
-        profile_cell("fig12", run_fig12_cell);
-        profile_cell("fig13", run_fig13_cell);
-        profile_cell("fig21", run_fig21_cell);
-        profile_cell("fig22", run_fig22_cell);
-        profile_cell("fig13_lanes_t4", |t| run_fig13_lanes_cell(4, t));
+        let cells = vec![
+            profile_cell("fig12", run_fig12_cell),
+            profile_cell("fig13", run_fig13_cell),
+            profile_cell("fig21", run_fig21_cell),
+            profile_cell("fig22", run_fig22_cell),
+            profile_cell("fig13_lanes_t4", |t| run_fig13_lanes_cell(4, t)),
+        ];
+        let doc = JsonObject::new()
+            .str("schema", "corm-simspeed-profile-v1")
+            .uint("host_cpus", host_cpus() as u64)
+            .field("cells", Json::Arr(cells))
+            .build();
+        let path = write_json("simspeed_profile", &doc).expect("write profile json");
+        println!("profile json: {}", path.display());
     }
 }

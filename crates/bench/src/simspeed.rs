@@ -509,6 +509,100 @@ pub fn stage_profile(trace: &TraceHandle) -> Vec<(&'static str, u64, u64, u64)> 
         .collect()
 }
 
+/// One point of the bounded measurement history kept in
+/// `BENCH_simspeed.json`: the events/sec of every serial cell at one
+/// `--update`, keyed by the git commit and its date. The committed file
+/// keeps the last [`TRAJECTORY_KEEP`] points so speed regressions (and
+/// wins) stay visible across PRs without unbounded file growth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Abbreviated git commit SHA at measurement time (`unknown` when the
+    /// binary runs outside a work tree).
+    pub sha: String,
+    /// Commit date, `YYYY-MM-DD`.
+    pub date: String,
+    /// fig12 events/sec.
+    pub fig12_events_per_sec: f64,
+    /// fig13 events/sec.
+    pub fig13_events_per_sec: f64,
+    /// fig21 events/sec.
+    pub fig21_events_per_sec: f64,
+    /// fig22 events/sec.
+    pub fig22_events_per_sec: f64,
+}
+
+impl TrajectoryEntry {
+    /// The entry as a JSON object.
+    pub fn json(&self) -> Json {
+        JsonObject::new()
+            .str("sha", &self.sha)
+            .str("date", &self.date)
+            .float("fig12_events_per_sec", self.fig12_events_per_sec)
+            .float("fig13_events_per_sec", self.fig13_events_per_sec)
+            .float("fig21_events_per_sec", self.fig21_events_per_sec)
+            .float("fig22_events_per_sec", self.fig22_events_per_sec)
+            .build()
+    }
+}
+
+/// How many trajectory points `--update` keeps (oldest dropped first).
+pub const TRAJECTORY_KEEP: usize = 20;
+
+/// Parses the `"trajectory":[...]` array out of a committed
+/// `BENCH_simspeed.json`. Hand-rolled like [`parse_committed`]; snapshots
+/// that predate the trajectory (or fail to parse) yield an empty history.
+pub fn parse_trajectory(json: &str) -> Vec<TrajectoryEntry> {
+    let Some(start) = json.find("\"trajectory\":") else { return Vec::new() };
+    let rest = &json[start..];
+    let Some(open) = rest.find('[') else { return Vec::new() };
+    let Some(close) = rest[open..].find(']') else { return Vec::new() };
+    let body = &rest[open + 1..open + close];
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some(obj_start) = body[at..].find('{') {
+        let Some(obj_end) = body[at + obj_start..].find('}') else { break };
+        let obj = &body[at + obj_start..at + obj_start + obj_end + 1];
+        at += obj_start + obj_end + 1;
+        let entry = (|| {
+            Some(TrajectoryEntry {
+                sha: extract_str(obj, "sha")?,
+                date: extract_str(obj, "date")?,
+                fig12_events_per_sec: extract_number(obj, "{", "fig12_events_per_sec")?,
+                fig13_events_per_sec: extract_number(obj, "{", "fig13_events_per_sec")?,
+                fig21_events_per_sec: extract_number(obj, "{", "fig21_events_per_sec")?,
+                fig22_events_per_sec: extract_number(obj, "{", "fig22_events_per_sec")?,
+            })
+        })();
+        if let Some(e) = entry {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Appends this run's entry to the committed history, replacing any
+/// existing point for the same SHA (re-publishing before committing must
+/// not duplicate), and trims to the last [`TRAJECTORY_KEEP`] points.
+pub fn push_trajectory(
+    mut history: Vec<TrajectoryEntry>,
+    entry: TrajectoryEntry,
+) -> Vec<TrajectoryEntry> {
+    history.retain(|e| e.sha != entry.sha);
+    history.push(entry);
+    let excess = history.len().saturating_sub(TRAJECTORY_KEEP);
+    history.drain(..excess);
+    history
+}
+
+/// Extracts the string following `"key":"` in `json`.
+fn extract_str(json: &str, key: &str) -> Option<String> {
+    let k = format!("\"{key}\":\"");
+    let at = json.find(&k)? + k.len();
+    let tail = &json[at..];
+    let end = tail.find('"')?;
+    Some(tail[..end].to_string())
+}
+
 /// A committed `BENCH_simspeed.json` snapshot, as far as the regression
 /// gate needs it.
 #[derive(Debug, Clone, Copy)]
@@ -535,6 +629,9 @@ pub struct CommittedBench {
     pub fig21_fingerprint: Option<u64>,
     /// fig22 result fingerprint at commit time (`None` for old snapshots).
     pub fig22_fingerprint: Option<u64>,
+    /// Lane-sweep result fingerprint at commit time (the t1 cell; every
+    /// executor width must agree with it). `None` for old snapshots.
+    pub fig13_lanes_fingerprint: Option<u64>,
 }
 
 /// Extracts the number following `"key":` after the first occurrence of
@@ -586,6 +683,7 @@ pub fn parse_committed(json: &str) -> Option<CommittedBench> {
         fig13_fingerprint: extract_u64(json, "\"fig13\"", "fingerprint"),
         fig21_fingerprint: extract_u64(json, "\"fig21\"", "fingerprint"),
         fig22_fingerprint: extract_u64(json, "\"fig22\"", "fingerprint"),
+        fig13_lanes_fingerprint: extract_u64(json, "\"fig13_lanes_t1\"", "fingerprint"),
     })
 }
 
@@ -606,8 +704,12 @@ pub fn committed_bench_path() -> PathBuf {
 }
 
 /// Renders the full benchmark document. `heap` is the pre-optimization
-/// `BinaryHeap` baseline (carried forward from the committed file, or the
-/// measurement itself on first publish).
+/// `BinaryHeap` baseline (carried forward from the committed file,
+/// recomputed from the slowest trajectory point when the committed value
+/// went missing, or the measurement itself on first publish);
+/// `speedup_vs_heap` is always recomputed from the fresh cells so a stale
+/// committed ratio can never survive a publish. `trajectory` is the
+/// bounded per-`--update` history (last [`TRAJECTORY_KEEP`] points).
 pub fn bench_json(
     fig12: &SpeedCell,
     fig13: &SpeedCell,
@@ -615,6 +717,7 @@ pub fn bench_json(
     fig22: &SpeedCell,
     lanes: &[SpeedCell],
     heap: (f64, f64),
+    trajectory: &[TrajectoryEntry],
 ) -> Json {
     let mut lanes_obj = JsonObject::new()
         .uint("lane_count", LANES_CELL_LANES as u64)
@@ -651,6 +754,7 @@ pub fn bench_json(
                 .float("fig13", fig13.events_per_sec() / heap.1)
                 .build(),
         )
+        .field("trajectory", Json::Arr(trajectory.iter().map(TrajectoryEntry::json).collect()))
         .build()
 }
 
@@ -658,6 +762,65 @@ pub fn bench_json(
 mod tests {
     use super::*;
     use corm_trace::{canonical_lines, diff_canonical};
+
+    fn entry(sha: &str, eps: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            sha: sha.to_string(),
+            date: "2026-08-07".to_string(),
+            fig12_events_per_sec: eps,
+            fig13_events_per_sec: eps * 2.0,
+            fig21_events_per_sec: eps * 3.0,
+            fig22_events_per_sec: eps * 4.0,
+        }
+    }
+
+    /// S2: the trajectory survives a render → parse round trip through the
+    /// hand-rolled JSON layer, embedded in a full benchmark document.
+    #[test]
+    fn trajectory_round_trips_through_bench_json() {
+        let cell = SpeedCell {
+            workload: "fig12",
+            events: 1000,
+            wall_secs: 0.5,
+            virt: SimDuration::from_millis(10),
+            fingerprint: u64::MAX - 7,
+        };
+        let history = vec![entry("aaa111", 1.0e6), entry("bbb222", 2.5e6)];
+        let doc = bench_json(
+            &cell,
+            &cell,
+            &cell,
+            &cell,
+            std::slice::from_ref(&cell),
+            (1.0e6, 2.0e6),
+            &history,
+        );
+        let parsed = parse_trajectory(&doc.render());
+        assert_eq!(parsed, history);
+    }
+
+    /// S2: publishing replaces a same-SHA point instead of duplicating it
+    /// and keeps only the last [`TRAJECTORY_KEEP`] points.
+    #[test]
+    fn trajectory_push_dedupes_and_bounds() {
+        let mut history = Vec::new();
+        for i in 0..TRAJECTORY_KEEP + 5 {
+            history = push_trajectory(history, entry(&format!("sha{i}"), i as f64));
+        }
+        assert_eq!(history.len(), TRAJECTORY_KEEP);
+        assert_eq!(history[0].sha, "sha5", "oldest points are dropped first");
+        // Re-publishing at the head SHA replaces the entry in place.
+        let republished = push_trajectory(history.clone(), entry("sha24", 99.0));
+        assert_eq!(republished.len(), TRAJECTORY_KEEP);
+        assert_eq!(republished.last().unwrap().fig12_events_per_sec, 99.0);
+        assert_eq!(republished.iter().filter(|e| e.sha == "sha24").count(), 1);
+    }
+
+    /// Snapshots that predate the trajectory parse to an empty history.
+    #[test]
+    fn missing_trajectory_parses_empty() {
+        assert!(parse_trajectory("{\"fig12\":{\"events_per_sec\":1.0}}").is_empty());
+    }
 
     /// S4: same seed → identical virtual-time results and identical
     /// canonical trace streams (`trace_diff` would exit 0).
@@ -780,7 +943,7 @@ mod tests {
                 fingerprint: 45,
             },
         ];
-        let doc = bench_json(&a, &b, &c, &d, &lanes, (1000.0, 4000.0)).render();
+        let doc = bench_json(&a, &b, &c, &d, &lanes, (1000.0, 4000.0), &[]).render();
         assert!(
             extract_number(&doc, "\"fig13_lanes_t4\"", "events_per_sec")
                 .is_some_and(|eps| (eps - 8000.0).abs() < 1e-9),
@@ -793,6 +956,7 @@ mod tests {
         assert!((parsed.fig21_events_per_sec.expect("fig21 present") - 6000.0).abs() < 1e-9);
         assert!((parsed.fig22_events_per_sec.expect("fig22 present") - 3000.0).abs() < 1e-9);
         assert_eq!(parsed.fig22_fingerprint, Some(46));
+        assert_eq!(parsed.fig13_lanes_fingerprint, Some(45));
         assert!((parsed.heap_fig12_events_per_sec - 1000.0).abs() < 1e-9);
         assert!((parsed.heap_fig13_events_per_sec - 4000.0).abs() < 1e-9);
         assert_eq!(

@@ -1,0 +1,231 @@
+//! Proof that a steady-state fig12 op is allocation-free.
+//!
+//! The whole test binary runs under a counting `#[global_allocator]`: after
+//! a warm-up phase fills every scratch buffer, slab arena, translation
+//! cache, and histogram bucket, the measured phase replays the fig12 hot
+//! loop's op pipeline — workload draw, event-queue schedule/pop, one-sided
+//! `direct_read`, RPC-path `server.write`, FIFO-station admits, torn-read
+//! bookkeeping, latency recording — and asserts the allocation counter does
+//! not move. Any `vec![..]`/`Box::new`/map-growth regression on the hot
+//! path fails this test with the exact allocation count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use corm_bench::populate_server;
+use corm_bench::simspeed::{FIG12_OBJECTS, FIG12_SIZE, SEED};
+use corm_core::client::CormClient;
+use corm_core::server::ServerConfig;
+use corm_core::ReadOutcome;
+use corm_sim_core::hash::FastHashMap;
+use corm_sim_core::queue::EventQueue;
+use corm_sim_core::resource::FifoResource;
+use corm_sim_core::rng::stream_rng;
+use corm_sim_core::stats::Histogram;
+use corm_sim_core::time::{SimDuration, SimTime};
+use corm_workloads::ycsb::{KeyDist, Mix, Op, Workload};
+
+/// Delegates to the system allocator, counting every allocation (including
+/// growth reallocs). Frees are not counted: the invariant under test is
+/// "zero allocator round trips per steady-state op", and a free without a
+/// matching alloc cannot happen.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static TRAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn trap_hit(size: usize) {
+    // Runs inside the allocator: report without allocating, then abort so
+    // the run stops at the offending call site (visible under a debugger).
+    let mut msg = *b"TRAP alloc size=00000000\n";
+    let mut n = size;
+    for i in (16..24).rev() {
+        msg[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+    }
+    unsafe { libc_write(2, msg.as_ptr(), msg.len()) };
+    std::process::abort();
+}
+
+unsafe fn libc_write(fd: i32, buf: *const u8, len: usize) {
+    std::arch::asm!(
+        "syscall",
+        in("rax") 1usize, in("rdi") fd as usize, in("rsi") buf as usize,
+        in("rdx") len, out("rcx") _, out("r11") _,
+    );
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if TRAP.load(Ordering::Relaxed) {
+            trap_hit(layout.size());
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if TRAP.load(Ordering::Relaxed) {
+            trap_hit(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// One fig12-shaped op: draw from the workload, pay the queue churn, run
+/// the real client/server handler, and record the outcome — the same
+/// stations `run_closed_loop` drives, minus the parts that only shape
+/// virtual time. Returns the op's completion time for requeueing.
+#[allow(clippy::too_many_arguments)]
+fn one_op(
+    op: Op,
+    now: SimTime,
+    client: &mut CormClient,
+    server: &corm_core::server::CormServer,
+    ptrs: &mut [corm_core::GlobalPtr],
+    buf: &mut [u8],
+    payload: &[u8],
+    ingress: &mut FifoResource,
+    workers: &mut FifoResource,
+    nic: &mut FifoResource,
+    write_busy: &mut FastHashMap<u64, (SimTime, SimTime)>,
+    hist: &mut Histogram,
+) -> SimTime {
+    let service = SimDuration::from_nanos(500);
+    match op {
+        Op::Write(k) => {
+            let ingress_done = ingress.admit(now, service);
+            nic.admit(now, service);
+            let mut ptr = ptrs[k as usize];
+            let t = server.write(0, &mut ptr, payload).expect("steady-state write");
+            ptrs[k as usize] = ptr;
+            let worker_done = workers.admit(ingress_done, t.cost);
+            write_busy.insert(k, (ingress_done, worker_done));
+            worker_done
+        }
+        Op::Read(k) => {
+            let ptr = ptrs[k as usize];
+            let t = client.direct_read(&ptr, buf, now).expect("qp healthy");
+            let torn =
+                write_busy.get(&k).map(|&(s, e)| now < e && now + t.cost > s).unwrap_or(false);
+            if !torn {
+                assert!(matches!(t.value, ReadOutcome::Ok(_)), "steady-state read must validate");
+            }
+            let done = nic.admit(now, service) + t.cost;
+            hist.record_duration(done - now);
+            done
+        }
+    }
+}
+
+#[test]
+fn steady_state_fig12_op_allocates_nothing() {
+    let store = populate_server(ServerConfig::default(), FIG12_OBJECTS, FIG12_SIZE);
+    let server = store.server.clone();
+    let mut ptrs = store.ptrs;
+    let mut client = CormClient::connect(server.clone());
+    let workload = Workload::new(FIG12_OBJECTS as u64, KeyDist::Zipf(0.99), Mix::BALANCED);
+    let mut rng = stream_rng(SEED, 0);
+    let mut queue: EventQueue<u32> = EventQueue::new();
+    let mut ingress = FifoResource::new(1);
+    let mut workers = FifoResource::new(server.config().workers);
+    let mut nic = FifoResource::new(1);
+    let mut write_busy: FastHashMap<u64, (SimTime, SimTime)> = FastHashMap::default();
+    let mut hist = Histogram::new();
+    // The latency vector is the one amortized grower in the loop's
+    // bookkeeping; reserve it up front so the measured window stays at
+    // exactly zero allocator round trips.
+    hist.reserve(64 * 1024);
+    let mut buf = vec![0u8; FIG12_SIZE];
+    let payload = vec![0xA5u8; FIG12_SIZE];
+
+    let mut clock = SimTime::ZERO;
+    let run = |ops: usize,
+               clock: &mut SimTime,
+               client: &mut CormClient,
+               ptrs: &mut [corm_core::GlobalPtr],
+               rng: &mut corm_sim_core::rng::DetRng,
+               queue: &mut EventQueue<u32>,
+               ingress: &mut FifoResource,
+               workers: &mut FifoResource,
+               nic: &mut FifoResource,
+               write_busy: &mut FastHashMap<u64, (SimTime, SimTime)>,
+               hist: &mut Histogram,
+               buf: &mut [u8]| {
+        queue.schedule(*clock, 0);
+        for _ in 0..ops {
+            let (now, cid) = queue.pop().expect("queue never drains mid-run");
+            *clock = now;
+            let op = workload.next_op(rng);
+            let done = one_op(
+                op, now, client, &server, ptrs, buf, &payload, ingress, workers, nic, write_busy,
+                hist,
+            );
+            queue.schedule(done.max(now + SimDuration::from_nanos(1)), cid);
+        }
+        // Drain the final requeue so the next phase starts from an empty
+        // queue; its timestamp is the queue's notion of "now".
+        if let Some((t, _)) = queue.pop() {
+            *clock = t;
+        }
+    };
+
+    // Warm-up: fill scratch vectors, slab free lists, the RNIC translation
+    // cache (4096 objects × 32 B spans a bounded page set), the histogram's
+    // bucket vector, and the write-busy map to its steady-state capacity.
+    run(
+        20_000,
+        &mut clock,
+        &mut client,
+        &mut ptrs,
+        &mut rng,
+        &mut queue,
+        &mut ingress,
+        &mut workers,
+        &mut nic,
+        &mut write_busy,
+        &mut hist,
+        &mut buf,
+    );
+
+    if std::env::var_os("ALLOC_TRAP").is_some() {
+        TRAP.store(true, Ordering::Relaxed);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    run(
+        20_000,
+        &mut clock,
+        &mut client,
+        &mut ptrs,
+        &mut rng,
+        &mut queue,
+        &mut ingress,
+        &mut workers,
+        &mut nic,
+        &mut write_busy,
+        &mut hist,
+        &mut buf,
+    );
+    TRAP.store(false, Ordering::Relaxed);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state fig12 ops hit the allocator {} times in 20k ops",
+        after - before
+    );
+}

@@ -186,6 +186,16 @@ pub struct CormClient {
     batch_out: Vec<Vec<u8>>,
     batch_results: Vec<ReadResult>,
     batch_order: Vec<usize>,
+    /// Scratch for the batch retry/repair bookkeeping: the pending and
+    /// next-round index lists, the indices routed to the repair RPC, and
+    /// that RPC's pointer/buffer arguments. Recycled like the batch
+    /// scratch above so a retrying multi-get allocates nothing after
+    /// warm-up.
+    batch_pending: Vec<usize>,
+    batch_retry: Vec<usize>,
+    repair_idx: Vec<usize>,
+    repair_ptrs: Vec<GlobalPtr>,
+    repair_bufs: Vec<Vec<u8>>,
     /// Recycled slot/block image for DirectRead and ScanRead: the DMA
     /// fully overwrites the fetched range and validation happens before
     /// any payload copy, so reuse is invisible to callers.
@@ -245,6 +255,11 @@ impl CormClient {
             batch_out: Vec::new(),
             batch_results: Vec::new(),
             batch_order: Vec::new(),
+            batch_pending: Vec::new(),
+            batch_retry: Vec::new(),
+            repair_idx: Vec::new(),
+            repair_ptrs: Vec::new(),
+            repair_bufs: Vec::new(),
             image_scratch: Vec::new(),
         }
     }
@@ -680,146 +695,184 @@ impl CormClient {
         let mut clock = now;
         let mut reconnects = 0usize;
         let mut locked_last = false;
-        let mut pending: Vec<usize> = (0..n).collect();
-        for _ in 0..self.config.max_retries {
-            // A corrupt class byte can never match a live object: such
-            // entries skip the wire and go straight to the repair RPC,
-            // like the sequential path's NotValid route.
-            let mut repair: Vec<usize> = Vec::new();
-            self.batch_reqs.clear();
-            for &i in pending.iter() {
-                match self.slot_bytes(&ptrs[i]) {
-                    Ok(slot_bytes) => {
-                        // Multi-gets ride the latency class; on a shared
-                        // connection the mux re-tags the tenant itself.
-                        self.batch_reqs.push(ReadReq::new(
-                            i as u64,
-                            ptrs[i].rkey,
-                            ptrs[i].vaddr,
-                            slot_bytes,
-                        ));
-                    }
-                    Err(_) => {
-                        self.failed_direct_reads += 1;
-                        repair.push(i);
-                    }
-                }
-            }
-            let mut next_pending: Vec<usize> = Vec::new();
-            let mut need_reconnect = false;
-            let mut locked_any = false;
-            let posted = self.batch_reqs.len();
-            if posted > 0 {
-                // Slot images DMA straight into the client's recycled
-                // scratch buffers — the synchronous path with identical
-                // virtual-time and fault semantics to post/doorbell/poll.
-                while self.batch_out.len() < posted {
-                    self.batch_out.push(Vec::new());
-                }
-                self.conn.read_batch_into(
-                    &self.batch_reqs,
-                    &mut self.batch_out[..posted],
-                    clock,
-                    &mut self.batch_results,
-                );
-                debug_assert_eq!(self.batch_results.len(), posted);
-                // Walk results in virtual completion order — the order
-                // poll_cq would have delivered them — so the repair and
-                // retry lists keep their queued-path ordering.
-                self.batch_order.clear();
-                self.batch_order.extend(0..posted);
-                let results = &self.batch_results;
-                self.batch_order.sort_by_key(|&k| results[k].completed_at);
-                let mut batch_end = clock;
-                let mut checks = SimDuration::ZERO;
-                for &k in self.batch_order.iter() {
-                    let r = &self.batch_results[k];
-                    batch_end = batch_end.max(r.completed_at);
-                    let i = r.wr_id as usize;
-                    match r.result {
-                        Err(ref e) if Self::recoverable(e) => {
-                            need_reconnect = true;
-                            next_pending.push(i);
+        // The round-trip bookkeeping lives in recycled client scratch:
+        // taken out for the duration of the call (so the borrow checker
+        // sees plain locals) and restored before returning.
+        let mut pending = std::mem::take(&mut self.batch_pending);
+        let mut next_pending = std::mem::take(&mut self.batch_retry);
+        let mut repair = std::mem::take(&mut self.repair_idx);
+        pending.clear();
+        pending.extend(0..n);
+        let outcome = 'retry: {
+            for _ in 0..self.config.max_retries {
+                // A corrupt class byte can never match a live object: such
+                // entries skip the wire and go straight to the repair RPC,
+                // like the sequential path's NotValid route.
+                repair.clear();
+                next_pending.clear();
+                self.batch_reqs.clear();
+                for &i in pending.iter() {
+                    match self.slot_bytes(&ptrs[i]) {
+                        Ok(slot_bytes) => {
+                            // Multi-gets ride the latency class; on a shared
+                            // connection the mux re-tags the tenant itself.
+                            self.batch_reqs.push(ReadReq::new(
+                                i as u64,
+                                ptrs[i].rkey,
+                                ptrs[i].vaddr,
+                                slot_bytes,
+                            ));
                         }
-                        Err(ref e) => return Err(CormError::Rdma(e.clone())),
-                        Ok(_) => {
-                            let image = &self.batch_out[k];
-                            checks += model.version_check_cost(image.len());
-                            match consistency::gather_into(
-                                image,
-                                Some(ptrs[i].obj_id),
-                                &mut bufs[i],
-                            ) {
-                                Ok((_, m)) => lens[i] = m,
-                                Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
-                                    self.failed_direct_reads += 1;
-                                    locked_any = true;
-                                    next_pending.push(i);
-                                }
-                                Err(_) => {
-                                    self.failed_direct_reads += 1;
-                                    repair.push(i);
+                        Err(_) => {
+                            self.failed_direct_reads += 1;
+                            repair.push(i);
+                        }
+                    }
+                }
+                let mut need_reconnect = false;
+                let mut locked_any = false;
+                let posted = self.batch_reqs.len();
+                if posted > 0 {
+                    // Slot images DMA straight into the client's recycled
+                    // scratch buffers — the synchronous path with identical
+                    // virtual-time and fault semantics to post/doorbell/poll.
+                    while self.batch_out.len() < posted {
+                        self.batch_out.push(Vec::new());
+                    }
+                    self.conn.read_batch_into(
+                        &self.batch_reqs,
+                        &mut self.batch_out[..posted],
+                        clock,
+                        &mut self.batch_results,
+                    );
+                    debug_assert_eq!(self.batch_results.len(), posted);
+                    // Walk results in virtual completion order — the order
+                    // poll_cq would have delivered them — so the repair and
+                    // retry lists keep their queued-path ordering.
+                    self.batch_order.clear();
+                    self.batch_order.extend(0..posted);
+                    let results = &self.batch_results;
+                    self.batch_order.sort_by_key(|&k| results[k].completed_at);
+                    let mut batch_end = clock;
+                    let mut checks = SimDuration::ZERO;
+                    for &k in self.batch_order.iter() {
+                        let r = &self.batch_results[k];
+                        batch_end = batch_end.max(r.completed_at);
+                        let i = r.wr_id as usize;
+                        match r.result {
+                            Err(ref e) if Self::recoverable(e) => {
+                                need_reconnect = true;
+                                next_pending.push(i);
+                            }
+                            Err(ref e) => break 'retry Err(CormError::Rdma(e.clone())),
+                            Ok(_) => {
+                                let image = &self.batch_out[k];
+                                checks += model.version_check_cost(image.len());
+                                match consistency::gather_into(
+                                    image,
+                                    Some(ptrs[i].obj_id),
+                                    &mut bufs[i],
+                                ) {
+                                    Ok((_, m)) => lens[i] = m,
+                                    Err(ReadFailure::Locked) | Err(ReadFailure::TornRead) => {
+                                        self.failed_direct_reads += 1;
+                                        locked_any = true;
+                                        next_pending.push(i);
+                                    }
+                                    Err(_) => {
+                                        self.failed_direct_reads += 1;
+                                        repair.push(i);
+                                    }
                                 }
                             }
                         }
                     }
+                    // The client is blocked until the slowest completion
+                    // lands, then validates all images back-to-back on the
+                    // CPU.
+                    let makespan = batch_end.saturating_since(clock) + checks;
+                    self.trace.span(Track::Client, Stage::BatchWindow, op, clock, makespan);
+                    total += makespan;
+                    clock += makespan;
                 }
-                // The client is blocked until the slowest completion lands,
-                // then validates all images back-to-back on the CPU.
-                let makespan = batch_end.saturating_since(clock) + checks;
-                self.trace.span(Track::Client, Stage::BatchWindow, op, clock, makespan);
-                total += makespan;
-                clock += makespan;
-            }
-            if !repair.is_empty() {
-                let w = self.pick_worker();
-                let mut rp: Vec<GlobalPtr> = repair.iter().map(|&i| ptrs[i]).collect();
-                let mut rb: Vec<Vec<u8>> =
-                    repair.iter().map(|&i| vec![0u8; bufs[i].len()]).collect();
-                let t = self.server.read_many(w, &mut rp, &mut rb);
-                // One RPC carries the whole repair batch: a single wire
-                // round trip amortized over every repaired entry.
-                let repaired: usize = t.value.iter().map(|r| *r.as_ref().unwrap_or(&0)).sum();
-                let wire = self.rpc_wire(repaired);
-                self.trace.span(Track::Client, Stage::RepairRpc, op, clock, t.cost);
-                self.trace.span(Track::Client, Stage::RpcWire, op, clock + t.cost, wire);
-                let cost = t.cost + wire;
-                total += cost;
-                clock += cost;
-                for (k, &i) in repair.iter().enumerate() {
-                    ptrs[i] = rp[k];
-                    match &t.value[k] {
-                        Ok(m) => {
-                            bufs[i][..*m].copy_from_slice(&rb[k][..*m]);
-                            lens[i] = *m;
+                if !repair.is_empty() {
+                    let w = self.pick_worker();
+                    // The repair RPC's arguments come from recycled scratch
+                    // too: pointers are copied in, and each entry's staging
+                    // buffer is re-zeroed in place (no per-entry Vec).
+                    self.repair_ptrs.clear();
+                    self.repair_ptrs.extend(repair.iter().map(|&i| ptrs[i]));
+                    while self.repair_bufs.len() < repair.len() {
+                        self.repair_bufs.push(Vec::new());
+                    }
+                    for (k, &i) in repair.iter().enumerate() {
+                        let rb = &mut self.repair_bufs[k];
+                        rb.clear();
+                        rb.resize(bufs[i].len(), 0);
+                    }
+                    let t = server.read_many(
+                        w,
+                        &mut self.repair_ptrs,
+                        &mut self.repair_bufs[..repair.len()],
+                    );
+                    // One RPC carries the whole repair batch: a single wire
+                    // round trip amortized over every repaired entry.
+                    let repaired: usize = t.value.iter().map(|r| *r.as_ref().unwrap_or(&0)).sum();
+                    let wire = self.rpc_wire(repaired);
+                    self.trace.span(Track::Client, Stage::RepairRpc, op, clock, t.cost);
+                    self.trace.span(Track::Client, Stage::RpcWire, op, clock + t.cost, wire);
+                    let cost = t.cost + wire;
+                    total += cost;
+                    clock += cost;
+                    let mut fatal = None;
+                    for (k, &i) in repair.iter().enumerate() {
+                        ptrs[i] = self.repair_ptrs[k];
+                        match &t.value[k] {
+                            Ok(m) => {
+                                bufs[i][..*m].copy_from_slice(&self.repair_bufs[k][..*m]);
+                                lens[i] = *m;
+                            }
+                            Err(CormError::ObjectLocked) => {
+                                locked_any = true;
+                                next_pending.push(i);
+                            }
+                            Err(e) => {
+                                fatal = Some(e.clone());
+                                break;
+                            }
                         }
-                        Err(CormError::ObjectLocked) => {
-                            locked_any = true;
-                            next_pending.push(i);
-                        }
-                        Err(e) => return Err(e.clone()),
+                    }
+                    if let Some(e) = fatal {
+                        break 'retry Err(e);
                     }
                 }
+                if need_reconnect {
+                    if let Err(e) = self.recover_qp(op, &mut reconnects, &mut total, &mut clock) {
+                        break 'retry Err(e);
+                    }
+                }
+                if next_pending.is_empty() {
+                    self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
+                    break 'retry Ok(total);
+                }
+                if locked_any && !need_reconnect {
+                    self.trace.span(Track::Client, Stage::Backoff, op, clock, self.config.backoff);
+                    total += self.config.backoff;
+                    clock += self.config.backoff;
+                }
+                locked_last = locked_any;
+                // Re-post in posting (index) order so retried WQEs draw
+                // from the fault stream exactly as the sequential loop
+                // would.
+                next_pending.sort_unstable();
+                std::mem::swap(&mut pending, &mut next_pending);
             }
-            if need_reconnect {
-                self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
-            }
-            if next_pending.is_empty() {
-                self.trace.span(Track::Client, Stage::ClientOp, op, now, total);
-                return Ok(Timed::new(lens, total));
-            }
-            if locked_any && !need_reconnect {
-                self.trace.span(Track::Client, Stage::Backoff, op, clock, self.config.backoff);
-                total += self.config.backoff;
-                clock += self.config.backoff;
-            }
-            locked_last = locked_any;
-            // Re-post in posting (index) order so retried WQEs draw from
-            // the fault stream exactly as the sequential loop would.
-            next_pending.sort_unstable();
-            pending = next_pending;
-        }
-        Err(if locked_last { CormError::ObjectLocked } else { CormError::ObjectNotFound })
+            Err(if locked_last { CormError::ObjectLocked } else { CormError::ObjectNotFound })
+        };
+        self.batch_pending = pending;
+        self.batch_retry = next_pending;
+        self.repair_idx = repair;
+        outcome.map(|total| Timed::new(lens, total))
     }
 
     /// One-sided write with full recovery: fetches the slot image to learn
@@ -839,6 +892,22 @@ impl CormClient {
         data: &[u8],
         now: SimTime,
     ) -> Result<Timed<()>, CormError> {
+        let mut image = std::mem::take(&mut self.image_scratch);
+        let r = self.write_with_recovery_inner(ptr, data, now, &mut image);
+        self.image_scratch = image;
+        r
+    }
+
+    /// [`Self::write_with_recovery`] body over the recycled slot image:
+    /// the read verb fully overwrites it and the write-back re-scatters it
+    /// in place, so one buffer serves every retry without allocating.
+    fn write_with_recovery_inner(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        data: &[u8],
+        now: SimTime,
+        image: &mut Vec<u8>,
+    ) -> Result<Timed<()>, CormError> {
         let slot_bytes = self.slot_bytes(ptr)?;
         if data.len() > consistency::layout(slot_bytes).capacity {
             return Err(CormError::PayloadTooLarge(data.len()));
@@ -853,8 +922,8 @@ impl CormClient {
         let mut reconnects = 0usize;
         let mut locked_last = false;
         for _ in 0..self.config.max_retries {
-            let mut image = vec![0u8; slot_bytes];
-            let verb = match self.conn.read(ptr.rkey, ptr.vaddr, &mut image, clock) {
+            image.resize(slot_bytes, 0);
+            let verb = match self.conn.read(ptr.rkey, ptr.vaddr, &mut image[..], clock) {
                 Ok(v) => v,
                 Err(e) if Self::recoverable(&e) => {
                     self.recover_qp(op, &mut reconnects, &mut total, &mut clock)?;
@@ -868,10 +937,12 @@ impl CormClient {
             let cost = verb.latency + check;
             total += cost;
             clock += cost;
-            match consistency::gather(&image, Some(ptr.obj_id), 0) {
+            match consistency::gather(image, Some(ptr.obj_id), 0) {
                 Ok((header, _)) => {
-                    let image = consistency::scatter(header.bump_version(), data, slot_bytes);
-                    match self.conn.write(ptr.rkey, ptr.vaddr, &image, clock) {
+                    // Re-scatter in place: the validated image is dead
+                    // after the header is extracted.
+                    consistency::scatter_into(header.bump_version(), data, slot_bytes, image);
+                    match self.conn.write(ptr.rkey, ptr.vaddr, image, clock) {
                         Ok(v) => {
                             let copy = model.copy_cost(data.len());
                             self.trace.span(Track::Client, Stage::Verb, op, clock, v.latency);
@@ -938,11 +1009,24 @@ impl CormClient {
         ptr: &mut GlobalPtr,
         buf: &mut [u8],
     ) -> Result<Timed<usize>, CormError> {
+        let mut image = std::mem::take(&mut self.image_scratch);
+        let r = self.local_read_inner(ptr, buf, &mut image);
+        self.image_scratch = image;
+        r
+    }
+
+    /// [`Self::local_read`] body over the recycled slot image.
+    fn local_read_inner(
+        &mut self,
+        ptr: &mut GlobalPtr,
+        buf: &mut [u8],
+        image: &mut Vec<u8>,
+    ) -> Result<Timed<usize>, CormError> {
         let slot_bytes = self.slot_bytes(ptr)?;
-        let mut image = vec![0u8; slot_bytes];
-        self.server.aspace().read(ptr.vaddr, &mut image)?;
+        image.resize(slot_bytes, 0);
+        self.server.aspace().read(ptr.vaddr, image)?;
         let cost = self.server.model().local_read_cost(slot_bytes);
-        match consistency::gather(&image, Some(ptr.obj_id), buf.len()) {
+        match consistency::gather(image, Some(ptr.obj_id), buf.len()) {
             Ok((_, payload)) => {
                 let n = payload.len().min(buf.len());
                 buf[..n].copy_from_slice(&payload[..n]);

@@ -32,7 +32,9 @@ use corm_alloc::{
 };
 use corm_sim_core::rng::{stream_rng, DetRng};
 use corm_sim_core::time::{SimDuration, SimTime};
-use corm_sim_mem::{AddressSpace, FarTier, MemError, PhysicalMemory, Residency, TierConfig};
+use corm_sim_mem::{
+    AddressSpace, FarTier, MemError, PageSpan, PhysicalMemory, Residency, TierConfig,
+};
 use corm_sim_rdma::{LatencyModel, MttUpdateStrategy, QosConfig, RdmaError, Rnic, RnicConfig};
 use corm_trace::{Stage, TraceHandle, Track};
 
@@ -667,7 +669,8 @@ impl CormServer {
         }
         let slot = b.slot_of_offset(offset).ok_or(CormError::BadPointer)?;
         if b.id_at_slot(slot) == Some(ptr.obj_id as u32) {
-            return Ok((block.clone(), slot, SimDuration::ZERO, false));
+            drop(b);
+            return Ok((block, slot, SimDuration::ZERO, false));
         }
         // Indirect pointer: find the object by its ID (§3.2.1).
         let model = self.model();
@@ -730,7 +733,13 @@ impl CormServer {
                 let mut image = scratch.borrow_mut();
                 let b = block.lock();
                 image.resize(b.obj_size(), 0);
-                self.aspace.read(b.slot_vaddr(slot), &mut image)?;
+                // Translate through the block's own frame list (kept in
+                // sync with the page table under the block lock): one
+                // slice index instead of a page-table walk per read.
+                let slot_vaddr = b.slot_vaddr(slot);
+                let span = PageSpan::from_frames(slot_vaddr, image.len(), b.vaddr(), b.frames())
+                    .ok_or(CormError::BadPointer)?;
+                span.read(&self.aspace.phys().dma(), slot_vaddr, &mut image)?;
                 drop(b);
                 Ok::<_, CormError>(consistency::gather_into(&image, Some(ptr.obj_id), buf))
             })?;
@@ -819,8 +828,16 @@ impl CormServer {
                 return Err(CormError::PayloadTooLarge(data.len()));
             }
             let slot_vaddr = b.slot_vaddr(slot);
+            // Resolve the slot's pages once — straight from the block's
+            // frame list, which the held block lock keeps in sync with the
+            // page table — and pin a DMA session for the whole operation:
+            // the header read and the three ordered writes below then cost
+            // zero translations and zero extra lock acquisitions.
+            let span = PageSpan::from_frames(slot_vaddr, slot_bytes, b.vaddr(), b.frames())
+                .ok_or(CormError::BadPointer)?;
+            let dma = self.aspace.phys().dma();
             let mut hdr_bytes = [0u8; HEADER_BYTES];
-            self.aspace.read(slot_vaddr, &mut hdr_bytes)?;
+            span.read(&dma, slot_vaddr, &mut hdr_bytes)?;
             let header = ObjectHeader::from_bytes(hdr_bytes);
             if !header.valid {
                 return Err(CormError::ObjectNotFound);
@@ -828,15 +845,19 @@ impl CormServer {
             if header.obj_id != ptr.obj_id || !header.readable() {
                 // Mid-migration (locked, or the image lags the block
                 // metadata until the remap lands): back off and re-locate.
+                drop(dma);
                 drop(b);
                 self.rpc_backoff(attempt);
                 continue;
             }
             // 1) lock, 2) body with new version, 3) unlocked header. The
             // intermediate states are what concurrent DirectReads can
-            // observe.
+            // observe — the lock must land as its own store *before* the
+            // payload image is even assembled, so the locked window spans
+            // the whole update the way the paper's protocol intends
+            // (tests/races.rs asserts real-thread readers catch it).
             let locked = header.with_lock(LockState::WriteLocked);
-            self.aspace.write(slot_vaddr, &locked.to_bytes())?;
+            span.write(&dma, slot_vaddr, &locked.to_bytes())?;
             let new_header = header.bump_version();
             // Per-thread scratch: the slot image is rebuilt (zero-filled)
             // on every write, so recycling the buffer is invisible.
@@ -847,9 +868,10 @@ impl CormServer {
             WRITE_IMAGE.with(|cell| {
                 let mut image = cell.borrow_mut();
                 consistency::scatter_into(new_header, data, slot_bytes, &mut image);
-                self.aspace.write(slot_vaddr + HEADER_BYTES as u64, &image[HEADER_BYTES..])
+                span.write(&dma, slot_vaddr + HEADER_BYTES as u64, &image[HEADER_BYTES..])
             })?;
-            self.aspace.write(slot_vaddr, &new_header.to_bytes())?;
+            span.write(&dma, slot_vaddr, &new_header.to_bytes())?;
+            drop(dma);
             drop(b);
             self.stats.writes.fetch_add(1, Ordering::Relaxed);
             let model = self.model();

@@ -21,6 +21,7 @@
 //! Everything here is deterministic: the same seed and the same sequence of
 //! calls produce bit-identical results, which the test suite relies on.
 
+pub mod arena;
 pub mod hash;
 pub mod lanes;
 pub mod queue;
@@ -29,6 +30,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arena::{SlabArena, SlabHandle};
 pub use hash::{FastBuildHasher, FastHashMap, FastHasher};
 pub use lanes::{Lane, LaneCtx, LaneEngine, LaneId, WindowStats};
 pub use queue::EventQueue;

@@ -21,10 +21,18 @@
 //!   Because a far event's day is at least a cycle past `now`, every near
 //!   event precedes every far event, and far events migrate into the
 //!   calendar as `now` advances toward them.
+//!
+//! Payloads do not ride in the buckets: they live in a generation-tagged
+//! [`SlabArena`], and buckets (and the far heap) carry only 24-byte POD
+//! [`Entry`] records — `(SimTime, ordering key, slab handle)`. The calendar
+//! swap loop and growth rehash therefore move `Copy` records regardless of
+//! how large the event enum is, and steady-state schedule/pop churn recycles
+//! slab slots through the arena's free list without touching the allocator.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
+use crate::arena::{SlabArena, SlabHandle};
 use crate::time::SimTime;
 
 /// Bucket width is `1 << WIDTH_SHIFT` nanoseconds: 512 ns, on the order of
@@ -48,14 +56,17 @@ const MAX_BUCKETS: usize = 1 << 20;
 #[derive(Debug)]
 pub struct EventQueue<E> {
     /// Events within one bucket cycle of `now` ("near"), hashed by day.
-    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Buckets hold only POD ordering records; payloads live in `arena`.
+    buckets: Vec<Vec<Entry>>,
     /// `buckets.len() - 1`; the length is always a power of two.
     mask: usize,
     /// Number of events resident in `buckets`.
     near_len: usize,
     /// Events at least one full bucket cycle ahead of `now`, as a min-heap
     /// on `(at, key)`. Strictly later than every near event.
-    far: BinaryHeap<Far<E>>,
+    far: BinaryHeap<Far>,
+    /// Payload storage; entries reference it by generation-tagged handle.
+    arena: SlabArena<E>,
     seq: u64,
     now: SimTime,
     /// Location of the pending minimum — maintained eagerly so
@@ -64,11 +75,13 @@ pub struct EventQueue<E> {
     next: Option<NextRef>,
 }
 
-#[derive(Debug)]
-struct Scheduled<E> {
+/// POD ordering record: when the event fires, how ties break, and where the
+/// payload lives. 24 bytes, `Copy` — bucket swaps and rehashes are memmoves.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     at: SimTime,
     key: u64,
-    event: E,
+    handle: SlabHandle,
 }
 
 /// Where the pending minimum lives.
@@ -83,24 +96,24 @@ enum NextRef {
 /// Max-heap adapter: reversed `(at, key)` order turns `BinaryHeap` into the
 /// min-heap the far set needs. Only the ordering fields participate in
 /// comparisons.
-#[derive(Debug)]
-struct Far<E>(Scheduled<E>);
+#[derive(Debug, Clone, Copy)]
+struct Far(Entry);
 
-impl<E> PartialEq for Far<E> {
+impl PartialEq for Far {
     fn eq(&self, other: &Self) -> bool {
         self.0.at == other.0.at && self.0.key == other.0.key
     }
 }
 
-impl<E> Eq for Far<E> {}
+impl Eq for Far {}
 
-impl<E> PartialOrd for Far<E> {
+impl PartialOrd for Far {
     fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Far<E> {
+impl Ord for Far {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         (other.0.at, other.0.key).cmp(&(self.0.at, self.0.key))
     }
@@ -126,6 +139,7 @@ impl<E> EventQueue<E> {
             mask: INITIAL_BUCKETS - 1,
             near_len: 0,
             far: BinaryHeap::new(),
+            arena: SlabArena::new(),
             seq: 0,
             now: SimTime::ZERO,
             next: None,
@@ -156,6 +170,7 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is earlier than the current simulation time, which
     /// would break causality.
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "cannot schedule event in the past: at={at} now={}", self.now);
         let key = self.seq;
@@ -175,25 +190,29 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current simulation time.
+    #[inline]
     pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) {
         assert!(at >= self.now, "cannot schedule event in the past: at={at} now={}", self.now);
         self.insert(at, key, event);
     }
 
+    #[inline]
     fn insert(&mut self, at: SimTime, key: u64, event: E) {
         if self.near_len > self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
             self.grow();
         }
+        let handle = self.arena.insert(event);
+        let entry = Entry { at, key, handle };
         let cycle = self.buckets.len() as u64;
         if day(at) >= day(self.now) + cycle {
-            self.far.push(Far(Scheduled { at, key, event }));
+            self.far.push(Far(entry));
             if self.next.is_none() {
                 self.next = Some(NextRef::Far);
             }
         } else {
             let b = (day(at) as usize) & self.mask;
             let slot = self.buckets[b].len();
-            self.buckets[b].push(Scheduled { at, key, event });
+            self.buckets[b].push(entry);
             self.near_len += 1;
             let replace = match self.next {
                 None | Some(NextRef::Far) => true,
@@ -206,23 +225,24 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest pending event, advancing the clock to its timestamp.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         match self.next? {
             NextRef::Near { at, key, bucket, slot } => {
-                let s = self.buckets[bucket].swap_remove(slot);
-                debug_assert!(s.at == at && s.key == key, "cached minimum out of place");
+                let e = self.buckets[bucket].swap_remove(slot);
+                debug_assert!(e.at == at && e.key == key, "cached minimum out of place");
                 self.near_len -= 1;
                 self.now = at;
                 self.migrate_far();
                 self.recompute_next();
-                Some((at, s.event))
+                Some((at, self.arena.take(e.handle)))
             }
             NextRef::Far => {
-                let Far(s) = self.far.pop().expect("NextRef::Far with empty far heap");
-                self.now = s.at;
+                let Far(e) = self.far.pop().expect("NextRef::Far with empty far heap");
+                self.now = e.at;
                 self.migrate_far();
                 self.recompute_next();
-                Some((s.at, s.event))
+                Some((e.at, self.arena.take(e.handle)))
             }
         }
     }
@@ -230,6 +250,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest pending event only if it fires strictly before
     /// `horizon` — the window-drain primitive of conservative lane-parallel
     /// execution: a lane may safely execute everything in `[now, horizon)`.
+    #[inline]
     pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         if self.peek_time()? >= horizon {
             return None;
@@ -253,9 +274,9 @@ impl<E> EventQueue<E> {
         let cycle = self.buckets.len() as u64;
         let limit = day(self.now) + cycle;
         while self.far.peek().is_some_and(|f| day(f.0.at) < limit) {
-            let Far(s) = self.far.pop().expect("peeked entry present");
-            let b = (day(s.at) as usize) & self.mask;
-            self.buckets[b].push(s);
+            let Far(e) = self.far.pop().expect("peeked entry present");
+            let b = (day(e.at) as usize) & self.mask;
+            self.buckets[b].push(e);
             self.near_len += 1;
         }
     }
@@ -278,9 +299,9 @@ impl<E> EventQueue<E> {
         for d in start..start + cycle {
             let b = (d as usize) & self.mask;
             let mut best: Option<(SimTime, u64, usize)> = None;
-            for (slot, s) in self.buckets[b].iter().enumerate() {
-                if day(s.at) == d {
-                    let cand = (s.at, s.key, slot);
+            for (slot, e) in self.buckets[b].iter().enumerate() {
+                if day(e.at) == d {
+                    let cand = (e.at, e.key, slot);
                     if best.is_none_or(|(bat, bkey, _)| (cand.0, cand.1) < (bat, bkey)) {
                         best = Some(cand);
                     }
@@ -297,14 +318,15 @@ impl<E> EventQueue<E> {
     /// Doubles the bucket count and redistributes. Order is untouched —
     /// bucketing is pure routing; `(at, key)` decides everything. The wider
     /// cycle may make far events near, and the rehash moves slots, so both
-    /// the far boundary and the cached minimum are re-established.
+    /// the far boundary and the cached minimum are re-established. Only the
+    /// 24-byte ordering records move; payloads stay put in the arena.
     fn grow(&mut self) {
         let new_n = self.buckets.len() * 2;
-        let mut new_buckets: Vec<Vec<Scheduled<E>>> = (0..new_n).map(|_| Vec::new()).collect();
+        let mut new_buckets: Vec<Vec<Entry>> = (0..new_n).map(|_| Vec::new()).collect();
         let new_mask = new_n - 1;
         for bucket in self.buckets.drain(..) {
-            for s in bucket {
-                new_buckets[(day(s.at) as usize) & new_mask].push(s);
+            for e in bucket {
+                new_buckets[(day(e.at) as usize) & new_mask].push(e);
             }
         }
         self.buckets = new_buckets;
@@ -477,6 +499,31 @@ mod tests {
         let times: Vec<u64> = popped.iter().map(|&(_, e)| e).collect();
         let expect: Vec<u64> = (0..n).rev().collect();
         assert_eq!(times, expect);
+    }
+
+    #[test]
+    fn steady_state_churn_recycles_arena_slots() {
+        // A closed-loop workload keeps a bounded number of events in
+        // flight; after warm-up the arena must stop growing — the
+        // zero-allocation invariant the hot loop relies on.
+        let mut q = EventQueue::new();
+        for i in 0u64..8 {
+            q.schedule(SimTime::from_nanos(i * 64), i);
+        }
+        let mut warm_cap = 0;
+        for round in 0u64..10_000 {
+            let (t, e) = q.pop().unwrap();
+            q.schedule(t + crate::SimDuration::from_nanos(512 + (e % 7) * 64), e);
+            if round == 100 {
+                warm_cap = q.arena.capacity();
+            }
+        }
+        assert_eq!(q.len(), 8);
+        assert_eq!(
+            q.arena.capacity(),
+            warm_cap,
+            "steady-state schedule/pop churn must recycle slab slots, not grow the arena"
+        );
     }
 
     /// S2 property test: against randomized interleavings of schedules and

@@ -82,6 +82,12 @@ impl Histogram {
         self.samples.push(x);
     }
 
+    /// Pre-reserves room for `additional` samples so recording inside an
+    /// allocation-free measurement window never grows the backing vector.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
     /// Records a duration sample in microseconds.
     pub fn record_duration(&mut self, d: SimDuration) {
         self.record(d.as_micros_f64());

@@ -1,0 +1,82 @@
+//! Generation-tag safety of the slab arena under arbitrary recycle churn.
+//!
+//! The event queue's ordering records hold `SlabHandle`s into a
+//! `SlabArena`; the zero-allocation hot loop recycles slots aggressively,
+//! so the generation tag is the only thing standing between a lingering
+//! handle and another event's payload bytes. The property: across any
+//! interleaving of inserts, takes, reads, and deliberate stale probes,
+//!
+//! - a live handle always observes exactly the payload it was issued for
+//!   (recycling never leaks another event's bytes through an old handle);
+//! - any access through a stale handle — one whose slot was taken, whether
+//!   or not the slot was since recycled — panics deterministically instead
+//!   of returning data.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use corm_sim_core::arena::{SlabArena, SlabHandle};
+use corm_sim_core::rng::split_mix64;
+use proptest::prelude::*;
+
+/// A live handle plus the payload it must keep resolving to.
+type Live = (SlabHandle, u64);
+
+fn assert_stale_panics(arena: &mut SlabArena<u64>, h: SlabHandle) {
+    let got = catch_unwind(AssertUnwindSafe(|| *arena.get(h)));
+    assert!(got.is_err(), "stale get must panic, observed {:?}", got.ok());
+    let took = catch_unwind(AssertUnwindSafe(|| arena.take(h)));
+    assert!(took.is_err(), "stale take must panic, observed {:?}", took.ok());
+}
+
+proptest! {
+    #[test]
+    fn handles_never_observe_recycled_payloads(seed in any::<u64>(), steps in 50usize..400) {
+        let mut arena: SlabArena<u64> = SlabArena::new();
+        let mut live: Vec<Live> = Vec::new();
+        let mut stale: Vec<SlabHandle> = Vec::new();
+        let mut state = seed;
+        let mut next_payload = 0u64;
+        for _ in 0..steps {
+            state = split_mix64(state);
+            match state % 4 {
+                // Insert: a fresh payload, preferring recycled slots.
+                0 => {
+                    next_payload += 1;
+                    let payload = seed ^ (next_payload << 17);
+                    let h = arena.insert(payload);
+                    live.push((h, payload));
+                }
+                // Read through a random live handle: must be its payload.
+                1 if !live.is_empty() => {
+                    let (h, want) = live[(state >> 2) as usize % live.len()];
+                    prop_assert_eq!(*arena.get(h), want, "live handle leaked foreign bytes");
+                }
+                // Take a random live handle: payload moves out intact and
+                // the handle becomes stale.
+                2 if !live.is_empty() => {
+                    let k = (state >> 2) as usize % live.len();
+                    let (h, want) = live.swap_remove(k);
+                    prop_assert_eq!(arena.take(h), want, "take returned foreign bytes");
+                    stale.push(h);
+                }
+                // Probe a random stale handle: both access paths panic,
+                // even after the slot was recycled for new payloads.
+                _ if !stale.is_empty() => {
+                    let h = stale[(state >> 2) as usize % stale.len()];
+                    assert_stale_panics(&mut arena, h);
+                }
+                _ => {}
+            }
+        }
+        // Drain what's left: every surviving handle still resolves to its
+        // own payload, then turns stale like all the others.
+        for (h, want) in live.drain(..) {
+            prop_assert_eq!(arena.take(h), want);
+            stale.push(h);
+        }
+        prop_assert!(arena.is_empty());
+        for h in stale {
+            assert_stale_panics(&mut arena, h);
+        }
+    }
+}

@@ -33,4 +33,4 @@ pub use phys::{
     POISON_BYTE,
 };
 pub use tier::{FarTier, TierConfig, TierStats};
-pub use vspace::{AddressSpace, Translation};
+pub use vspace::{AddressSpace, PageSpan, Translation};

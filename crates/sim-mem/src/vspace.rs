@@ -17,7 +17,129 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::phys::{FrameId, MemError, PhysicalMemory, PAGE_SIZE};
+use crate::phys::{DmaSession, FrameId, MemError, PhysicalMemory, PAGE_SIZE};
+
+/// Pages a [`PageSpan`] holds inline before spilling to the heap. Slot- and
+/// header-sized spans (the hot RPC paths) always fit; only block-sized
+/// spans spill.
+const SPAN_INLINE_PAGES: usize = 8;
+
+/// A resolved run of contiguous virtual pages: the frames backing
+/// `[va, va + len)`, captured in one page-table pass by
+/// [`AddressSpace::resolve_span`].
+///
+/// Reads and writes through the span cost zero translations; they bounds-
+/// check against the resolved range and go straight to physical frames
+/// through a caller-held [`DmaSession`].
+#[derive(Debug)]
+pub struct PageSpan {
+    va: u64,
+    len: usize,
+    first_vpn: u64,
+    n_pages: usize,
+    inline: [FrameId; SPAN_INLINE_PAGES],
+    spill: Vec<FrameId>,
+}
+
+impl PageSpan {
+    /// Builds a span directly from a contiguous region's backing frames,
+    /// bypassing the page table: `frames[i]` backs the page at `base_va +
+    /// i * PAGE_SIZE`. For callers that already hold an authoritative
+    /// frame list kept in sync with the table under their own lock (e.g.
+    /// a CoRM block under its block lock), this turns per-access
+    /// translation into slice indexing. Returns `None` when `[va, va +
+    /// len)` is not covered by the frames, or `base_va` is not
+    /// page-aligned.
+    #[inline]
+    pub fn from_frames(va: u64, len: usize, base_va: u64, frames: &[FrameId]) -> Option<PageSpan> {
+        if !base_va.is_multiple_of(PAGE_SIZE as u64)
+            || va < base_va
+            || va + len as u64 > base_va + (frames.len() * PAGE_SIZE) as u64
+        {
+            return None;
+        }
+        let first_vpn = va / PAGE_SIZE as u64;
+        let last_vpn = (va + len.max(1) as u64 - 1) / PAGE_SIZE as u64;
+        let n_pages = (last_vpn - first_vpn + 1) as usize;
+        let skip = (first_vpn - base_va / PAGE_SIZE as u64) as usize;
+        let src = &frames[skip..skip + n_pages];
+        let mut inline = [FrameId(0); SPAN_INLINE_PAGES];
+        let mut spill = Vec::new();
+        if n_pages <= SPAN_INLINE_PAGES {
+            inline[..n_pages].copy_from_slice(src);
+        } else {
+            spill.extend_from_slice(src);
+        }
+        Some(PageSpan { va, len, first_vpn, n_pages, inline, spill })
+    }
+
+    #[inline]
+    fn frames(&self) -> &[FrameId] {
+        if self.n_pages <= SPAN_INLINE_PAGES {
+            &self.inline[..self.n_pages]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The frame backing one page of the span, by span-relative index.
+    #[inline]
+    pub fn frame(&self, page: usize) -> FrameId {
+        self.frames()[page]
+    }
+
+    /// Number of pages resolved.
+    #[inline]
+    pub fn pages(&self) -> usize {
+        self.n_pages
+    }
+
+    #[inline]
+    fn check(&self, va: u64, len: usize) -> Result<(), MemError> {
+        if va < self.va || va + len as u64 > self.va + self.len as u64 {
+            return Err(MemError::Unmapped(va));
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `va` (which must lie inside the span)
+    /// through the held DMA session.
+    #[inline]
+    pub fn read(&self, dma: &DmaSession<'_>, va: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check(va, buf.len())?;
+        let frames = self.frames();
+        let mut done = 0;
+        let mut addr = va;
+        while done < buf.len() {
+            let off = (addr % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            let frame = frames[(addr / PAGE_SIZE as u64 - self.first_vpn) as usize];
+            dma.read(frame, off, &mut buf[done..done + n])?;
+            done += n;
+            addr += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `va` (which must lie inside the span) through the
+    /// held DMA session.
+    #[inline]
+    pub fn write(&self, dma: &DmaSession<'_>, va: u64, data: &[u8]) -> Result<(), MemError> {
+        self.check(va, data.len())?;
+        let frames = self.frames();
+        let mut done = 0;
+        let mut addr = va;
+        while done < data.len() {
+            let off = (addr % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(data.len() - done);
+            let frame = frames[(addr / PAGE_SIZE as u64 - self.first_vpn) as usize];
+            dma.write(frame, off, &data[done..done + n])?;
+            done += n;
+            addr += n as u64;
+        }
+        Ok(())
+    }
+}
 
 /// A resolved translation of one virtual page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,59 +334,92 @@ impl AddressSpace {
     }
 
     /// CPU read through the MMU; may cross page boundaries.
+    ///
+    /// The whole range is validated (every page resolved) under a single
+    /// page-table lock acquisition before any byte moves, so partial reads
+    /// don't happen; the copy then runs against the resolved frames without
+    /// re-translating per page.
+    #[inline]
     pub fn read(&self, va: u64, buf: &mut [u8]) -> Result<(), MemError> {
-        self.walk(va, buf.len(), |frame, off, range, buf_off| {
-            // Reads borrow buf mutably through the closure below.
-            let _ = (frame, off, range, buf_off);
-        })?;
-        // Do the actual copy in a second pass to keep the closure simple.
-        let mut done = 0;
-        let mut addr = va;
-        while done < buf.len() {
-            let t = self.translate(addr)?;
-            let off = (addr % PAGE_SIZE as u64) as usize;
-            let n = (PAGE_SIZE - off).min(buf.len() - done);
-            self.phys.read(t.frame, off, &mut buf[done..done + n])?;
-            done += n;
-            addr += n as u64;
+        if buf.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let last = va + buf.len() as u64 - 1;
+        if Self::page_of(va) == Self::page_of(last) {
+            // Single-page fast path — the overwhelmingly common case for
+            // slot-sized accesses: one table lock, one lookup, one copy.
+            let frame = {
+                let table = self.table.read();
+                table.get(&Self::page_of(va)).ok_or(MemError::Unmapped(va))?.frame
+            };
+            return self.phys.read(frame, (va % PAGE_SIZE as u64) as usize, buf);
+        }
+        let span = self.resolve_span(va, buf.len())?;
+        span.read(&self.phys.dma(), va, buf)
     }
 
     /// CPU write through the MMU; may cross page boundaries.
+    ///
+    /// Validation mirrors [`AddressSpace::read`]: every page resolves under
+    /// one table lock before any byte is stored, so partial writes don't
+    /// happen.
+    #[inline]
     pub fn write(&self, va: u64, buf: &[u8]) -> Result<(), MemError> {
-        // Validate the whole range first so partial writes don't happen.
-        self.walk(va, buf.len(), |_, _, _, _| {})?;
-        let mut done = 0;
-        let mut addr = va;
-        while done < buf.len() {
-            let t = self.translate(addr)?;
-            let off = (addr % PAGE_SIZE as u64) as usize;
-            let n = (PAGE_SIZE - off).min(buf.len() - done);
-            self.phys.write(t.frame, off, &buf[done..done + n])?;
-            done += n;
-            addr += n as u64;
+        if buf.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let last = va + buf.len() as u64 - 1;
+        if Self::page_of(va) == Self::page_of(last) {
+            let frame = {
+                let table = self.table.read();
+                table.get(&Self::page_of(va)).ok_or(MemError::Unmapped(va))?.frame
+            };
+            return self.phys.write(frame, (va % PAGE_SIZE as u64) as usize, buf);
+        }
+        let span = self.resolve_span(va, buf.len())?;
+        span.write(&self.phys.dma(), va, buf)
     }
 
-    fn walk(
-        &self,
-        va: u64,
-        len: usize,
-        mut f: impl FnMut(FrameId, usize, usize, usize),
-    ) -> Result<(), MemError> {
-        let mut done = 0;
-        let mut addr = va;
-        while done < len {
-            let t = self.translate(addr)?;
-            let off = (addr % PAGE_SIZE as u64) as usize;
-            let n = (PAGE_SIZE - off).min(len - done);
-            f(t.frame, off, n, done);
-            done += n;
-            addr += n as u64;
+    /// Resolves every page backing `[va, va + len)` in one page-table lock
+    /// acquisition. The returned [`PageSpan`] serves repeated reads and
+    /// writes anywhere inside the range with zero further translations —
+    /// the server's RPC handlers resolve a slot's span once per operation
+    /// instead of re-walking the table for each of their header/payload
+    /// accesses.
+    ///
+    /// The span snapshots the translation: a concurrent [`remap`] of these
+    /// pages is not observed, exactly like the stale-MTT hazard the RNIC
+    /// models. Callers already serialize CPU slot access against remaps via
+    /// block locks, so the snapshot is safe where it is used.
+    ///
+    /// [`remap`]: AddressSpace::remap
+    pub fn resolve_span(&self, va: u64, len: usize) -> Result<PageSpan, MemError> {
+        let first_vpn = Self::page_of(va);
+        let last_vpn = Self::page_of(va + len.max(1) as u64 - 1);
+        let n_pages = (last_vpn - first_vpn + 1) as usize;
+        let mut span = PageSpan {
+            va,
+            len,
+            first_vpn,
+            n_pages,
+            inline: [FrameId(0); SPAN_INLINE_PAGES],
+            spill: Vec::new(),
+        };
+        if n_pages > SPAN_INLINE_PAGES {
+            span.spill.resize(n_pages, FrameId(0));
         }
-        Ok(())
+        {
+            let table = self.table.read();
+            let frames =
+                if n_pages <= SPAN_INLINE_PAGES { &mut span.inline[..] } else { &mut span.spill };
+            for (i, vpn) in (first_vpn..=last_vpn).enumerate() {
+                // Report the same address the per-page walk used to: the
+                // requested va for the first page, the page base after.
+                let page_va = if i == 0 { va } else { vpn * PAGE_SIZE as u64 };
+                frames[i] = table.get(&vpn).ok_or(MemError::Unmapped(page_va))?.frame;
+            }
+        }
+        Ok(span)
     }
 
     /// Number of mapped pages.

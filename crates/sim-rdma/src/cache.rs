@@ -85,6 +85,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Looks `key` up, promoting it to most-recently-used on a hit.
     /// Hit/miss counters feed the latency model.
+    #[inline]
     pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
             Some(idx) => {
@@ -112,6 +113,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Inserts or updates `key`, promoting it. Evicts the LRU entry when at
     /// capacity; the evicted key is returned.
+    #[inline]
     pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;

@@ -67,17 +67,31 @@ impl<Resp> ReplyHandle<Resp> {
     }
 }
 
+/// A stash of recycled one-shot reply channels shared by an `RpcClient`
+/// and its clones.
+type ReplyPool<Resp> = Arc<parking_lot::Mutex<Vec<(Sender<Resp>, Receiver<Resp>)>>>;
+
 /// Client side of the RPC fabric. Requests are sprayed round-robin across
 /// the server's worker queues; clones share the rotation counter so
 /// concurrent clients spread load rather than marching in step.
 pub struct RpcClient<Req, Resp> {
     txs: Arc<[Sender<Envelope<Req, Resp>>]>,
     next: Arc<AtomicUsize>,
+    /// Recycled one-shot reply channels. A call pops a pair (or creates
+    /// one on a cold start), keeps its own sender clone, and returns the
+    /// pair after a successful reply — the channel is provably empty
+    /// again. Pairs from timed-out calls are dropped instead: a late
+    /// reply must die with its channel, never surface on a future call.
+    reply_pool: ReplyPool<Resp>,
 }
 
 impl<Req, Resp> Clone for RpcClient<Req, Resp> {
     fn clone(&self) -> Self {
-        RpcClient { txs: self.txs.clone(), next: self.next.clone() }
+        RpcClient {
+            txs: self.txs.clone(),
+            next: self.next.clone(),
+            reply_pool: self.reply_pool.clone(),
+        }
     }
 }
 
@@ -108,14 +122,32 @@ impl<Req, Resp> RpcClient<Req, Resp> {
     }
 
     /// Issues a blocking call with an explicit deadline.
+    ///
+    /// Reply channels are recycled through the client's pool, so a
+    /// steady-state call allocates nothing. The pool keeps a sender clone
+    /// alive for the call's duration; an envelope dropped unserved
+    /// therefore surfaces as [`RpcError::Timeout`] rather than an early
+    /// disconnect — a closed *request* queue still reports
+    /// [`RpcError::Disconnected`] immediately at send time.
     pub fn call_timeout(&self, request: Req, timeout: Duration) -> Result<Resp, RpcError> {
-        let (reply_tx, reply_rx) = bounded(1);
+        let (reply_tx, reply_rx) = self.reply_pool.lock().pop().unwrap_or_else(|| bounded(1));
         let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.txs.len();
-        self.txs[shard]
-            .send(Envelope { request, reply_to: reply_tx, enqueued: Instant::now() })
-            .map_err(|_| RpcError::Disconnected)?;
+        if self.txs[shard]
+            .send(Envelope { request, reply_to: reply_tx.clone(), enqueued: Instant::now() })
+            .is_err()
+        {
+            // The envelope (and its sender) never left this thread: the
+            // channel is still empty and safe to recycle.
+            self.reply_pool.lock().push((reply_tx, reply_rx));
+            return Err(RpcError::Disconnected);
+        }
         match reply_rx.recv_timeout(timeout) {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => {
+                // Served: the worker's sender is consumed and the buffer
+                // drained, so the pair is empty again — recycle it.
+                self.reply_pool.lock().push((reply_tx, reply_rx));
+                Ok(resp)
+            }
             Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
         }
@@ -180,7 +212,14 @@ pub fn sharded_rpc_channel<Req, Resp>(
         txs.push(tx);
         queues.push(RpcQueue { rx, lane: LaneId(shard as u32) });
     }
-    (RpcClient { txs: txs.into(), next: Arc::new(AtomicUsize::new(0)) }, queues)
+    (
+        RpcClient {
+            txs: txs.into(),
+            next: Arc::new(AtomicUsize::new(0)),
+            reply_pool: Arc::new(parking_lot::Mutex::new(Vec::new())),
+        },
+        queues,
+    )
 }
 
 /// Creates a connected client/queue pair (the single-queue special case of
@@ -305,6 +344,25 @@ mod tests {
             assert_eq!(client.call(i).unwrap(), i * 3);
         }
         thief.join().unwrap();
+    }
+
+    #[test]
+    fn reply_channels_recycle_through_pool() {
+        let (client, queue) = rpc_channel::<u32, u32>();
+        let server = thread::spawn(move || {
+            for _ in 0..3 {
+                let env = queue.poll(Duration::from_secs(1)).unwrap();
+                let r = env.request;
+                env.reply(r);
+            }
+        });
+        for i in 0..3 {
+            assert_eq!(client.call(i).unwrap(), i);
+        }
+        server.join().unwrap();
+        // All three calls shared one recycled pair: the pool holds exactly
+        // it, not three.
+        assert_eq!(client.reply_pool.lock().len(), 1);
     }
 
     #[test]

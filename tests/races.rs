@@ -47,7 +47,14 @@ fn direct_reads_never_observe_torn_writes() {
     let mut rejected = 0u64;
     let mut aba_wraps = 0u64;
     let mut buf = vec![0u8; size];
-    for _ in 0..60_000 {
+    // 60k reads gives solid ABA statistics. Detection itself is
+    // scheduler-dependent: on a single-CPU host a reader only observes the
+    // locked/torn window when the OS preempts the writer mid-update, so if
+    // no rejection has landed yet keep reading — up to a hard cap that
+    // still fails fast when the detection machinery is actually broken.
+    let mut reads = 0u64;
+    while reads < 60_000 || (rejected == 0 && reads < 2_000_000) {
+        reads += 1;
         let out = reader.direct_read(&ptr, &mut buf, SimTime::ZERO).unwrap();
         match out.value {
             ReadOutcome::Ok(n) => {
